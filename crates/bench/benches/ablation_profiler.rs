@@ -1,0 +1,35 @@
+//! Ablation: VRS sensitivity to the Calder value-table parameters
+//! (table size and cleaning period, §3.3).
+//!
+//! Run with `cargo bench -p og-bench --bench ablation_profiler`.
+
+use og_core::{VrsConfig, VrsPass};
+use og_profile::ProfileConfig;
+use og_workloads::{by_name, InputSet};
+
+fn main() {
+    println!("Ablation: value-profiler table size / cleaning period (VRS 50nJ)");
+    println!(
+        "{:>10} {:>8} {:>8} | {:>11} {:>12} {:>11}",
+        "bench", "entries", "period", "specialized", "no benefit", "dependent"
+    );
+    println!("{}", "-".repeat(70));
+    for bench in ["gcc", "vortex", "go"] {
+        for (table_size, clean_period) in [(2, 256), (4, 1024), (8, 2048), (16, 1 << 14)] {
+            let train = by_name(bench, InputSet::Train).program;
+            let mut refp = by_name(bench, InputSet::Ref).program;
+            let mut cfg = VrsConfig::default();
+            cfg.profile = ProfileConfig { table_size, clean_period };
+            let report = VrsPass::new(cfg).run(&mut refp, &train);
+            println!(
+                "{:>10} {:>8} {:>8} | {:>11} {:>12} {:>11}",
+                bench,
+                table_size,
+                clean_period,
+                report.count_fate(og_core::CandidateFate::Specialized),
+                report.count_fate(og_core::CandidateFate::NoBenefit),
+                report.count_fate(og_core::CandidateFate::Dependent),
+            );
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Criterion micro-benchmarks: analysis and simulation throughput.
+//!
+//! These measure the *tooling* (how fast VRP analyzes, the emulator
+//! executes and the timing model simulates), complementing the figure
+//! benches that measure the *reproduced system*.
+//!
+//! Run with `cargo bench -p og-bench --bench micro_throughput`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use og_core::{VrpConfig, VrpPass};
+use og_sim::{MachineConfig, Simulator};
+use og_vm::{RunConfig, Vm};
+use og_workloads::{compress, m88ksim, InputSet};
+
+fn bench_vrp(c: &mut Criterion) {
+    let program = m88ksim(InputSet::Train).program;
+    let insts = program.inst_count() as u64;
+    let mut g = c.benchmark_group("vrp");
+    g.throughput(Throughput::Elements(insts));
+    g.bench_function("analyze_m88ksim", |b| {
+        b.iter(|| {
+            let mut p = program.clone();
+            VrpPass::new(VrpConfig::default()).run(&mut p)
+        })
+    });
+    g.finish();
+}
+
+fn bench_vm(c: &mut Criterion) {
+    let program = compress(InputSet::Train).program;
+    let mut vm = Vm::new(&program, RunConfig::default());
+    let steps = vm.run().expect("runs").steps;
+    let mut g = c.benchmark_group("vm");
+    g.throughput(Throughput::Elements(steps));
+    g.bench_function("emulate_compress", |b| {
+        b.iter(|| {
+            let mut vm = Vm::new(&program, RunConfig::default());
+            vm.run().expect("runs")
+        })
+    });
+    g.finish();
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let program = compress(InputSet::Train).program;
+    let mut vm = Vm::new(&program, RunConfig { collect_trace: true, ..Default::default() });
+    vm.run().expect("runs");
+    let (trace, _, _) = vm.into_parts();
+    let mut g = c.benchmark_group("sim");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.bench_function("timing_compress", |b| {
+        let sim = Simulator::new(MachineConfig::default());
+        b.iter(|| sim.run(&trace))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_vrp, bench_vm, bench_sim
+}
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Bench target regenerating the paper's Table 1 (ALU energy savings).
+//!
+//! Run with `cargo bench -p og-bench --bench table1_alu_savings`.
+
+fn main() {
+    println!("{}", og_lab::figures::table1());
+}

@@ -1,0 +1,362 @@
+//! Affine loop iterator recognition and trip-count estimation (§2.3).
+//!
+//! The paper estimates trip counts for loops whose iterator has the form
+//! `x = a·x + b` with constant `a`, `b`, a constant initial value in the
+//! preheader, and an exit test comparing the iterator against a constant
+//! bound. The common `for (i = c0; i < c1; i += c2)` shape is the
+//! practically important case; anything else conservatively reports no
+//! trip count and the interval analysis falls back to
+//! widening + exit-test refinement.
+
+use og_isa::{CmpKind, Op, Operand, Reg, Target};
+use og_program::{BlockId, Cfg, Function, InstRef, Loop};
+
+use crate::ValueRange;
+
+/// A recognized affine loop iterator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AffineIterator {
+    /// The iterator register.
+    pub reg: Reg,
+    /// Initial value (from the preheader).
+    pub init: i64,
+    /// Per-iteration increment (`b` in `x = x + b`; negative for
+    /// down-counting loops).
+    pub step: i64,
+    /// The comparison bounding the iterator at the exit test.
+    pub cmp: CmpKind,
+    /// The constant bound.
+    pub bound: i64,
+    /// Whether the exit test takes the loop back edge when the predicate
+    /// holds (`while (x < bound)` style) or when it fails.
+    pub continue_when_true: bool,
+    /// Estimated trip count (number of times the body executes).
+    pub trip_count: u64,
+    /// Range of the iterator at the top of the body.
+    pub body_range: ValueRange,
+}
+
+/// Try to recognize an affine iterator and trip count for `lp`.
+///
+/// Requirements (all checked):
+/// * exactly one definition of the iterator register inside the loop, of
+///   the form `add reg, reg, #step` (or `sub reg, reg, #step`),
+/// * a preheader definition `ldi reg, #init` in the unique block that
+///   branches to the header from outside the loop,
+/// * a conditional branch in the loop testing `cmp(reg, #bound)` whose
+///   taken/fall edges separate "stay in loop" from "exit".
+pub fn recognize_affine(f: &Function, cfg: &Cfg, lp: &Loop) -> Option<AffineIterator> {
+    // Find candidate iterator updates: x = x ± const inside the loop.
+    let mut updates: Vec<(Reg, i64, InstRef)> = Vec::new();
+    for &b in &lp.body {
+        for (ii, inst) in f.block(b).insts.iter().enumerate() {
+            if let (Op::Add | Op::Sub, Some(dst), Some(src1), Operand::Imm(c)) =
+                (inst.op, inst.dst, inst.src1, inst.src2)
+            {
+                if dst == src1 && !dst.is_zero() {
+                    let step = if inst.op == Op::Add { c } else { -c };
+                    updates.push((dst, step, InstRef::new(f.id, b, ii as u32)));
+                }
+            }
+        }
+    }
+    'candidates: for &(reg, step, _) in &updates {
+        if step == 0 {
+            continue;
+        }
+        // The register must be defined exactly once in the loop.
+        let defs_in_loop = lp
+            .body
+            .iter()
+            .flat_map(|&b| f.block(b).insts.iter())
+            .filter(|i| i.def() == Some(reg))
+            .count();
+        if defs_in_loop != 1 {
+            continue;
+        }
+        // Initial value: a unique out-of-loop predecessor of the header
+        // ending (or containing) `ldi reg, #init` as the last def.
+        let mut init: Option<i64> = None;
+        let mut preds_outside = 0;
+        for &p in cfg.preds(lp.header) {
+            if lp.contains(p) {
+                continue;
+            }
+            preds_outside += 1;
+            let mut found = None;
+            for inst in f.block(p).insts.iter().rev() {
+                if inst.def() == Some(reg) {
+                    if let (Op::Ldi, Operand::Imm(v)) = (inst.op, inst.src2) {
+                        found = Some(v);
+                    }
+                    break;
+                }
+            }
+            init = found;
+        }
+        if preds_outside != 1 {
+            continue;
+        }
+        let init = match init {
+            Some(v) => v,
+            None => continue,
+        };
+        // Exit test: a block in the loop ending with bc on a compare of
+        // (reg, #bound) where one edge leaves the loop.
+        for &b in &lp.body {
+            let insts = &f.block(b).insts;
+            let term = match insts.last() {
+                Some(t) if matches!(t.op, Op::Bc(_)) => t,
+                _ => continue,
+            };
+            let (taken, fall) = match term.target {
+                Target::CondBlocks { taken, fall } => (BlockId(taken), BlockId(fall)),
+                _ => continue,
+            };
+            let test_reg = match term.src1 {
+                Some(r) => r,
+                None => continue,
+            };
+            // The test register must be a compare of the iterator against a
+            // constant, immediately computable in this block.
+            let mut cmp_info = None;
+            for inst in insts[..insts.len() - 1].iter().rev() {
+                if inst.def() == Some(test_reg) {
+                    if let (Op::Cmp(k), Some(src1), Operand::Imm(bound)) =
+                        (inst.op, inst.src1, inst.src2)
+                    {
+                        if src1 == reg {
+                            cmp_info = Some((k, bound));
+                        }
+                    }
+                    break;
+                }
+                if inst.def() == Some(reg) {
+                    break; // iterator changed between compare and branch
+                }
+            }
+            let (kind, bound) = match cmp_info {
+                Some(x) => x,
+                None => continue,
+            };
+            let cond = match term.op {
+                Op::Bc(c) => c,
+                _ => unreachable!("matched above"),
+            };
+            // Predicate true means the branch register is 1.
+            use og_isa::Cond;
+            let taken_means_true = match cond {
+                Cond::Ne | Cond::Gt | Cond::Ge => true,
+                Cond::Eq | Cond::Le => false,
+                Cond::Lt => continue 'candidates, // cmp result never negative
+            };
+            let (stay_edge_true, exits) = if lp.contains(taken) && !lp.contains(fall) {
+                (taken_means_true, true)
+            } else if !lp.contains(taken) && lp.contains(fall) {
+                (!taken_means_true, true)
+            } else {
+                (false, false)
+            };
+            if !exits {
+                continue;
+            }
+            // Compute the trip count for the canonical shapes.
+            let tc = trip_count(init, step, kind, bound, stay_edge_true)?;
+            let last = init + step.checked_mul(tc.saturating_sub(1) as i64)?;
+            let (lo, hi) = if step > 0 { (init, last) } else { (last, init) };
+            return Some(AffineIterator {
+                reg,
+                init,
+                step,
+                cmp: kind,
+                bound,
+                continue_when_true: stay_edge_true,
+                trip_count: tc,
+                body_range: ValueRange::new(lo.min(hi), hi.max(lo)),
+            });
+        }
+    }
+    None
+}
+
+/// Trip count of `for (x = init; P(x, bound); x += step)` where the body
+/// runs while `P` holds (`continue_when_true`) — or until it holds.
+fn trip_count(
+    init: i64,
+    step: i64,
+    kind: CmpKind,
+    bound: i64,
+    continue_when_true: bool,
+) -> Option<u64> {
+    // Normalize to "continue while x < limit" (step > 0) or
+    // "continue while x > limit" (step < 0).
+    let (lt_limit, gt_limit): (Option<i64>, Option<i64>) = match (kind, continue_when_true) {
+        (CmpKind::Lt, true) => (Some(bound), None),
+        (CmpKind::Le, true) => (Some(bound.checked_add(1)?), None),
+        (CmpKind::Lt, false) => (None, Some(bound.checked_sub(1)?)), // while x >= bound
+        (CmpKind::Le, false) => (None, Some(bound)),                 // while x > bound
+        (CmpKind::Ult, true) if init >= 0 && bound >= 0 => (Some(bound), None),
+        (CmpKind::Ule, true) if init >= 0 && bound >= 0 => (Some(bound.checked_add(1)?), None),
+        _ => (None, None),
+    };
+    if let Some(limit) = lt_limit {
+        if step <= 0 {
+            return None;
+        }
+        if init >= limit {
+            return Some(0);
+        }
+        let span = (limit as i128 - init as i128 + step as i128 - 1) / step as i128;
+        return u64::try_from(span).ok();
+    }
+    if let Some(limit) = gt_limit {
+        if step >= 0 {
+            return None;
+        }
+        if init <= limit {
+            return Some(0);
+        }
+        let span = (init as i128 - limit as i128 + (-step) as i128 - 1) / (-step) as i128;
+        return u64::try_from(span).ok();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use og_isa::Width;
+    use og_program::{imm, Dominators, LoopForest, ProgramBuilder};
+
+    fn analyze(
+        init: i64,
+        step: i64,
+        kind: CmpKind,
+        bound: i64,
+    ) -> Option<AffineIterator> {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        f.block("entry");
+        f.ldi(Reg::T0, init);
+        f.block("loop");
+        f.add(Width::D, Reg::T1, Reg::T0, Reg::T0); // payload
+        if step >= 0 {
+            f.add(Width::D, Reg::T0, Reg::T0, imm(step));
+        } else {
+            f.sub(Width::D, Reg::T0, Reg::T0, imm(-step));
+        }
+        f.cmp(kind, Width::D, Reg::T2, Reg::T0, imm(bound));
+        f.bne(Reg::T2, "loop");
+        f.block("exit");
+        f.halt();
+        pb.finish(f);
+        let p = pb.build().unwrap();
+        let f = p.func(p.entry);
+        let cfg = Cfg::new(f);
+        let dom = Dominators::new(&cfg);
+        let lf = LoopForest::new(&cfg, &dom);
+        recognize_affine(f, &cfg, &lf.loops()[0])
+    }
+
+    #[test]
+    fn canonical_for_loop() {
+        // for (i = 0; i < 100; i++), tested after increment:
+        // body runs for i(pre-inc) = 0..99 → 100 iterations of the add, but
+        // the exit test sees i ∈ [1, 100]; trip count counts test passes.
+        let it = analyze(0, 1, CmpKind::Lt, 100).unwrap();
+        assert_eq!(it.reg, Reg::T0);
+        assert_eq!(it.step, 1);
+        // The body executes 100 times; at the top of the body the iterator
+        // takes the values 0..=99 (the paper's Figure 1 loop shape).
+        assert_eq!(it.trip_count, 100);
+        assert_eq!(it.body_range, ValueRange::new(0, 99));
+    }
+
+    #[test]
+    fn le_bound_and_bigger_steps() {
+        let it = analyze(0, 4, CmpKind::Le, 100).unwrap();
+        // continues while x ≤ 100, x = 4, 8, …; exits at 104.
+        assert_eq!(it.trip_count, 26);
+    }
+
+    #[test]
+    fn down_counting_loop() {
+        // x starts 50, x -= 5, continue while ... cmp lt exits; build a
+        // "while (x > 0)"-ish loop: cmp le x, 0 → bne exits... the builder
+        // above uses bne(stay), so craft with Le and check fall/taken
+        // classification via continue_when_true.
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        f.block("entry");
+        f.ldi(Reg::T0, 50);
+        f.block("loop");
+        f.sub(Width::D, Reg::T0, Reg::T0, imm(5));
+        f.cmp(CmpKind::Le, Width::D, Reg::T2, Reg::T0, imm(0));
+        f.beq(Reg::T2, "loop"); // stay while NOT (x <= 0)
+        f.block("exit");
+        f.halt();
+        pb.finish(f);
+        let p = pb.build().unwrap();
+        let f = p.func(p.entry);
+        let cfg = Cfg::new(f);
+        let dom = Dominators::new(&cfg);
+        let lf = LoopForest::new(&cfg, &dom);
+        let it = recognize_affine(f, &cfg, &lf.loops()[0]).unwrap();
+        assert_eq!(it.step, -5);
+        // x: 45, 40, … 5 re-enter; 0 exits → 9 re-entries + the final = 10
+        // passes of the test; body runs 10 times: values 50,45,…,5.
+        assert_eq!(it.trip_count, 10);
+    }
+
+    #[test]
+    fn zero_trip_loops() {
+        let it = analyze(200, 1, CmpKind::Lt, 100).unwrap();
+        assert_eq!(it.trip_count, 0);
+    }
+
+    #[test]
+    fn non_affine_loops_are_rejected() {
+        // iterator defined twice in the loop
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        f.block("entry");
+        f.ldi(Reg::T0, 0);
+        f.block("loop");
+        f.add(Width::D, Reg::T0, Reg::T0, imm(1));
+        f.add(Width::D, Reg::T0, Reg::T0, imm(1));
+        f.cmp(CmpKind::Lt, Width::D, Reg::T2, Reg::T0, imm(10));
+        f.bne(Reg::T2, "loop");
+        f.block("exit");
+        f.halt();
+        pb.finish(f);
+        let p = pb.build().unwrap();
+        let f = p.func(p.entry);
+        let cfg = Cfg::new(f);
+        let dom = Dominators::new(&cfg);
+        let lf = LoopForest::new(&cfg, &dom);
+        assert!(recognize_affine(f, &cfg, &lf.loops()[0]).is_none());
+    }
+
+    #[test]
+    fn data_dependent_exit_rejected() {
+        // comparison against a register bound — §2.3 excludes these.
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        f.block("entry");
+        f.ldi(Reg::T0, 0);
+        f.ldi(Reg::T3, 10);
+        f.block("loop");
+        f.add(Width::D, Reg::T0, Reg::T0, imm(1));
+        f.cmp(CmpKind::Lt, Width::D, Reg::T2, Reg::T0, Reg::T3);
+        f.bne(Reg::T2, "loop");
+        f.block("exit");
+        f.halt();
+        pb.finish(f);
+        let p = pb.build().unwrap();
+        let f = p.func(p.entry);
+        let cfg = Cfg::new(f);
+        let dom = Dominators::new(&cfg);
+        let lf = LoopForest::new(&cfg, &dom);
+        assert!(recognize_affine(f, &cfg, &lf.loops()[0]).is_none());
+    }
+}

@@ -1,0 +1,882 @@
+//! Value Range Specialization (§3): profile-guided code specialization
+//! for narrow value ranges.
+//!
+//! The pass runs in the paper's three steps:
+//!
+//! 1. **Candidate identification** (§3.3) — instructions whose narrowed
+//!    output could save energy are pre-filtered with a best-case benefit
+//!    analysis that assumes the cheapest possible test (one comparison),
+//!    drastically reducing how many points must be profiled.
+//! 2. **Value profiling** (§3.3) — the surviving candidates are profiled
+//!    on the training input with the Calder-style fixed-size LFU tables
+//!    of `og-profile`.
+//! 3. **Selection and transformation** (§3.1, §3.2, §3.4) — a candidate
+//!    is specialized for range `[min, max]` when
+//!    `Savings(I,r,min,max) · Freq(min,max) − Cost(I,r)` exceeds the
+//!    configured specialization cost. The affected region is cloned, a
+//!    range guard is inserted (`beq` for a zero test, `cmpeq`+`bne` for a
+//!    single value, two comparisons + AND + branch in general — §3.2's
+//!    Alpha cost model), the specialized range propagates through the
+//!    clone via VRP's guard-idiom refinement, and single-value
+//!    specializations get constant propagation and dead-code elimination
+//!    (the "eliminated" instructions of Figure 5).
+
+use crate::analysis::{FuncArtifacts, ProgramArtifacts};
+use crate::energy::{AluEnergyTable, GuardCosts};
+use crate::pass::{VrpConfig, VrpPass, VrpReport};
+use crate::vrp::{pure_out_range, RangeSolution};
+use crate::ValueRange;
+use og_isa::{CmpKind, Cond, Inst, Op, Operand, Reg, Width};
+use og_profile::{ProfileConfig, RangeEstimate, ValueProfiler};
+use og_program::{BlockId, FuncId, InstRef, Liveness, Program};
+use og_vm::{DynStats, RunConfig, Vm};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Configuration of a [`VrsPass`].
+#[derive(Debug, Clone)]
+pub struct VrsConfig {
+    /// The VRP configuration used for analysis and final width assignment.
+    pub vrp: VrpConfig,
+    /// Value-profiler table parameters.
+    pub profile: ProfileConfig,
+    /// The fixed cost (nJ) charged per specialization — the knob the
+    /// paper sweeps as "VRS 110nJ … VRS 30nJ" in Figures 8–11.
+    pub specialization_cost_nj: f64,
+    /// Instruction energy table (Table 1).
+    pub energy: AluEnergyTable,
+    /// Guard instruction costs (§3.2).
+    pub guard: GuardCosts,
+    /// Maximum candidates to profile.
+    pub max_candidates: usize,
+    /// Maximum blocks cloned per specialization.
+    pub max_region_blocks: usize,
+    /// Maximum number of specializations applied.
+    pub max_specializations: usize,
+    /// Candidate ranges evaluated per profiled site.
+    pub candidate_ranges: usize,
+    /// Depth limit of the recursive `Savings` evaluation.
+    pub savings_depth: u32,
+    /// Fuel for the training run.
+    pub train_fuel: u64,
+}
+
+impl Default for VrsConfig {
+    fn default() -> Self {
+        VrsConfig {
+            vrp: VrpConfig::default(),
+            profile: ProfileConfig::default(),
+            specialization_cost_nj: 50.0,
+            energy: AluEnergyTable::default(),
+            guard: GuardCosts::default(),
+            max_candidates: 512,
+            max_region_blocks: 8,
+            max_specializations: 64,
+            candidate_ranges: 4,
+            savings_depth: 6,
+            train_fuel: 100_000_000,
+        }
+    }
+}
+
+/// What happened to one profiled point (the Figure 4 triage).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CandidateFate {
+    /// Profiling showed no profitable range ("points generates no
+    /// benefit").
+    NoBenefit,
+    /// The point lies in a region already specialized by another point.
+    Dependent,
+    /// The point was specialized.
+    Specialized,
+}
+
+/// One applied specialization.
+#[derive(Debug, Clone)]
+pub struct Specialization {
+    /// The candidate instruction (pre-transformation location).
+    pub at: InstRef,
+    /// The specialized range.
+    pub min: i64,
+    /// Upper bound of the specialized range.
+    pub max: i64,
+    /// Observed training frequency of the range.
+    pub freq: f64,
+    /// Estimated net benefit (nJ over the training run).
+    pub benefit: f64,
+}
+
+/// Report of a VRS run.
+#[derive(Debug)]
+pub struct VrsReport {
+    /// Number of points profiled (Figure 4's bar totals).
+    pub profiled_points: usize,
+    /// Triage of every profiled point.
+    pub fates: Vec<(InstRef, CandidateFate)>,
+    /// The applied specializations.
+    pub applied: Vec<Specialization>,
+    /// Static instructions living in specialized (cloned) blocks after
+    /// the transformation (Figure 5's "specialized").
+    pub static_specialized: usize,
+    /// Static instructions removed from specialized blocks by constant
+    /// propagation + dead-code elimination (Figure 5's "eliminated").
+    pub static_eliminated: usize,
+    /// Guard instruction sites: `(func, block, first_idx, count)` —
+    /// used to measure the run-time overhead of the tests (Figure 6).
+    pub guard_sites: Vec<(FuncId, BlockId, u32, u32)>,
+    /// Blocks that belong to specialized clones.
+    pub specialized_blocks: Vec<(FuncId, BlockId)>,
+    /// The final VRP report on the transformed program.
+    pub vrp: VrpReport,
+}
+
+impl VrsReport {
+    /// Count fates of a given kind.
+    pub fn count_fate(&self, fate: CandidateFate) -> usize {
+        self.fates.iter().filter(|(_, f)| *f == fate).count()
+    }
+}
+
+/// The Value Range Specialization pass. See the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct VrsPass {
+    config: VrsConfig,
+}
+
+impl VrsPass {
+    /// Create a pass with the given configuration.
+    pub fn new(config: VrsConfig) -> VrsPass {
+        VrsPass { config }
+    }
+
+    /// Run VRS on `program`, profiling on `train` (the same code built
+    /// with the training input's data segment).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train` has a different code shape than `program` or if
+    /// the training run fails.
+    pub fn run(&self, program: &mut Program, train: &Program) -> VrsReport {
+        assert_eq!(
+            program.funcs.len(),
+            train.funcs.len(),
+            "train/ref program shapes must match"
+        );
+        for (a, b) in program.funcs.iter().zip(&train.funcs) {
+            assert_eq!(a.blocks.len(), b.blocks.len(), "train/ref blocks differ in {}", a.name);
+        }
+        let cfg = &self.config;
+
+        // ---- analysis on the pristine program ------------------------
+        let art = ProgramArtifacts::compute(program);
+        let sol = VrpPass::new(cfg.vrp.clone()).analyze(program);
+
+        // ---- step 0: basic-block profile on the training input --------
+        let mut train_vm = Vm::new(train, RunConfig { max_steps: cfg.train_fuel, ..Default::default() });
+        train_vm.run().expect("training run failed");
+        let stats = train_vm.stats().clone();
+
+        // ---- step 1: candidate identification -------------------------
+        let mut candidates = self.identify_candidates(program, &art, &sol, &stats);
+        candidates.truncate(cfg.max_candidates);
+        let profiled_points = candidates.len();
+
+        // ---- step 2: value profiling ----------------------------------
+        let mut profiler =
+            ValueProfiler::new(cfg.profile.clone(), candidates.iter().map(|c| c.at));
+        let mut train_vm = Vm::new(train, RunConfig { max_steps: cfg.train_fuel, ..Default::default() });
+        train_vm
+            .run_watched(&mut profiler)
+            .expect("profiling run failed");
+
+        // ---- step 3: selection ----------------------------------------
+        let mut scored: Vec<(Candidate, RangeEstimate, f64)> = Vec::new();
+        for c in candidates {
+            let Some(site) = profiler.site(c.at) else { continue };
+            let mut best: Option<(RangeEstimate, f64)> = None;
+            for est in site.candidate_ranges(cfg.candidate_ranges) {
+                let range = ValueRange::new(est.min, est.max);
+                // Skip ranges no narrower than what VRP already knows.
+                if range.width_needed() >= sol.out_range(c.at).width_needed() {
+                    continue;
+                }
+                let savings = self.savings(program, &art, &sol, &stats, c.at, range);
+                let cost = stats.inst_count(c.at) as f64 * cfg.guard.test_cost(est.min, est.max);
+                let benefit = savings * est.freq - cost - cfg.specialization_cost_nj;
+                if benefit > 0.0 && best.as_ref().is_none_or(|(_, b)| benefit > *b) {
+                    best = Some((est, benefit));
+                }
+            }
+            match best {
+                Some((est, benefit)) => scored.push((c, est, benefit)),
+                None => scored.push((
+                    c,
+                    RangeEstimate { min: 0, max: 0, freq: 0.0 },
+                    f64::NEG_INFINITY,
+                )),
+            }
+        }
+        scored.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+
+        // ---- transformation -------------------------------------------
+        let mut fates = Vec::new();
+        let mut applied = Vec::new();
+        let mut involved: HashSet<(FuncId, BlockId)> = HashSet::new();
+        let mut guard_sites = Vec::new();
+        let mut specialized_blocks = Vec::new();
+        let mut clone_map: Vec<(InstRef, InstRef)> = Vec::new(); // (clone, original)
+        let mut assumptions = cfg.vrp.assumptions.clone();
+        for (c, est, benefit) in scored {
+            if benefit <= 0.0 || !benefit.is_finite() {
+                fates.push((c.at, CandidateFate::NoBenefit));
+                continue;
+            }
+            if involved.contains(&(c.at.func, c.at.block)) {
+                fates.push((c.at, CandidateFate::Dependent));
+                continue;
+            }
+            if applied.len() >= cfg.max_specializations {
+                fates.push((c.at, CandidateFate::NoBenefit));
+                continue;
+            }
+            let range = ValueRange::new(est.min, est.max);
+            match apply_specialization(
+                program,
+                c.at,
+                range,
+                cfg.max_region_blocks,
+                &mut involved,
+                &mut guard_sites,
+                &mut specialized_blocks,
+                &mut clone_map,
+                &mut assumptions,
+            ) {
+                Ok(()) => {
+                    applied.push(Specialization {
+                        at: c.at,
+                        min: est.min,
+                        max: est.max,
+                        freq: est.freq,
+                        benefit,
+                    });
+                    fates.push((c.at, CandidateFate::Specialized));
+                }
+                Err(()) => fates.push((c.at, CandidateFate::NoBenefit)),
+            }
+        }
+        program.verify().expect("specialized program must verify");
+
+        // ---- constant propagation + DCE in specialized clones ----------
+        let vrp_cfg = VrpConfig { assumptions: assumptions.clone(), ..cfg.vrp.clone() };
+        let clone_blocks: HashSet<(FuncId, BlockId)> = specialized_blocks.iter().copied().collect();
+        let static_eliminated = fold_and_eliminate(program, &vrp_cfg, &clone_blocks);
+        program.verify().expect("post-DCE program must verify");
+
+        // ---- final width assignment ------------------------------------
+        let vrp = VrpPass::new(vrp_cfg).run(program);
+
+        // Figure 5 "specialized": instructions in clones whose final width
+        // is narrower than their original counterpart's final width.
+        let mut static_specialized = 0usize;
+        for &(clone, original) in &clone_map {
+            let (Some(cw), Some(ow)) = (
+                exists_width(program, clone),
+                exists_width(program, original),
+            ) else {
+                continue;
+            };
+            if cw < ow {
+                static_specialized += 1;
+            }
+        }
+
+        VrsReport {
+            profiled_points,
+            fates,
+            applied,
+            static_specialized,
+            static_eliminated,
+            guard_sites,
+            specialized_blocks,
+            vrp,
+        }
+    }
+
+    /// §3.3 preliminary filter: instructions with any best-case benefit,
+    /// assuming the minimum cost of a single comparison.
+    fn identify_candidates(
+        &self,
+        p: &Program,
+        art: &ProgramArtifacts,
+        sol: &RangeSolution,
+        stats: &DynStats,
+    ) -> Vec<Candidate> {
+        let cfg = &self.config;
+        let mut out = Vec::new();
+        for f in &p.funcs {
+            for (at, inst) in f.insts() {
+                if inst.def().is_none() || inst.op == Op::Jsr {
+                    continue;
+                }
+                let count = stats.inst_count(at);
+                if count == 0 {
+                    continue;
+                }
+                // Already provably narrow: nothing to specialize.
+                if sol.out_range(at).width_needed() == Width::B {
+                    continue;
+                }
+                // Best case: the output collapses to a single byte value.
+                // The preliminary filter charges only "a single comparison
+                // (the minimum possible cost)" (§3.3) — the full per-
+                // execution cost model is applied after profiling.
+                let best = self.savings(p, art, sol, stats, at, ValueRange::ZERO);
+                let min_cost = cfg.guard.comparison.min(cfg.guard.branch);
+                if best > min_cost {
+                    out.push(Candidate { at, upper_bound: best - min_cost });
+                }
+            }
+        }
+        out.sort_by(|a, b| {
+            b.upper_bound
+                .partial_cmp(&a.upper_bound)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        out
+    }
+
+    /// The recursive `Savings(I, r, min, max)` of §3.1: energy saved in
+    /// all instructions that depend on `at`'s output when its range
+    /// narrows to `new_out`.
+    ///
+    /// Implemented as a bounded iterative propagation over the def-use web
+    /// (rather than literal recursion) so that joint narrowing of several
+    /// operands of the same consumer — `mul t4, t3, t3` — is credited.
+    fn savings(
+        &self,
+        p: &Program,
+        art: &ProgramArtifacts,
+        sol: &RangeSolution,
+        stats: &DynStats,
+        at: InstRef,
+        new_out: ValueRange,
+    ) -> f64 {
+        let fa: &FuncArtifacts = art.func(at.func);
+        let f = p.func(at.func);
+        // Affected set: bounded BFS over def-use edges from the candidate.
+        let mut affected: Vec<InstRef> = Vec::new();
+        let mut seen: HashSet<InstRef> = HashSet::new();
+        let mut frontier = vec![at];
+        for _ in 0..self.config.savings_depth {
+            let mut next = Vec::new();
+            for &site in &frontier {
+                for &d in fa.du.defs_at(site) {
+                    for &(use_at, _) in fa.du.uses_of(d) {
+                        if seen.insert(use_at) {
+                            affected.push(use_at);
+                            next.push(use_at);
+                        }
+                    }
+                }
+            }
+            if next.is_empty() || affected.len() > 256 {
+                break;
+            }
+            frontier = next;
+        }
+        // Iteratively recompute narrowed output ranges.
+        let mut narrowed: HashMap<InstRef, ValueRange> = HashMap::new();
+        narrowed.insert(at, new_out);
+        for _ in 0..self.config.savings_depth {
+            let mut changed = false;
+            for &use_at in &affected {
+                let dinst = f.inst(use_at);
+                let Some(r) = sol.at(use_at) else { continue };
+                let in1 = dinst.src1.map_or(r.in1, |reg| {
+                    self.operand_with(fa, sol, &narrowed, use_at, reg, r.in1)
+                });
+                let in2 = match dinst.src2 {
+                    Operand::Reg(reg) => {
+                        self.operand_with(fa, sol, &narrowed, use_at, reg, r.in2)
+                    }
+                    _ => r.in2,
+                };
+                let old_dst = match dinst.dst {
+                    Some(reg) if matches!(dinst.op, Op::Cmov(_)) => {
+                        self.operand_with(fa, sol, &narrowed, use_at, reg, r.out)
+                    }
+                    _ => r.out,
+                };
+                let Some(new_dout) = pure_out_range(dinst, in1, in2, old_dst) else {
+                    continue;
+                };
+                if new_dout.width_needed() < r.out.width_needed()
+                    && narrowed.get(&use_at) != Some(&new_dout)
+                {
+                    narrowed.insert(use_at, new_dout);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Σ InstCount(D) · InstSaving(D, …) over every narrowed dependent.
+        let mut total = 0.0;
+        for &use_at in &affected {
+            let Some(r) = sol.at(use_at) else { continue };
+            let dinst = f.inst(use_at);
+            if let Some(nr) = narrowed.get(&use_at) {
+                let (old_w, new_w) = (r.out.width_needed(), nr.width_needed());
+                if new_w < old_w {
+                    total += stats.inst_count(use_at) as f64
+                        * self.config.energy.saving(dinst.op.class(), old_w, new_w);
+                }
+            } else if matches!(dinst.op, Op::St | Op::Out) {
+                // Narrow store/output data moves fewer bytes through the
+                // LSQ and cache (§2.4's size-tagged memory).
+                if let Some(data_reg) = dinst.src1 {
+                    let nd = self.operand_with(fa, sol, &narrowed, use_at, data_reg, r.in1);
+                    let (old_w, new_w) = (r.in1.width_needed(), nd.width_needed());
+                    if new_w < old_w {
+                        total += stats.inst_count(use_at) as f64
+                            * self.config.energy.saving(dinst.op.class(), old_w, new_w);
+                    }
+                }
+            }
+        }
+        let _ = p;
+        total
+    }
+
+    /// The range of operand `reg` at `use_at`, substituting narrowed
+    /// producer ranges when *all* reaching definitions have them.
+    fn operand_with(
+        &self,
+        fa: &FuncArtifacts,
+        sol: &RangeSolution,
+        narrowed: &HashMap<InstRef, ValueRange>,
+        use_at: InstRef,
+        reg: Reg,
+        fallback: ValueRange,
+    ) -> ValueRange {
+        use og_program::DefSite;
+        let defs = fa.du.reaching(use_at, reg);
+        if defs.is_empty() {
+            return fallback;
+        }
+        let mut acc: Option<ValueRange> = None;
+        for &d in defs {
+            let r = match fa.du.site(d).0 {
+                DefSite::Inst(site) => match narrowed.get(&site) {
+                    Some(nr) => *nr,
+                    None => {
+                        // A call site defines many registers and records no
+                        // single out range: fall back entirely.
+                        if fa.du.defs_at(site).len() > 1 {
+                            return fallback;
+                        }
+                        match sol.at(site) {
+                            Some(ir) => ir.out,
+                            None => return fallback,
+                        }
+                    }
+                },
+                DefSite::Entry => return fallback,
+            };
+            acc = Some(match acc {
+                Some(a) => a.union(r),
+                None => r,
+            });
+        }
+        acc.unwrap_or(fallback)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    at: InstRef,
+    upper_bound: f64,
+}
+
+fn exists_width(p: &Program, at: InstRef) -> Option<Width> {
+    let f = p.func(at.func);
+    let b = f.blocks.get(at.block.index())?;
+    b.insts.get(at.idx as usize).map(|i| i.width)
+}
+
+// -----------------------------------------------------------------------
+// Transformation
+// -----------------------------------------------------------------------
+
+/// Clone the region dominated by the candidate and insert the §3.2 range
+/// guard. Returns `Err(())` when the site is unsuitable (scratch
+/// registers live, zero-width region, …).
+#[allow(clippy::too_many_arguments)]
+fn apply_specialization(
+    p: &mut Program,
+    at: InstRef,
+    range: ValueRange,
+    max_region_blocks: usize,
+    involved: &mut HashSet<(FuncId, BlockId)>,
+    guard_sites: &mut Vec<(FuncId, BlockId, u32, u32)>,
+    specialized_blocks: &mut Vec<(FuncId, BlockId)>,
+    clone_map: &mut Vec<(InstRef, InstRef)>,
+    assumptions: &mut crate::Assumptions,
+) -> Result<(), ()> {
+    let fid = at.func;
+    let summaries = og_program::WriteSummaries::compute(p);
+    let f = p.func(fid);
+    let candidate_reg = f.inst(at).def().ok_or(())?;
+    // Scratch registers for the guard must be dead across the guard point.
+    let art = FuncArtifacts::compute(p, f, &summaries);
+    let live_out = art.live.live_out(at.block);
+    for scratch in [Reg::AT, Reg::PV] {
+        if live_out & (1 << scratch.index()) != 0 {
+            return Err(());
+        }
+        // Also dead within the remainder of the block.
+        for inst in &f.block(at.block).insts[at.idx as usize + 1..] {
+            if inst.uses().contains(scratch) {
+                return Err(());
+            }
+        }
+    }
+
+    // ---- region selection (pristine CFG) ------------------------------
+    let region = select_region(f, &art, at.block, max_region_blocks);
+
+    // ---- split the candidate block -------------------------------------
+    let f = p.func_mut(fid);
+    let b = at.block;
+    let tail_insts = f.block_mut(b).insts.split_off(at.idx as usize + 1);
+    if tail_insts.is_empty() {
+        return Err(()); // candidate was the terminator (cannot happen: no def)
+    }
+    let n_spec = specialized_blocks.len();
+    let tail_id = f.push_block(og_program::Block {
+        label: format!("{}$tail{}", f.block(b).label, n_spec),
+        insts: tail_insts,
+    });
+
+    // ---- clone the region ----------------------------------------------
+    let mut mapping: HashMap<u32, u32> = HashMap::new();
+    let mut order: Vec<BlockId> = vec![tail_id];
+    order.extend(region.iter().copied());
+    for &src in &order {
+        let label = format!("{}$spec{}", f.block(src).label, n_spec);
+        let insts = f.block(src).insts.clone();
+        let new_id = f.push_block(og_program::Block { label, insts });
+        mapping.insert(src.0, new_id.0);
+    }
+    // Remap intra-region edges inside the clones.
+    for (&src, &dst) in mapping.clone().iter() {
+        let dst_id = BlockId(dst);
+        let insts_len = f.block(dst_id).insts.len();
+        for ii in 0..insts_len {
+            let inst = &mut f.block_mut(dst_id).insts[ii];
+            for (old, new) in &mapping {
+                inst.retarget_block(*old, *new);
+            }
+            let _ = src;
+        }
+    }
+
+    // ---- guard ----------------------------------------------------------
+    let spec_entry = BlockId(mapping[&tail_id.0]);
+    let guard_start = f.block(b).insts.len() as u32;
+    let (min, max) = (range.min, range.max);
+    let guard: Vec<Inst> = if min == max && min == 0 {
+        vec![Inst::bc(Cond::Eq, candidate_reg, spec_entry.0, tail_id.0)]
+    } else if min == max {
+        vec![
+            Inst::alu(Op::Cmp(CmpKind::Eq), Width::D, Reg::AT, candidate_reg, Operand::Imm(min)),
+            Inst::bc(Cond::Ne, Reg::AT, spec_entry.0, tail_id.0),
+        ]
+    } else {
+        vec![
+            Inst::alu(Op::Cmp(CmpKind::Lt), Width::D, Reg::AT, candidate_reg, Operand::Imm(min)),
+            Inst::alu(Op::Cmp(CmpKind::Le), Width::D, Reg::PV, candidate_reg, Operand::Imm(max)),
+            Inst::alu(Op::Andc, Width::D, Reg::AT, Reg::PV, Operand::Reg(Reg::AT)),
+            Inst::bc(Cond::Ne, Reg::AT, spec_entry.0, tail_id.0),
+        ]
+    };
+    let guard_len = guard.len() as u32;
+    f.block_mut(b).insts.extend(guard);
+    guard_sites.push((fid, b, guard_start, guard_len));
+
+    // ---- bookkeeping ----------------------------------------------------
+    involved.insert((fid, b));
+    involved.insert((fid, tail_id));
+    for &r in &region {
+        involved.insert((fid, r));
+    }
+    let f = p.func(fid);
+    for (&src, &dst) in &mapping {
+        let dst_id = BlockId(dst);
+        involved.insert((fid, dst_id));
+        specialized_blocks.push((fid, dst_id));
+        // clone → original instruction mapping for Figure 5 accounting.
+        // The clone of the tail corresponds to the original block's
+        // instructions after the candidate.
+        for ii in 0..f.block(dst_id).insts.len() as u32 {
+            let orig = if BlockId(src) == tail_id {
+                InstRef::new(fid, b, at.idx + 1 + ii)
+            } else {
+                InstRef::new(fid, BlockId(src), ii)
+            };
+            clone_map.push((InstRef::new(fid, dst_id, ii), orig));
+        }
+    }
+    assumptions
+        .entry((fid, spec_entry))
+        .or_default()
+        .push((candidate_reg, range));
+    Ok(())
+}
+
+/// Blocks eligible for cloning: dominated by the candidate block, in the
+/// same innermost loop, reachable from it, capped in count.
+fn select_region(
+    _f: &og_program::Function,
+    art: &FuncArtifacts,
+    b: BlockId,
+    cap: usize,
+) -> Vec<BlockId> {
+    let loop_of = |x: BlockId| art.loops.innermost(x).map(|l| l.header);
+    let home = loop_of(b);
+    let mut region = Vec::new();
+    let mut queue = vec![b];
+    let mut seen: HashSet<BlockId> = [b].into_iter().collect();
+    while let Some(cur) = queue.pop() {
+        for &s in art.cfg.succs(cur) {
+            if seen.contains(&s) || s == b {
+                continue;
+            }
+            if !art.dom.dominates(b, s) || loop_of(s) != home {
+                continue;
+            }
+            seen.insert(s);
+            if region.len() < cap {
+                region.push(s);
+                queue.push(s);
+            }
+        }
+    }
+    region.sort();
+    region
+}
+
+// -----------------------------------------------------------------------
+// Constant propagation + DCE in specialized clones
+// -----------------------------------------------------------------------
+
+/// Fold constant instructions in the specialized blocks and remove dead
+/// pure instructions. Returns the number of eliminated instructions.
+fn fold_and_eliminate(
+    p: &mut Program,
+    vrp_cfg: &VrpConfig,
+    clone_blocks: &HashSet<(FuncId, BlockId)>,
+) -> usize {
+    if clone_blocks.is_empty() {
+        return 0;
+    }
+    let mut eliminated = 0usize;
+
+    // ---- constant folding (uses the range solution with assumptions) ---
+    let sol = VrpPass::new(vrp_cfg.clone()).analyze(p);
+    let mut folds: Vec<(InstRef, i64)> = Vec::new();
+    for f in &p.funcs {
+        for (at, inst) in f.insts() {
+            if !clone_blocks.contains(&(at.func, at.block)) {
+                continue;
+            }
+            if !inst.is_pure() || inst.def().is_none() || inst.op == Op::Ldi {
+                continue;
+            }
+            if let Some(c) = sol.out_range(at).as_constant() {
+                folds.push((at, c));
+            }
+        }
+    }
+    for (at, c) in folds {
+        let dst = p.inst(at).dst.expect("fold target defines");
+        *p.inst_mut(at) = Inst::ldi(dst, c);
+    }
+
+    // ---- dead code elimination within clones ----------------------------
+    loop {
+        let summaries = og_program::WriteSummaries::compute(p);
+        let mut removals: Vec<InstRef> = Vec::new();
+        for f in &p.funcs {
+            let cfg = og_program::Cfg::new(f);
+            let live = Liveness::compute(p, f, &cfg, &summaries);
+            for b in f.block_ids() {
+                if !clone_blocks.contains(&(f.id, b)) {
+                    continue;
+                }
+                // Walk backward tracking liveness to each instruction.
+                let insts = &f.block(b).insts;
+                let mut live_after: Vec<u32> = vec![0; insts.len()];
+                let mut cur = live.live_out(b);
+                for ii in (0..insts.len()).rev() {
+                    live_after[ii] = cur;
+                    cur = Liveness::transfer(p, &summaries, &insts[ii], cur);
+                }
+                for (ii, inst) in insts.iter().enumerate() {
+                    if !inst.is_pure() {
+                        continue;
+                    }
+                    if let Some(d) = inst.def() {
+                        if live_after[ii] & (1 << d.index()) == 0 {
+                            removals.push(InstRef::new(f.id, b, ii as u32));
+                        }
+                    }
+                }
+            }
+        }
+        if removals.is_empty() {
+            break;
+        }
+        eliminated += removals.len();
+        // Remove back-to-front within each block to keep indices valid.
+        removals.sort();
+        removals.reverse();
+        for at in removals {
+            p.func_mut(at.func)
+                .block_mut(at.block)
+                .insts
+                .remove(at.idx as usize);
+        }
+    }
+    eliminated
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use og_program::{imm, ProgramBuilder};
+
+    /// A program whose hot loop loads a (train: always 3) byte and does
+    /// wide arithmetic with it — the canonical VRS target.
+    fn vrs_target(values: &[i64]) -> Program {
+        let mut pb = ProgramBuilder::new();
+        pb.data_quads("data", values);
+        pb.data_quads("n", &[values.len() as i64]);
+        let mut f = pb.function("main", 0);
+        f.block("entry");
+        f.la(Reg::S0, "data");
+        f.la(Reg::S1, "n");
+        f.ld(Width::D, Reg::S2, Reg::S1, 0); // n
+        f.ldi(Reg::T0, 0); // i
+        f.ldi(Reg::S3, 0); // acc
+        f.block("loop");
+        f.sll(Width::D, Reg::T1, Reg::T0, imm(3));
+        f.add(Width::D, Reg::T2, Reg::S0, Reg::T1);
+        f.ld(Width::D, Reg::T3, Reg::T2, 0); // candidate: loaded value
+        f.mul(Width::D, Reg::T4, Reg::T3, Reg::T3);
+        f.add(Width::D, Reg::T5, Reg::T4, Reg::T3);
+        f.add(Width::D, Reg::S3, Reg::S3, Reg::T5);
+        f.add(Width::D, Reg::T0, Reg::T0, imm(1));
+        f.cmp(CmpKind::Lt, Width::D, Reg::T6, Reg::T0, Reg::S2);
+        f.bne(Reg::T6, "loop");
+        f.block("exit");
+        f.out(Width::W, Reg::S3);
+        f.halt();
+        pb.finish(f);
+        pb.build().unwrap()
+    }
+
+    fn run_output(p: &Program) -> Vec<u8> {
+        let mut vm = Vm::new(p, RunConfig::default());
+        vm.run().unwrap();
+        vm.output().to_vec()
+    }
+
+    #[test]
+    fn specializes_hot_narrow_load_and_stays_equivalent() {
+        // Train: constant small values; ref: mostly small with outliers.
+        let train = vrs_target(&[3; 64]);
+        let mut refp = vrs_target(&{
+            let mut v = vec![3i64; 60];
+            v.extend([100_000, 3, -7, 3]);
+            v
+        });
+        let baseline = run_output(&refp);
+        let report = VrsPass::new(VrsConfig::default()).run(&mut refp, &train);
+        assert!(
+            report.count_fate(CandidateFate::Specialized) >= 1,
+            "fates: {:?}",
+            report.fates
+        );
+        assert!(!report.guard_sites.is_empty());
+        assert!(!report.specialized_blocks.is_empty());
+        assert_eq!(run_output(&refp), baseline, "observational equivalence");
+    }
+
+    #[test]
+    fn no_benefit_without_narrow_profile() {
+        // Training values are wide: nothing worth specializing.
+        let train = vrs_target(&[1 << 40; 32]);
+        let mut refp = vrs_target(&[1 << 40; 32]);
+        let baseline = run_output(&refp);
+        let report = VrsPass::new(VrsConfig::default()).run(&mut refp, &train);
+        assert_eq!(report.count_fate(CandidateFate::Specialized), 0);
+        assert_eq!(run_output(&refp), baseline);
+    }
+
+    #[test]
+    fn dependent_points_are_classified() {
+        let train = vrs_target(&[2; 64]);
+        let mut refp = vrs_target(&[2; 64]);
+        let report = VrsPass::new(VrsConfig::default()).run(&mut refp, &train);
+        if report.count_fate(CandidateFate::Specialized) >= 1 {
+            // Everything else in the loop body became dependent or
+            // no-benefit; at least the triage must cover all points.
+            assert_eq!(report.fates.len(), report.profiled_points);
+        }
+    }
+
+    #[test]
+    fn single_value_specialization_folds_constants() {
+        // Training and ref agree on a constant: the clone's multiply and
+        // adds fold to constants and the dead ones get eliminated.
+        let train = vrs_target(&[5; 48]);
+        let mut refp = vrs_target(&[5; 48]);
+        let baseline = run_output(&refp);
+        let mut cfg = VrsConfig::default();
+        cfg.specialization_cost_nj = 10.0;
+        let report = VrsPass::new(cfg).run(&mut refp, &train);
+        assert_eq!(run_output(&refp), baseline);
+        if report.count_fate(CandidateFate::Specialized) >= 1 {
+            assert!(
+                report.static_eliminated > 0 || report.static_specialized > 0,
+                "specialization should shrink or narrow the clone"
+            );
+        }
+    }
+
+    #[test]
+    fn higher_cost_threshold_specializes_less() {
+        let train = vrs_target(&[3; 64]);
+        let counts: Vec<usize> = [10.0, 2000.0]
+            .into_iter()
+            .map(|cost| {
+                let mut refp = vrs_target(&[3; 64]);
+                let mut cfg = VrsConfig::default();
+                cfg.specialization_cost_nj = cost;
+                let report = VrsPass::new(cfg).run(&mut refp, &train);
+                report.count_fate(CandidateFate::Specialized)
+            })
+            .collect();
+        assert!(counts[0] >= counts[1], "cheaper specialization ⇒ more points");
+    }
+
+    #[test]
+    fn guard_shapes_follow_section_3_2() {
+        let g = GuardCosts::default();
+        // zero test: 1 branch; constant: cmp+branch; range: 2 cmp+and+branch.
+        assert!(g.test_cost(0, 0) < g.test_cost(7, 7));
+        assert!(g.test_cost(7, 7) < g.test_cost(1, 7));
+    }
+}

@@ -1,0 +1,296 @@
+//! Binary instruction encoding.
+//!
+//! OGA-64 instructions serialize to one or two little-endian 64-bit words.
+//! The first word packs the opcode, width, register fields and a 32-bit
+//! payload (memory displacement or branch/call target); a second word is
+//! appended for 64-bit immediates and for conditional branches (which carry
+//! two block targets). For pipeline-timing purposes every instruction
+//! occupies one nominal 8-byte fetch slot regardless of its storage length,
+//! matching the fixed-size instruction words of the Alpha ISA the paper
+//! assumes.
+
+use crate::{Inst, Op, Operand, Reg, Target, Width};
+use std::fmt;
+
+/// Errors returned by [`Inst::decode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Fewer bytes were supplied than the encoding requires.
+    Truncated,
+    /// The opcode field does not name a valid operation.
+    BadOpcode {
+        /// Major opcode byte.
+        major: u8,
+        /// Minor kind field.
+        minor: u8,
+    },
+    /// A field combination is invalid for the decoded operation.
+    BadField(&'static str),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => f.write_str("instruction encoding truncated"),
+            DecodeError::BadOpcode { major, minor } => {
+                write!(f, "invalid opcode field {major}/{minor}")
+            }
+            DecodeError::BadField(what) => write!(f, "invalid instruction field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// An encoded instruction: 8 or 16 bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncodedInst {
+    bytes: [u8; 16],
+    len: u8,
+}
+
+impl EncodedInst {
+    /// The encoded bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes[..self.len as usize]
+    }
+
+    /// Storage length in bytes (8 or 16).
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Encoded instructions are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl AsRef<[u8]> for EncodedInst {
+    fn as_ref(&self) -> &[u8] {
+        self.as_bytes()
+    }
+}
+
+const SRC2_NONE: u64 = 0;
+const SRC2_REG: u64 = 1;
+const SRC2_IMM: u64 = 2;
+
+impl Inst {
+    /// Encode this instruction.
+    pub fn encode(&self) -> EncodedInst {
+        let (major, minor) = self.op.code();
+        let mut w0 = (major as u64) | ((minor as u64) << 8);
+        w0 |= (self.width.to_code() as u64) << 12;
+        w0 |= (self.dst.map_or(31, Reg::index) as u64) << 14;
+        w0 |= (self.src1.map_or(31, Reg::index) as u64) << 19;
+        let mut ext: Option<u64> = None;
+        match self.src2 {
+            Operand::None => w0 |= SRC2_NONE << 29,
+            Operand::Reg(r) => {
+                w0 |= SRC2_REG << 29;
+                w0 |= (r.index() as u64) << 24;
+            }
+            Operand::Imm(v) => {
+                w0 |= SRC2_IMM << 29;
+                ext = Some(v as u64);
+            }
+        }
+        let payload: u32 = match self.target {
+            Target::None => self.disp as u32,
+            Target::Block(b) => b,
+            Target::Func(fid) => fid,
+            Target::CondBlocks { taken, fall } => {
+                ext = Some(((fall as u64) << 32) | taken as u64);
+                0
+            }
+        };
+        w0 |= (payload as u64) << 32;
+        if ext.is_some() {
+            w0 |= 1 << 31;
+        }
+        let mut bytes = [0u8; 16];
+        bytes[..8].copy_from_slice(&w0.to_le_bytes());
+        let len = if let Some(e) = ext {
+            bytes[8..].copy_from_slice(&e.to_le_bytes());
+            16
+        } else {
+            8
+        };
+        EncodedInst { bytes, len }
+    }
+
+    /// Decode an instruction from the front of `bytes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] when the bytes are truncated or malformed.
+    pub fn decode(bytes: &[u8]) -> Result<Inst, DecodeError> {
+        Ok(Inst::decode_with_len(bytes)?.0)
+    }
+
+    /// Decode an instruction and report how many bytes it consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] when the bytes are truncated or malformed.
+    pub fn decode_with_len(bytes: &[u8]) -> Result<(Inst, usize), DecodeError> {
+        if bytes.len() < 8 {
+            return Err(DecodeError::Truncated);
+        }
+        let w0 = u64::from_le_bytes(bytes[..8].try_into().unwrap());
+        let major = (w0 & 0xFF) as u8;
+        let minor = ((w0 >> 8) & 0xF) as u8;
+        let op = Op::from_code(major, minor).ok_or(DecodeError::BadOpcode { major, minor })?;
+        let width = Width::from_code(((w0 >> 12) & 3) as u8);
+        let dst_idx = ((w0 >> 14) & 31) as u8;
+        let src1_idx = ((w0 >> 19) & 31) as u8;
+        let src2_reg = ((w0 >> 24) & 31) as u8;
+        let src2_kind = (w0 >> 29) & 3;
+        let has_ext = (w0 >> 31) & 1 == 1;
+        let payload = (w0 >> 32) as u32;
+        let ext = if has_ext {
+            if bytes.len() < 16 {
+                return Err(DecodeError::Truncated);
+            }
+            Some(u64::from_le_bytes(bytes[8..16].try_into().unwrap()))
+        } else {
+            None
+        };
+        let src2 = match src2_kind {
+            SRC2_NONE => Operand::None,
+            SRC2_REG => Operand::Reg(Reg::new(src2_reg)),
+            SRC2_IMM => Operand::Imm(ext.ok_or(DecodeError::BadField("missing immediate"))? as i64),
+            _ => return Err(DecodeError::BadField("src2 kind")),
+        };
+        let dst = if op.has_dst() { Some(Reg::new(dst_idx)) } else { None };
+        // `src1` presence is implied by the operation.
+        let src1 = match op {
+            Op::Sext | Op::Zext | Op::Ldi | Op::Br | Op::Jsr | Op::Ret | Op::Halt | Op::Nop => None,
+            _ => Some(Reg::new(src1_idx)),
+        };
+        let (disp, target) = match op {
+            Op::Ld { .. } | Op::St => (payload as i32, Target::None),
+            Op::Br => (0, Target::Block(payload)),
+            Op::Jsr => (0, Target::Func(payload)),
+            Op::Bc(_) => {
+                let e = ext.ok_or(DecodeError::BadField("missing branch targets"))?;
+                (
+                    0,
+                    Target::CondBlocks {
+                        taken: (e & 0xFFFF_FFFF) as u32,
+                        fall: (e >> 32) as u32,
+                    },
+                )
+            }
+            _ => (0, Target::None),
+        };
+        let inst = Inst { op, width, dst, src1, src2, disp, target };
+        Ok((inst, if has_ext { 16 } else { 8 }))
+    }
+}
+
+/// Encode a sequence of instructions into a byte stream.
+pub fn encode_stream<'a>(insts: impl IntoIterator<Item = &'a Inst>) -> Vec<u8> {
+    let mut out = Vec::new();
+    for i in insts {
+        out.extend_from_slice(i.encode().as_bytes());
+    }
+    out
+}
+
+/// Decode a byte stream produced by [`encode_stream`].
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] when any instruction is truncated or malformed.
+pub fn decode_stream(mut bytes: &[u8]) -> Result<Vec<Inst>, DecodeError> {
+    let mut out = Vec::new();
+    while !bytes.is_empty() {
+        let (inst, used) = Inst::decode_with_len(bytes)?;
+        out.push(inst);
+        bytes = &bytes[used..];
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CmpKind, Cond, MemRef};
+
+    fn samples() -> Vec<Inst> {
+        vec![
+            Inst::alu(Op::Add, Width::B, Reg::T0, Reg::T1, Reg::T2),
+            Inst::alu(Op::Add, Width::W, Reg::T0, Reg::T1, 127i64),
+            Inst::alu(Op::Sub, Width::D, Reg::V0, Reg::A0, -1i64),
+            Inst::alu(Op::Cmp(CmpKind::Ult), Width::D, Reg::T3, Reg::T4, Reg::T5),
+            Inst::cmov(Cond::Ne, Width::H, Reg::S0, Reg::T0, Reg::T1),
+            Inst::alu(Op::Zapnot, Width::D, Reg::T0, Reg::T1, 0x0Fi64),
+            Inst::extend(Op::Sext, Width::B, Reg::T2, Reg::T3),
+            Inst::ldi(Reg::GP, 0x1234_5678_9ABC_DEF0u64 as i64),
+            Inst::load(Width::H, false, Reg::T6, MemRef { base: Reg::SP, disp: -32 }),
+            Inst::store(Width::D, Reg::T7, MemRef { base: Reg::GP, disp: 1 << 20 }),
+            Inst::br(42),
+            Inst::bc(Cond::Le, Reg::T8, 7, 8),
+            Inst::jsr(3),
+            Inst::ret(),
+            Inst::halt(),
+            Inst::nop(),
+            Inst::out(Width::B, Reg::V0),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_samples() {
+        for inst in samples() {
+            let enc = inst.encode();
+            let (dec, used) = Inst::decode_with_len(enc.as_bytes()).unwrap();
+            assert_eq!(dec, inst, "encoding {inst}");
+            assert_eq!(used, enc.len());
+        }
+    }
+
+    #[test]
+    fn register_forms_are_compact() {
+        let i = Inst::alu(Op::Add, Width::D, Reg::T0, Reg::T1, Reg::T2);
+        assert_eq!(i.encode().len(), 8);
+    }
+
+    #[test]
+    fn immediates_need_extension_word() {
+        let i = Inst::alu(Op::Add, Width::D, Reg::T0, Reg::T1, 5i64);
+        assert_eq!(i.encode().len(), 16);
+        let b = Inst::bc(Cond::Eq, Reg::T0, 1, 2);
+        assert_eq!(b.encode().len(), 16);
+    }
+
+    #[test]
+    fn stream_roundtrip() {
+        let insts = samples();
+        let bytes = encode_stream(&insts);
+        let dec = decode_stream(&bytes).unwrap();
+        assert_eq!(dec, insts);
+    }
+
+    #[test]
+    fn truncated_inputs_error() {
+        assert_eq!(Inst::decode(&[0u8; 4]), Err(DecodeError::Truncated));
+        let enc = Inst::ldi(Reg::T0, 1 << 40).encode();
+        assert_eq!(Inst::decode(&enc.as_bytes()[..8]), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn bad_opcode_errors() {
+        let mut bytes = [0u8; 8];
+        bytes[0] = 0xEE;
+        assert!(matches!(Inst::decode(&bytes), Err(DecodeError::BadOpcode { .. })));
+    }
+
+    #[test]
+    fn negative_displacement_roundtrip() {
+        let i = Inst::load(Width::B, true, Reg::T0, MemRef { base: Reg::FP, disp: -8 });
+        let dec = Inst::decode(i.encode().as_bytes()).unwrap();
+        assert_eq!(dec.disp, -8);
+    }
+}

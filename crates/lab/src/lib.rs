@@ -1,0 +1,466 @@
+//! # og-lab: the experiment pipeline
+//!
+//! Reproduces the paper's evaluation end to end. One [`run_study`] call
+//! executes, for every benchmark of the SpecInt95-analogue suite and every
+//! software mechanism (baseline, conventional VRP, the proposed useful-VRP,
+//! the aggressive-useful ablation, and VRS at the five specialization-cost
+//! points of Figure 8):
+//!
+//! 1. build the workload (reference input; training input for VRS),
+//! 2. apply the program transformation,
+//! 3. check observational equivalence against the baseline output,
+//! 4. emulate to produce the committed-path trace and dynamic statistics,
+//! 5. run the cycle-level simulator for timing + width-annotated activity,
+//! 6. summarize into a serializable [`RunSummary`].
+//!
+//! Hardware and cooperative gating schemes need no extra runs: every
+//! access was recorded with both its opcode width and its dynamic
+//! significance, so `og-power` prices all five schemes from the same
+//! activity record.
+//!
+//! Results are cached on disk (`target/og-study-v*.json`) because every
+//! figure's bench target needs the same study; delete the file or set
+//! `OG_STUDY_NOCACHE=1` to force a rerun.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+
+use og_core::{UsefulPolicy, VrpConfig, VrpPass, VrsConfig, VrsPass};
+use og_isa::OpClass;
+use og_power::{ed2_improvement, EnergyModel, EnergyReport, GatingScheme};
+use og_sim::{ActivityCounts, CycleStats, MachineConfig, Simulator, Structure};
+use og_vm::{RunConfig, Vm};
+use og_workloads::{by_name, InputSet, NAMES};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+/// Bump when pipeline semantics change to invalidate cached studies.
+pub const STUDY_VERSION: u32 = 7;
+
+/// A software mechanism applied to the program before measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Mech {
+    /// Unmodified program.
+    Baseline,
+    /// Conventional VRP: ranges only, no useful-width demands
+    /// (Figure 2's "Conventional VRP").
+    ConvVrp,
+    /// The paper's proposed VRP with useful-range propagation.
+    Vrp,
+    /// Ablation: useful demands also cross low-bits-closed arithmetic.
+    VrpAggressive,
+    /// Value range specialization with the given specialization cost
+    /// (nJ) — the Figures 8–11 knob.
+    Vrs(u32),
+}
+
+impl Mech {
+    /// The mechanisms of the full study.
+    pub const ALL: [Mech; 9] = [
+        Mech::Baseline,
+        Mech::ConvVrp,
+        Mech::Vrp,
+        Mech::VrpAggressive,
+        Mech::Vrs(110),
+        Mech::Vrs(90),
+        Mech::Vrs(70),
+        Mech::Vrs(50),
+        Mech::Vrs(30),
+    ];
+
+    /// Display label (matches the paper's legends).
+    pub fn label(self) -> String {
+        match self {
+            Mech::Baseline => "baseline".into(),
+            Mech::ConvVrp => "conventional VRP".into(),
+            Mech::Vrp => "VRP".into(),
+            Mech::VrpAggressive => "VRP (aggressive)".into(),
+            Mech::Vrs(c) => format!("VRS {c}nJ"),
+        }
+    }
+}
+
+/// VRS bookkeeping carried into the summaries (Figures 4–6).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VrsSummary {
+    /// Points profiled.
+    pub profiled: usize,
+    /// Triage counts: (no benefit, dependent, specialized).
+    pub fates: (usize, usize, usize),
+    /// Static instructions in specialized clones that got narrower.
+    pub static_specialized: usize,
+    /// Static instructions eliminated from clones.
+    pub static_eliminated: usize,
+    /// Fraction of dynamic instructions inside specialized clones.
+    pub runtime_specialized_frac: f64,
+    /// Fraction of dynamic instructions that are guard tests.
+    pub runtime_guard_frac: f64,
+}
+
+/// One (benchmark, mechanism) measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Benchmark name.
+    pub bench: String,
+    /// Mechanism applied.
+    pub mech: Mech,
+    /// Output digest (must match the baseline's).
+    pub digest: u64,
+    /// Committed instructions.
+    pub insts: u64,
+    /// Timing results.
+    pub sim: CycleStats,
+    /// Width-annotated activity.
+    pub activity: ActivityCounts,
+    /// Dynamic width distribution [8, 16, 32, 64]-bit fractions.
+    pub width_fracs: [f64; 4],
+    /// Dynamic value-size distribution (1..=8 significant bytes).
+    pub sig_fracs: [f64; 8],
+    /// Dynamic (class × width) counts for Table 3.
+    pub class_width: [[u64; 4]; 13],
+    /// VRS bookkeeping, for VRS runs.
+    pub vrs: Option<VrsSummary>,
+}
+
+impl RunSummary {
+    /// Energy under a gating scheme.
+    pub fn energy(&self, model: &EnergyModel, scheme: GatingScheme) -> EnergyReport {
+        model.report(&self.activity, scheme)
+    }
+}
+
+/// The full study: all benchmarks × mechanisms.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Study {
+    /// Version stamp of the pipeline that produced this study.
+    pub version: u32,
+    /// All runs.
+    pub runs: Vec<RunSummary>,
+}
+
+impl Study {
+    /// The run of (benchmark, mechanism).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combination is missing.
+    pub fn get(&self, bench: &str, mech: Mech) -> &RunSummary {
+        self.runs
+            .iter()
+            .find(|r| r.bench == bench && r.mech == mech)
+            .unwrap_or_else(|| panic!("missing run {bench}/{mech:?}"))
+    }
+
+    /// Benchmark names in suite order.
+    pub fn benches(&self) -> Vec<&str> {
+        NAMES.to_vec()
+    }
+
+    /// Energy savings of `mech` (priced under `scheme`) vs the baseline
+    /// machine without gating, for one benchmark.
+    pub fn energy_savings(
+        &self,
+        model: &EnergyModel,
+        bench: &str,
+        mech: Mech,
+        scheme: GatingScheme,
+    ) -> f64 {
+        let base = self.get(bench, Mech::Baseline).energy(model, GatingScheme::None);
+        let run = self.get(bench, mech).energy(model, scheme);
+        run.total_savings_vs(&base)
+    }
+
+    /// Per-structure energy savings averaged over the suite.
+    pub fn structure_savings(
+        &self,
+        model: &EnergyModel,
+        mech: Mech,
+        scheme: GatingScheme,
+        s: Structure,
+    ) -> f64 {
+        let mut acc = 0.0;
+        for bench in NAMES {
+            let base = self.get(bench, Mech::Baseline).energy(model, GatingScheme::None);
+            let run = self.get(bench, mech).energy(model, scheme);
+            acc += run.savings_vs(&base, s);
+        }
+        acc / NAMES.len() as f64
+    }
+
+    /// ED² improvement of (`mech`, `scheme`) vs the ungated baseline.
+    pub fn ed2_savings(
+        &self,
+        model: &EnergyModel,
+        bench: &str,
+        mech: Mech,
+        scheme: GatingScheme,
+    ) -> f64 {
+        let base = self.get(bench, Mech::Baseline);
+        let run = self.get(bench, mech);
+        ed2_improvement(
+            run.energy(model, scheme).total_nj,
+            run.sim.cycles,
+            base.energy(model, GatingScheme::None).total_nj,
+            base.sim.cycles,
+        )
+    }
+
+    /// Execution-time saving of `mech` vs baseline.
+    pub fn time_savings(&self, bench: &str, mech: Mech) -> f64 {
+        let base = self.get(bench, Mech::Baseline).sim.cycles as f64;
+        1.0 - self.get(bench, mech).sim.cycles as f64 / base
+    }
+}
+
+/// Run one (benchmark, mechanism) pipeline. `expected_digest` enforces
+/// observational equivalence when known.
+///
+/// # Panics
+///
+/// Panics if the workload fails to run or the transformed program's
+/// output diverges from the baseline.
+pub fn run_pipeline(bench: &str, mech: Mech, expected_digest: Option<u64>) -> RunSummary {
+    let mut program = by_name(bench, InputSet::Ref).program;
+    let mut vrs = None;
+    match mech {
+        Mech::Baseline => {}
+        Mech::ConvVrp | Mech::Vrp | Mech::VrpAggressive => {
+            let policy = match mech {
+                Mech::ConvVrp => UsefulPolicy::Off,
+                Mech::Vrp => UsefulPolicy::Paper,
+                _ => UsefulPolicy::Aggressive,
+            };
+            let cfg = VrpConfig { useful_policy: policy, ..Default::default() };
+            VrpPass::new(cfg).run(&mut program);
+        }
+        Mech::Vrs(cost) => {
+            let train = by_name(bench, InputSet::Train).program;
+            let mut cfg = VrsConfig::default();
+            cfg.specialization_cost_nj = cost as f64;
+            let report = VrsPass::new(cfg).run(&mut program, &train);
+            vrs = Some((
+                report.profiled_points,
+                (
+                    report.count_fate(og_core::CandidateFate::NoBenefit),
+                    report.count_fate(og_core::CandidateFate::Dependent),
+                    report.count_fate(og_core::CandidateFate::Specialized),
+                ),
+                report.static_specialized,
+                report.static_eliminated,
+                report.specialized_blocks.clone(),
+                report.guard_sites.clone(),
+            ));
+        }
+    }
+
+    let mut vm = Vm::new(&program, RunConfig { collect_trace: true, ..Default::default() });
+    let outcome = vm.run().unwrap_or_else(|e| panic!("{bench}/{mech:?}: {e}"));
+    if let Some(d) = expected_digest {
+        assert_eq!(
+            outcome.output_digest, d,
+            "{bench}/{mech:?}: output diverged from baseline"
+        );
+    }
+    let (trace, stats, _) = vm.into_parts();
+    let sim = Simulator::new(MachineConfig::default()).run(&trace);
+
+    let vrs_summary = vrs.map(
+        |(profiled, fates, static_specialized, static_eliminated, blocks, guards)| {
+            let total = stats.steps.max(1) as f64;
+            let mut spec_dyn = 0u64;
+            for (f, b) in &blocks {
+                let count = stats.block_counts.get(&(*f, *b)).copied().unwrap_or(0);
+                spec_dyn += count * program.func(*f).block(*b).insts.len() as u64;
+            }
+            let mut guard_dyn = 0u64;
+            for (f, b, _, len) in &guards {
+                let count = stats.block_counts.get(&(*f, *b)).copied().unwrap_or(0);
+                guard_dyn += count * *len as u64;
+            }
+            VrsSummary {
+                profiled,
+                fates,
+                static_specialized,
+                static_eliminated,
+                runtime_specialized_frac: spec_dyn as f64 / total,
+                runtime_guard_frac: guard_dyn as f64 / total,
+            }
+        },
+    );
+
+    RunSummary {
+        bench: bench.to_string(),
+        mech,
+        digest: outcome.output_digest,
+        insts: outcome.steps,
+        width_fracs: stats.width_fractions(),
+        sig_fracs: stats.sig_fractions(),
+        class_width: stats.class_width,
+        sim: sim.stats,
+        activity: sim.activity,
+        vrs: vrs_summary,
+    }
+}
+
+fn cache_path() -> PathBuf {
+    let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| {
+        // Walk up from the crate dir to the workspace target dir.
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../target").to_string()
+    });
+    PathBuf::from(target).join(format!("og-study-v{STUDY_VERSION}.json"))
+}
+
+/// Run (or load from cache) the full study.
+pub fn run_study() -> Study {
+    let path = cache_path();
+    let nocache = std::env::var_os("OG_STUDY_NOCACHE").is_some();
+    if !nocache {
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            if let Ok(study) = serde_json::from_str::<Study>(&text) {
+                if study.version == STUDY_VERSION {
+                    return study;
+                }
+            }
+        }
+    }
+    let study = compute_study();
+    if let Ok(text) = serde_json::to_string(&study) {
+        let _ = std::fs::create_dir_all(path.parent().expect("cache path has parent"));
+        let _ = std::fs::write(&path, text);
+    }
+    study
+}
+
+/// Run the full study without touching the cache.
+pub fn compute_study() -> Study {
+    let mut runs: Vec<RunSummary> = Vec::new();
+    let results: Vec<Vec<RunSummary>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = NAMES
+            .iter()
+            .map(|&bench| {
+                scope.spawn(move || {
+                    let base = run_pipeline(bench, Mech::Baseline, None);
+                    let digest = base.digest;
+                    let mut out = vec![base];
+                    for mech in Mech::ALL.into_iter().skip(1) {
+                        out.push(run_pipeline(bench, mech, Some(digest)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+    for r in results {
+        runs.extend(r);
+    }
+    Study { version: STUDY_VERSION, runs }
+}
+
+/// Dynamic Table 3 rows: per-class percentage of instructions and width
+/// distribution within each class, averaged over the suite (VRP runs).
+pub fn table3_rows(study: &Study) -> Vec<(OpClass, f64, [f64; 4])> {
+    let mut per_class = [[0u64; 4]; 13];
+    let mut total = 0u64;
+    for bench in NAMES {
+        let run = study.get(bench, Mech::Vrp);
+        for (c, row) in run.class_width.iter().enumerate() {
+            for (w, &n) in row.iter().enumerate() {
+                per_class[c][w] += n;
+                total += n;
+            }
+        }
+    }
+    let mut rows = Vec::new();
+    for class in OpClass::TABLE3_ROWS {
+        let row = per_class[class.index()];
+        let class_total: u64 = row.iter().sum();
+        if class_total == 0 {
+            rows.push((class, 0.0, [0.0; 4]));
+            continue;
+        }
+        let pct = 100.0 * class_total as f64 / total.max(1) as f64;
+        let mut dist = [0.0; 4];
+        for (w, &n) in row.iter().enumerate() {
+            dist[w] = 100.0 * n as f64 / class_total as f64;
+        }
+        rows.push((class, pct, dist));
+    }
+    rows
+}
+
+/// Suite-average width fractions for a mechanism.
+pub fn avg_width_fracs(study: &Study, mech: Mech) -> [f64; 4] {
+    let mut acc = [0.0; 4];
+    for bench in NAMES {
+        let f = study.get(bench, mech).width_fracs;
+        for i in 0..4 {
+            acc[i] += f[i];
+        }
+    }
+    for v in &mut acc {
+        *v /= NAMES.len() as f64;
+    }
+    acc
+}
+
+/// Suite-average dynamic value-size distribution (Figure 12).
+pub fn avg_sig_fracs(study: &Study) -> [f64; 8] {
+    let mut acc = [0.0; 8];
+    for bench in NAMES {
+        let f = study.get(bench, Mech::Baseline).sig_fracs;
+        for i in 0..8 {
+            acc[i] += f[i];
+        }
+    }
+    for v in &mut acc {
+        *v /= NAMES.len() as f64;
+    }
+    acc
+}
+
+/// The scheme a software mechanism's activity should be priced under when
+/// combined with a hardware mechanism (Figure 15's combined bars).
+pub fn combined_scheme(hw: GatingScheme) -> GatingScheme {
+    match hw {
+        GatingScheme::HwSize => GatingScheme::Cooperative,
+        other => other,
+    }
+}
+
+/// Convenience: map of benchmark → baseline cycles (used by tests).
+pub fn baseline_cycles(study: &Study) -> HashMap<String, u64> {
+    NAMES
+        .iter()
+        .map(|&b| (b.to_string(), study.get(b, Mech::Baseline).sim.cycles))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_pipeline_runs_and_checks_digest() {
+        let base = run_pipeline("compress", Mech::Baseline, None);
+        assert!(base.sim.cycles > 0);
+        assert!(base.insts > 1000);
+        let vrp = run_pipeline("compress", Mech::Vrp, Some(base.digest));
+        assert_eq!(vrp.insts, base.insts, "VRP must not change the path");
+        // VRP narrows: software-priced energy strictly below baseline's.
+        let model = EnergyModel::new();
+        let e_base = base.energy(&model, GatingScheme::None).total_nj;
+        let e_vrp = vrp.energy(&model, GatingScheme::Software).total_nj;
+        assert!(e_vrp < e_base, "{e_vrp} < {e_base}");
+    }
+
+    #[test]
+    fn mech_labels_are_unique() {
+        let labels: std::collections::HashSet<String> =
+            Mech::ALL.iter().map(|m| m.label()).collect();
+        assert_eq!(labels.len(), Mech::ALL.len());
+    }
+}

@@ -1,0 +1,619 @@
+//! A textual assembly dialect for OGA-64 programs.
+//!
+//! The dialect mirrors the [`crate::ProgramBuilder`] API one-to-one:
+//!
+//! ```text
+//! ; comment
+//! .data
+//! tbl:    .quad 1, 2, 3
+//! buf:    .space 64
+//! .text
+//! .func main, args=0
+//! entry:
+//!     ldi     t1, @tbl
+//!     ldi     t0, 0
+//! loop:
+//!     ld.d    t2, 0(t1)
+//!     add.w   t0, t0, t2
+//!     add.d   t1, t1, 8
+//!     cmplt.d t3, t1, @tbl+24
+//!     bne     t3, loop
+//! exit:
+//!     out.w   t0
+//!     halt
+//! .endfunc
+//! ```
+//!
+//! Conditional branches may name an explicit fall-through block as a third
+//! operand (`bne t0, taken, fall`); otherwise the next block in textual
+//! order is the fall-through.
+
+use crate::builder::BuildError;
+use crate::{Program, ProgramBuilder};
+use og_isa::{CmpKind, Cond, Op, Operand, Reg, Target, Width};
+use std::fmt;
+
+/// An assembly parsing error with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError { line, message: message.into() }
+}
+
+impl From<(usize, BuildError)> for AsmError {
+    fn from((line, e): (usize, BuildError)) -> Self {
+        err(line, e.to_string())
+    }
+}
+
+/// Parse a program from assembly text.
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] describing the first syntax or resolution
+/// problem, with its line number.
+pub fn parse_asm(text: &str) -> Result<Program, AsmError> {
+    Parser::new(text).parse()
+}
+
+struct Parser<'a> {
+    lines: Vec<(usize, &'a str)>,
+    pos: usize,
+    pb: ProgramBuilder,
+}
+
+enum Section {
+    None,
+    Data,
+    Text,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Parser<'a> {
+        let lines = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| {
+                let l = match l.find([';', '#']) {
+                    Some(p) => &l[..p],
+                    None => l,
+                }
+                .trim();
+                (i + 1, l)
+            })
+            .filter(|(_, l)| !l.is_empty())
+            .collect();
+        Parser { lines, pos: 0, pb: ProgramBuilder::new() }
+    }
+
+    fn parse(mut self) -> Result<Program, AsmError> {
+        let mut section = Section::None;
+        while self.pos < self.lines.len() {
+            let (ln, line) = self.lines[self.pos];
+            if line == ".data" {
+                section = Section::Data;
+                self.pos += 1;
+            } else if line == ".text" {
+                section = Section::Text;
+                self.pos += 1;
+            } else if let Some(rest) = line.strip_prefix(".func") {
+                self.parse_func(ln, rest.trim())?;
+            } else {
+                match section {
+                    Section::Data => self.parse_data_line()?,
+                    Section::Text | Section::None => {
+                        return Err(err(ln, format!("unexpected line outside a function: `{line}`")))
+                    }
+                }
+            }
+        }
+        let last_line = self.lines.last().map_or(0, |(n, _)| *n);
+        self.pb.build().map_err(|e| (last_line, e).into())
+    }
+
+    fn parse_data_line(&mut self) -> Result<(), AsmError> {
+        let (ln, line) = self.lines[self.pos];
+        self.pos += 1;
+        let (label, rest) = line
+            .split_once(':')
+            .ok_or_else(|| err(ln, "data line must be `label: .directive ...`"))?;
+        let rest = rest.trim();
+        if let Some(args) = rest.strip_prefix(".space") {
+            let n: usize = args
+                .trim()
+                .parse()
+                .map_err(|_| err(ln, "bad .space size"))?;
+            self.pb.data_zeroed(label.trim(), n);
+        } else if let Some(args) = rest.strip_prefix(".quad") {
+            let vals = parse_int_list(args).map_err(|m| err(ln, m))?;
+            self.pb.data_quads(label.trim(), &vals);
+        } else if let Some(args) = rest.strip_prefix(".byte") {
+            let vals = parse_int_list(args).map_err(|m| err(ln, m))?;
+            let bytes: Result<Vec<u8>, _> = vals
+                .iter()
+                .map(|&v| u8::try_from(v).map_err(|_| err(ln, "byte value out of range")))
+                .collect();
+            self.pb.data_bytes(label.trim(), bytes?);
+        } else {
+            return Err(err(ln, format!("unknown data directive: `{rest}`")));
+        }
+        Ok(())
+    }
+
+    fn parse_func(&mut self, ln: usize, header: &str) -> Result<(), AsmError> {
+        // `.func name, args=N [, noret]`
+        let mut parts = header.split(',').map(str::trim);
+        let name = parts.next().filter(|s| !s.is_empty()).ok_or_else(|| {
+            err(ln, "function header must be `.func name, args=N`")
+        })?;
+        let mut n_args = 0u8;
+        let mut returns = true;
+        for p in parts {
+            if let Some(v) = p.strip_prefix("args=") {
+                n_args = v.parse().map_err(|_| err(ln, "bad args count"))?;
+            } else if p == "noret" {
+                returns = false;
+            } else {
+                return Err(err(ln, format!("unknown function attribute `{p}`")));
+            }
+        }
+        self.pos += 1;
+        let mut fb = self.pb.function(name, n_args);
+        fb.returns_value(returns);
+        let mut saw_block = false;
+        loop {
+            if self.pos >= self.lines.len() {
+                return Err(err(ln, format!("function `{name}` missing .endfunc")));
+            }
+            let (iln, line) = self.lines[self.pos];
+            self.pos += 1;
+            if line == ".endfunc" {
+                break;
+            }
+            if let Some(label) = line.strip_suffix(':') {
+                fb.block(label.trim());
+                saw_block = true;
+                continue;
+            }
+            if !saw_block {
+                return Err(err(iln, "instruction before first block label"));
+            }
+            parse_inst(&mut fb, iln, line)?;
+        }
+        self.pb.finish(fb);
+        Ok(())
+    }
+}
+
+fn parse_int(s: &str) -> Result<i64, String> {
+    let s = s.trim();
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, s),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).map(|v| v as i64)
+    } else {
+        body.parse::<u64>().map(|v| v as i64)
+    }
+    .map_err(|_| format!("bad integer `{s}`"))?;
+    Ok(if neg { v.wrapping_neg() } else { v })
+}
+
+fn parse_int_list(s: &str) -> Result<Vec<i64>, String> {
+    s.split(',').map(parse_int).collect()
+}
+
+fn parse_reg(s: &str) -> Result<Reg, String> {
+    Reg::parse(s.trim()).ok_or_else(|| format!("unknown register `{s}`"))
+}
+
+fn parse_operand(fb: &crate::FunctionBuilder, s: &str) -> Result<Operand, String> {
+    let s = s.trim();
+    if let Some(r) = Reg::parse(s) {
+        return Ok(Operand::Reg(r));
+    }
+    if let Some(sym) = s.strip_prefix('@') {
+        let (name, off) = match sym.split_once('+') {
+            Some((n, o)) => (n, parse_int(o)?),
+            None => (sym, 0),
+        };
+        let addr = fb
+            .data_symbol(name)
+            .ok_or_else(|| format!("unknown data symbol `{name}`"))?;
+        return Ok(Operand::Imm(addr as i64 + off));
+    }
+    Ok(Operand::Imm(parse_int(s)?))
+}
+
+fn split_mnemonic(m: &str) -> (&str, Option<Width>) {
+    match m.rsplit_once('.') {
+        Some((base, suf)) => match Width::from_suffix(suf) {
+            Some(w) => (base, Some(w)),
+            None => (m, None),
+        },
+        None => (m, None),
+    }
+}
+
+fn parse_mem(s: &str) -> Result<(i32, Reg), String> {
+    // `disp(base)`
+    let open = s.find('(').ok_or_else(|| format!("expected disp(base), got `{s}`"))?;
+    let close = s.rfind(')').ok_or_else(|| format!("expected disp(base), got `{s}`"))?;
+    let disp_str = s[..open].trim();
+    let disp = if disp_str.is_empty() { 0 } else { parse_int(disp_str)? as i32 };
+    let base = parse_reg(&s[open + 1..close])?;
+    Ok((disp, base))
+}
+
+fn parse_inst(fb: &mut crate::FunctionBuilder, ln: usize, line: &str) -> Result<(), AsmError> {
+    let (mnemonic, rest) = match line.split_once(char::is_whitespace) {
+        Some((m, r)) => (m, r.trim()),
+        None => (line, ""),
+    };
+    let (base, width) = split_mnemonic(mnemonic);
+    let w = width.unwrap_or(Width::D);
+    let ops: Vec<&str> = if rest.is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',').map(str::trim).collect()
+    };
+    let e = |m: String| err(ln, m);
+    let need = |n: usize| -> Result<(), AsmError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(err(ln, format!("`{base}` expects {n} operands, got {}", ops.len())))
+        }
+    };
+
+    let alu3 = |fb: &mut crate::FunctionBuilder, op: Op, ops: &[&str]| -> Result<(), AsmError> {
+        let dst = parse_reg(ops[0]).map_err(e)?;
+        let a = parse_reg(ops[1]).map_err(e)?;
+        let b = parse_operand(fb, ops[2]).map_err(e)?;
+        fb.alu(op, w, dst, a, b);
+        Ok(())
+    };
+
+    match base {
+        "ldi" => {
+            need(2)?;
+            let dst = parse_reg(ops[0]).map_err(e)?;
+            match parse_operand(fb, ops[1]).map_err(e)? {
+                Operand::Imm(v) => {
+                    fb.ldi(dst, v);
+                }
+                _ => return Err(err(ln, "ldi takes an immediate or @symbol")),
+            }
+        }
+        "mov" => {
+            need(2)?;
+            let dst = parse_reg(ops[0]).map_err(e)?;
+            let src = parse_reg(ops[1]).map_err(e)?;
+            fb.mov(w, dst, src);
+        }
+        "add" | "sub" | "mul" | "and" | "or" | "xor" | "andc" | "sll" | "srl" | "sra" => {
+            need(3)?;
+            let op = match base {
+                "add" => Op::Add,
+                "sub" => Op::Sub,
+                "mul" => Op::Mul,
+                "and" => Op::And,
+                "or" => Op::Or,
+                "xor" => Op::Xor,
+                "andc" => Op::Andc,
+                "sll" => Op::Sll,
+                "srl" => Op::Srl,
+                _ => Op::Sra,
+            };
+            alu3(fb, op, &ops)?;
+        }
+        _ if base.starts_with("cmp") => {
+            need(3)?;
+            let kind = CmpKind::parse(&base[3..])
+                .ok_or_else(|| err(ln, format!("unknown comparison `{base}`")))?;
+            alu3(fb, Op::Cmp(kind), &ops)?;
+        }
+        _ if base.starts_with("cmov") => {
+            need(3)?;
+            let cond = Cond::parse(&base[4..])
+                .ok_or_else(|| err(ln, format!("unknown cmov condition `{base}`")))?;
+            let dst = parse_reg(ops[0]).map_err(e)?;
+            let test = parse_reg(ops[1]).map_err(e)?;
+            let val = parse_operand(fb, ops[2]).map_err(e)?;
+            fb.cmov(cond, w, dst, test, val);
+        }
+        "sext" | "zext" => {
+            need(2)?;
+            let dst = parse_reg(ops[0]).map_err(e)?;
+            let val = parse_operand(fb, ops[1]).map_err(e)?;
+            if base == "sext" {
+                fb.sext(w, dst, val);
+            } else {
+                fb.zext(w, dst, val);
+            }
+        }
+        "zapnot" => {
+            need(3)?;
+            let dst = parse_reg(ops[0]).map_err(e)?;
+            let src = parse_reg(ops[1]).map_err(e)?;
+            let mask = parse_int(ops[2]).map_err(e)?;
+            let mask = u8::try_from(mask).map_err(|_| err(ln, "zapnot mask out of range"))?;
+            fb.zapnot(dst, src, mask);
+        }
+        "ext" | "msk" => {
+            need(3)?;
+            let op = if base == "ext" { Op::Ext } else { Op::Msk };
+            alu3(fb, op, &ops)?;
+        }
+        "ld" | "ldu" => {
+            need(2)?;
+            let dst = parse_reg(ops[0]).map_err(e)?;
+            let (disp, baser) = parse_mem(ops[1]).map_err(e)?;
+            if base == "ld" {
+                fb.ld(w, dst, baser, disp);
+            } else {
+                fb.ldu(w, dst, baser, disp);
+            }
+        }
+        "st" => {
+            need(2)?;
+            let data = parse_reg(ops[0]).map_err(e)?;
+            let (disp, baser) = parse_mem(ops[1]).map_err(e)?;
+            fb.st(w, data, baser, disp);
+        }
+        "br" => {
+            need(1)?;
+            fb.br(ops[0]);
+        }
+        "beq" | "bne" | "blt" | "bge" | "ble" | "bgt" => {
+            if ops.len() != 2 && ops.len() != 3 {
+                return Err(err(ln, format!("`{base}` expects 2 or 3 operands")));
+            }
+            let reg = parse_reg(ops[0]).map_err(e)?;
+            let cond = Cond::parse(&base[1..]).expect("checked prefix");
+            if ops.len() == 3 {
+                fb.bc_to(cond, reg, ops[1], ops[2]);
+            } else {
+                match cond {
+                    Cond::Eq => fb.beq(reg, ops[1]),
+                    Cond::Ne => fb.bne(reg, ops[1]),
+                    Cond::Lt => fb.blt(reg, ops[1]),
+                    Cond::Ge => fb.bge(reg, ops[1]),
+                    Cond::Le => fb.ble(reg, ops[1]),
+                    Cond::Gt => fb.bgt(reg, ops[1]),
+                };
+            }
+        }
+        "jsr" => {
+            need(1)?;
+            fb.jsr(ops[0]);
+        }
+        "ret" => {
+            need(0)?;
+            fb.ret();
+        }
+        "halt" => {
+            need(0)?;
+            fb.halt();
+        }
+        "nop" => {
+            need(0)?;
+            fb.nop();
+        }
+        "out" => {
+            need(1)?;
+            let r = parse_reg(ops[0]).map_err(e)?;
+            fb.out(w, r);
+        }
+        _ => return Err(err(ln, format!("unknown mnemonic `{mnemonic}`"))),
+    }
+    Ok(())
+}
+
+/// Render a program back to assembly text (suitable for re-parsing; data
+/// symbol names are preserved, instruction operands print numerically).
+pub fn program_to_asm(p: &Program) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    if !p.data.items().is_empty() {
+        s.push_str(".data\n");
+        for item in p.data.items() {
+            let _ = writeln!(
+                s,
+                "{}: .byte {}",
+                item.name,
+                item.bytes.iter().map(u8::to_string).collect::<Vec<_>>().join(", ")
+            );
+        }
+    }
+    s.push_str(".text\n");
+    for f in &p.funcs {
+        let _ = writeln!(
+            s,
+            ".func {}, args={}{}",
+            f.name,
+            f.n_args,
+            if f.returns_value { "" } else { ", noret" }
+        );
+        for (bi, b) in f.blocks.iter().enumerate() {
+            let _ = writeln!(s, "{}:", b.label);
+            for inst in &b.insts {
+                let text = match inst.op {
+                    Op::Br => format!("br {}", f.blocks[block_idx(inst, 0)].label),
+                    Op::Bc(c) => {
+                        if let Target::CondBlocks { taken, fall } = inst.target {
+                            let m = Op::Bc(c).mnemonic();
+                            if fall as usize == bi + 1 {
+                                format!("{m} {}, {}", inst.src1.unwrap(), f.blocks[taken as usize].label)
+                            } else {
+                                format!(
+                                    "{m} {}, {}, {}",
+                                    inst.src1.unwrap(),
+                                    f.blocks[taken as usize].label,
+                                    f.blocks[fall as usize].label
+                                )
+                            }
+                        } else {
+                            inst.to_string()
+                        }
+                    }
+                    Op::Jsr => {
+                        if let Target::Func(fid) = inst.target {
+                            format!("jsr {}", p.funcs[fid as usize].name)
+                        } else {
+                            inst.to_string()
+                        }
+                    }
+                    _ => inst.to_string(),
+                };
+                let _ = writeln!(s, "    {text}");
+            }
+        }
+        s.push_str(".endfunc\n");
+    }
+    s
+}
+
+fn block_idx(inst: &og_isa::Inst, _which: usize) -> usize {
+    match inst.target {
+        Target::Block(b) => b as usize,
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SUM_LOOP: &str = r"
+; sum three table entries
+.data
+tbl:    .quad 5, 6, 7
+.text
+.func main, args=0
+entry:
+    ldi     t1, @tbl
+    ldi     t0, 0
+    ldi     t4, 0
+loop:
+    ld.d    t2, 0(t1)
+    add.w   t0, t0, t2
+    add.d   t1, t1, 8
+    add.w   t4, t4, 1
+    cmplt.d t3, t4, 3
+    bne     t3, loop
+exit:
+    out.w   t0
+    halt
+.endfunc
+";
+
+    #[test]
+    fn parses_a_loop() {
+        let p = parse_asm(SUM_LOOP).unwrap();
+        let main = p.func(p.entry);
+        assert_eq!(main.blocks.len(), 3);
+        assert_eq!(main.blocks[1].label, "loop");
+        assert_eq!(p.data.address_of("tbl"), Some(crate::GLOBAL_BASE));
+    }
+
+    #[test]
+    fn roundtrips_through_text() {
+        let p = parse_asm(SUM_LOOP).unwrap();
+        let text = program_to_asm(&p);
+        let p2 = parse_asm(&text).unwrap();
+        assert_eq!(p.funcs.len(), p2.funcs.len());
+        let f1 = p.func(p.entry);
+        let f2 = p2.func(p2.entry);
+        assert_eq!(f1.inst_count(), f2.inst_count());
+        for ((_, a), (_, b)) in f1.insts().zip(f2.insts()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn reports_unknown_mnemonic_with_line() {
+        let text = ".text\n.func main, args=0\nentry:\n    frob t0, t1, t2\n    halt\n.endfunc\n";
+        let e = parse_asm(text).unwrap_err();
+        assert_eq!(e.line, 4);
+        assert!(e.message.contains("frob"));
+    }
+
+    #[test]
+    fn reports_unknown_register() {
+        let text = ".text\n.func main, args=0\nentry:\n    add.w q9, t0, t1\n    halt\n.endfunc\n";
+        let e = parse_asm(text).unwrap_err();
+        assert!(e.message.contains("q9"));
+    }
+
+    #[test]
+    fn explicit_fallthrough_branches() {
+        let text = r"
+.text
+.func main, args=0
+entry:
+    ldi t0, 1
+    bne t0, b, a
+a:
+    halt
+b:
+    halt
+.endfunc
+";
+        let p = parse_asm(text).unwrap();
+        let f = p.func(p.entry);
+        match f.blocks[0].insts.last().unwrap().target {
+            Target::CondBlocks { taken, fall } => {
+                assert_eq!(f.blocks[taken as usize].label, "b");
+                assert_eq!(f.blocks[fall as usize].label, "a");
+            }
+            _ => panic!("expected cond targets"),
+        }
+    }
+
+    #[test]
+    fn hex_and_negative_immediates() {
+        let text = ".text\n.func main, args=0\nentry:\n    ldi t0, 0xFF\n    ldi t1, -3\n    halt\n.endfunc\n";
+        let p = parse_asm(text).unwrap();
+        let f = p.func(p.entry);
+        assert_eq!(f.blocks[0].insts[0].src2.imm(), Some(255));
+        assert_eq!(f.blocks[0].insts[1].src2.imm(), Some(-3));
+    }
+
+    #[test]
+    fn calls_between_functions() {
+        let text = r"
+.text
+.func helper, args=1
+entry:
+    add.w v0, a0, 1
+    ret
+.endfunc
+.func main, args=0
+entry:
+    ldi a0, 4
+    jsr helper
+    out.b v0
+    halt
+.endfunc
+";
+        let p = parse_asm(text).unwrap();
+        assert_eq!(p.funcs.len(), 2);
+        assert_eq!(p.func(p.entry).name, "main");
+    }
+}

@@ -1,0 +1,765 @@
+//! Fluent construction of programs and functions.
+
+use crate::{Block, DataSegment, FuncId, Function, Program, VerifyError};
+use og_isa::{CmpKind, Cond, Inst, MemRef, Op, Operand, Reg, Target, Width};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Shorthand for an immediate operand.
+///
+/// ```
+/// use og_program::imm;
+/// assert_eq!(imm(5), og_isa::Operand::Imm(5));
+/// ```
+pub fn imm(v: i64) -> Operand {
+    Operand::Imm(v)
+}
+
+/// Errors produced when finalizing a built program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A branch referenced a label that no block defines.
+    UnknownLabel {
+        /// Function containing the branch.
+        func: String,
+        /// The unresolved label.
+        label: String,
+    },
+    /// A `jsr` referenced an unknown function name.
+    UnknownFunction {
+        /// The unresolved function name.
+        name: String,
+    },
+    /// The final block of a function lacks a terminator.
+    MissingTerminator {
+        /// Function name.
+        func: String,
+    },
+    /// A function has no blocks.
+    NoBlocks {
+        /// Function name.
+        func: String,
+    },
+    /// A function was declared but never given a body.
+    UndefinedFunction {
+        /// The declared-but-missing function name.
+        name: String,
+    },
+    /// The assembled program failed structural verification.
+    Verify(VerifyError),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnknownLabel { func, label } => {
+                write!(f, "unknown label `{label}` in function `{func}`")
+            }
+            BuildError::UnknownFunction { name } => write!(f, "unknown function `{name}`"),
+            BuildError::MissingTerminator { func } => {
+                write!(f, "function `{func}` ends without a terminator")
+            }
+            BuildError::NoBlocks { func } => write!(f, "function `{func}` has no blocks"),
+            BuildError::UndefinedFunction { name } => {
+                write!(f, "function `{name}` was declared but never defined")
+            }
+            BuildError::Verify(e) => write!(f, "verification failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<VerifyError> for BuildError {
+    fn from(e: VerifyError) -> Self {
+        BuildError::Verify(e)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum SymTarget {
+    BrLabel(String),
+    BcLabel(String),
+    BcLabels(String, String),
+    JsrName(String),
+}
+
+#[derive(Debug)]
+struct PendingBlock {
+    label: String,
+    insts: Vec<Inst>,
+    syms: Vec<(usize, SymTarget)>,
+}
+
+/// Builds one function; created by [`ProgramBuilder::function`], finished
+/// with [`ProgramBuilder::finish`].
+///
+/// Instructions are appended to the *current block* (opened with
+/// [`FunctionBuilder::block`]). Emitting past a terminator or before the
+/// first block is a programming error and panics.
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    id: FuncId,
+    name: String,
+    n_args: u8,
+    returns_value: bool,
+    blocks: Vec<PendingBlock>,
+    data_syms: HashMap<String, u64>,
+}
+
+impl FunctionBuilder {
+    /// Mark whether this function returns a value in `v0` (defaults to
+    /// `true`).
+    pub fn returns_value(&mut self, yes: bool) -> &mut Self {
+        self.returns_value = yes;
+        self
+    }
+
+    /// Open a new basic block labelled `label`. The previous block, if it
+    /// lacks a terminator, will fall through to this one (an explicit `br`
+    /// is inserted when the program is built).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is reused within this function.
+    pub fn block(&mut self, label: impl Into<String>) -> &mut Self {
+        let label = label.into();
+        assert!(
+            !self.blocks.iter().any(|b| b.label == label),
+            "label `{label}` reused in function `{}`",
+            self.name
+        );
+        self.blocks.push(PendingBlock { label, insts: Vec::new(), syms: Vec::new() });
+        self
+    }
+
+    fn cur(&mut self) -> &mut PendingBlock {
+        let name = &self.name;
+        let b = self
+            .blocks
+            .last_mut()
+            .unwrap_or_else(|| panic!("no block opened yet in function `{name}`"));
+        if b.insts.last().is_some_and(|i| i.op.is_terminator()) {
+            panic!(
+                "instruction emitted after terminator in block `{}` of `{name}`",
+                b.label
+            );
+        }
+        b
+    }
+
+    /// Append a raw instruction.
+    pub fn raw(&mut self, inst: Inst) -> &mut Self {
+        self.cur().insts.push(inst);
+        self
+    }
+
+    /// `dst = value` (immediate materialization).
+    pub fn ldi(&mut self, dst: Reg, value: i64) -> &mut Self {
+        self.raw(Inst::ldi(dst, value))
+    }
+
+    /// Load the address of data symbol `sym` (optionally displaced).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the symbol was not defined before this function was
+    /// created.
+    pub fn la(&mut self, dst: Reg, sym: &str) -> &mut Self {
+        self.la_off(dst, sym, 0)
+    }
+
+    /// Load `address_of(sym) + off`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the symbol is unknown.
+    pub fn la_off(&mut self, dst: Reg, sym: &str, off: i64) -> &mut Self {
+        let base = *self
+            .data_syms
+            .get(sym)
+            .unwrap_or_else(|| panic!("unknown data symbol `{sym}` (define data before functions)"));
+        self.ldi(dst, base as i64 + off)
+    }
+
+    /// Register move (`or dst, src, zero`).
+    pub fn mov(&mut self, w: Width, dst: Reg, src: Reg) -> &mut Self {
+        self.raw(Inst::mov(w, dst, src))
+    }
+
+    /// Generic ALU helper.
+    pub fn alu(&mut self, op: Op, w: Width, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Self {
+        self.raw(Inst::alu(op, w, dst, a, b))
+    }
+
+    /// Addition.
+    pub fn add(&mut self, w: Width, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Self {
+        self.alu(Op::Add, w, dst, a, b)
+    }
+
+    /// Subtraction.
+    pub fn sub(&mut self, w: Width, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Self {
+        self.alu(Op::Sub, w, dst, a, b)
+    }
+
+    /// Multiplication.
+    pub fn mul(&mut self, w: Width, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Self {
+        self.alu(Op::Mul, w, dst, a, b)
+    }
+
+    /// Bitwise AND.
+    pub fn and(&mut self, w: Width, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Self {
+        self.alu(Op::And, w, dst, a, b)
+    }
+
+    /// Bitwise OR.
+    pub fn or(&mut self, w: Width, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Self {
+        self.alu(Op::Or, w, dst, a, b)
+    }
+
+    /// Bitwise XOR.
+    pub fn xor(&mut self, w: Width, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Self {
+        self.alu(Op::Xor, w, dst, a, b)
+    }
+
+    /// AND-complement (`dst = a & !b`).
+    pub fn andc(&mut self, w: Width, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Self {
+        self.alu(Op::Andc, w, dst, a, b)
+    }
+
+    /// Shift left logical.
+    pub fn sll(&mut self, w: Width, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Self {
+        self.alu(Op::Sll, w, dst, a, b)
+    }
+
+    /// Shift right logical.
+    pub fn srl(&mut self, w: Width, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Self {
+        self.alu(Op::Srl, w, dst, a, b)
+    }
+
+    /// Shift right arithmetic.
+    pub fn sra(&mut self, w: Width, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Self {
+        self.alu(Op::Sra, w, dst, a, b)
+    }
+
+    /// Comparison producing 0/1.
+    pub fn cmp(
+        &mut self,
+        kind: CmpKind,
+        w: Width,
+        dst: Reg,
+        a: Reg,
+        b: impl Into<Operand>,
+    ) -> &mut Self {
+        self.alu(Op::Cmp(kind), w, dst, a, b)
+    }
+
+    /// Conditional move.
+    pub fn cmov(
+        &mut self,
+        cond: Cond,
+        w: Width,
+        dst: Reg,
+        test: Reg,
+        val: impl Into<Operand>,
+    ) -> &mut Self {
+        self.raw(Inst::cmov(cond, w, dst, test, val))
+    }
+
+    /// Sign extension of the low `w` bits of `val`.
+    pub fn sext(&mut self, w: Width, dst: Reg, val: impl Into<Operand>) -> &mut Self {
+        self.raw(Inst::extend(Op::Sext, w, dst, val))
+    }
+
+    /// Zero extension of the low `w` bits of `val`.
+    pub fn zext(&mut self, w: Width, dst: Reg, val: impl Into<Operand>) -> &mut Self {
+        self.raw(Inst::extend(Op::Zext, w, dst, val))
+    }
+
+    /// Zero all bytes of `src` not selected by `mask` (Alpha `ZAPNOT`).
+    pub fn zapnot(&mut self, dst: Reg, src: Reg, mask: u8) -> &mut Self {
+        self.alu(Op::Zapnot, Width::D, dst, src, mask as i64)
+    }
+
+    /// Extract the `w`-byte field of `src` at byte index `idx`.
+    pub fn ext(&mut self, w: Width, dst: Reg, src: Reg, idx: impl Into<Operand>) -> &mut Self {
+        self.alu(Op::Ext, w, dst, src, idx)
+    }
+
+    /// Clear the `w`-byte field of `src` at byte index `idx`.
+    pub fn msk(&mut self, w: Width, dst: Reg, src: Reg, idx: impl Into<Operand>) -> &mut Self {
+        self.alu(Op::Msk, w, dst, src, idx)
+    }
+
+    /// Sign-extending load of `w` bytes from `disp(base)`.
+    pub fn ld(&mut self, w: Width, dst: Reg, base: Reg, disp: i32) -> &mut Self {
+        self.raw(Inst::load(w, true, dst, MemRef { base, disp }))
+    }
+
+    /// Zero-extending load of `w` bytes from `disp(base)`.
+    pub fn ldu(&mut self, w: Width, dst: Reg, base: Reg, disp: i32) -> &mut Self {
+        self.raw(Inst::load(w, false, dst, MemRef { base, disp }))
+    }
+
+    /// Store the low `w` bytes of `data` to `disp(base)`.
+    pub fn st(&mut self, w: Width, data: Reg, base: Reg, disp: i32) -> &mut Self {
+        self.raw(Inst::store(w, data, MemRef { base, disp }))
+    }
+
+    /// Emit the low `w` bytes of `value` to the output stream.
+    pub fn out(&mut self, w: Width, value: Reg) -> &mut Self {
+        self.raw(Inst::out(w, value))
+    }
+
+    /// Unconditional branch to `label`.
+    pub fn br(&mut self, label: impl Into<String>) -> &mut Self {
+        let label = label.into();
+        let b = self.cur();
+        let idx = b.insts.len();
+        b.insts.push(Inst::br(u32::MAX));
+        b.syms.push((idx, SymTarget::BrLabel(label)));
+        self
+    }
+
+    fn bc(&mut self, cond: Cond, reg: Reg, label: String) -> &mut Self {
+        let b = self.cur();
+        let idx = b.insts.len();
+        b.insts.push(Inst::bc(cond, reg, u32::MAX, u32::MAX));
+        b.syms.push((idx, SymTarget::BcLabel(label)));
+        self
+    }
+
+    /// Branch to `label` if `reg == 0`; otherwise fall through to the next
+    /// declared block.
+    pub fn beq(&mut self, reg: Reg, label: impl Into<String>) -> &mut Self {
+        self.bc(Cond::Eq, reg, label.into())
+    }
+
+    /// Branch if `reg != 0`.
+    pub fn bne(&mut self, reg: Reg, label: impl Into<String>) -> &mut Self {
+        self.bc(Cond::Ne, reg, label.into())
+    }
+
+    /// Branch if `reg < 0`.
+    pub fn blt(&mut self, reg: Reg, label: impl Into<String>) -> &mut Self {
+        self.bc(Cond::Lt, reg, label.into())
+    }
+
+    /// Branch if `reg >= 0`.
+    pub fn bge(&mut self, reg: Reg, label: impl Into<String>) -> &mut Self {
+        self.bc(Cond::Ge, reg, label.into())
+    }
+
+    /// Branch if `reg <= 0`.
+    pub fn ble(&mut self, reg: Reg, label: impl Into<String>) -> &mut Self {
+        self.bc(Cond::Le, reg, label.into())
+    }
+
+    /// Branch if `reg > 0`.
+    pub fn bgt(&mut self, reg: Reg, label: impl Into<String>) -> &mut Self {
+        self.bc(Cond::Gt, reg, label.into())
+    }
+
+    /// Conditional branch with an explicit fall-through label (instead of
+    /// the next declared block).
+    pub fn bc_to(
+        &mut self,
+        cond: Cond,
+        reg: Reg,
+        taken: impl Into<String>,
+        fall: impl Into<String>,
+    ) -> &mut Self {
+        let (taken, fall) = (taken.into(), fall.into());
+        let b = self.cur();
+        let idx = b.insts.len();
+        b.insts.push(Inst::bc(cond, reg, u32::MAX, u32::MAX));
+        b.syms.push((idx, SymTarget::BcLabels(taken, fall)));
+        self
+    }
+
+    /// The address of data symbol `sym`, if it was defined before this
+    /// function builder was created.
+    pub fn data_symbol(&self, sym: &str) -> Option<u64> {
+        self.data_syms.get(sym).copied()
+    }
+
+    /// Call function `name` (resolved when the program is built).
+    pub fn jsr(&mut self, name: impl Into<String>) -> &mut Self {
+        let name = name.into();
+        let b = self.cur();
+        let idx = b.insts.len();
+        b.insts.push(Inst::jsr(u32::MAX));
+        b.syms.push((idx, SymTarget::JsrName(name)));
+        self
+    }
+
+    /// Return from this function.
+    pub fn ret(&mut self) -> &mut Self {
+        self.raw(Inst::ret())
+    }
+
+    /// Stop the program.
+    pub fn halt(&mut self) -> &mut Self {
+        self.raw(Inst::halt())
+    }
+
+    /// No-op.
+    pub fn nop(&mut self) -> &mut Self {
+        self.raw(Inst::nop())
+    }
+}
+
+/// Builds a whole [`Program`]: define data, then functions, then
+/// [`ProgramBuilder::build`].
+///
+/// The entry point is the function named `main` (or the first function if
+/// none is named `main`).
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    data: DataSegment,
+    func_ids: HashMap<String, FuncId>,
+    sigs: Vec<(String, u8)>,
+    bodies: Vec<Option<Function>>,
+    pending_syms: Vec<Vec<(usize, usize, SymTarget)>>,
+}
+
+impl ProgramBuilder {
+    /// A fresh builder.
+    pub fn new() -> ProgramBuilder {
+        ProgramBuilder {
+            data: DataSegment::new(),
+            func_ids: HashMap::new(),
+            sigs: Vec::new(),
+            bodies: Vec::new(),
+            pending_syms: Vec::new(),
+        }
+    }
+
+    /// Define a data symbol with raw bytes; returns its address.
+    pub fn data_bytes(&mut self, name: &str, bytes: Vec<u8>) -> u64 {
+        self.data.define(name, bytes)
+    }
+
+    /// Define a zero-initialized data region.
+    pub fn data_zeroed(&mut self, name: &str, len: usize) -> u64 {
+        self.data.define_zeroed(name, len)
+    }
+
+    /// Define a data region of 64-bit words.
+    pub fn data_quads(&mut self, name: &str, words: &[i64]) -> u64 {
+        self.data.define_quads(name, words)
+    }
+
+    /// Declare a function signature without a body (for forward/mutual
+    /// references); the body must be supplied later via
+    /// [`ProgramBuilder::function`] + [`ProgramBuilder::finish`].
+    pub fn declare(&mut self, name: &str, n_args: u8) -> FuncId {
+        if let Some(&id) = self.func_ids.get(name) {
+            return id;
+        }
+        let id = FuncId(self.sigs.len() as u32);
+        self.func_ids.insert(name.to_string(), id);
+        self.sigs.push((name.to_string(), n_args));
+        self.bodies.push(None);
+        self.pending_syms.push(Vec::new());
+        id
+    }
+
+    /// Start building the body of function `name` with `n_args` register
+    /// arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the function already has a body.
+    pub fn function(&mut self, name: &str, n_args: u8) -> FunctionBuilder {
+        assert!(n_args <= 6, "at most 6 register arguments");
+        let id = self.declare(name, n_args);
+        assert!(
+            self.bodies[id.index()].is_none(),
+            "function `{name}` defined twice"
+        );
+        self.sigs[id.index()].1 = n_args;
+        let mut data_syms = HashMap::new();
+        for item in self.data.items() {
+            data_syms.insert(item.name.clone(), item.addr);
+        }
+        FunctionBuilder {
+            id,
+            name: name.to_string(),
+            n_args,
+            returns_value: true,
+            blocks: Vec::new(),
+            data_syms,
+        }
+    }
+
+    /// Accept a finished function body.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the builder belongs to a different `ProgramBuilder`
+    /// generation (cannot normally happen).
+    pub fn finish(&mut self, fb: FunctionBuilder) {
+        let mut blocks = Vec::with_capacity(fb.blocks.len());
+        let mut syms = Vec::new();
+        let mut labels: HashMap<String, u32> = HashMap::new();
+        for (bi, pb) in fb.blocks.iter().enumerate() {
+            labels.insert(pb.label.clone(), bi as u32);
+        }
+        for (bi, pb) in fb.blocks.into_iter().enumerate() {
+            for (ii, sym) in pb.syms {
+                syms.push((bi, ii, sym));
+            }
+            blocks.push(Block { label: pb.label, insts: pb.insts });
+        }
+        // Resolve labels now; function calls are resolved in build().
+        let mut remaining = Vec::new();
+        for (bi, ii, sym) in syms {
+            match sym {
+                SymTarget::BrLabel(l) | SymTarget::BcLabel(l)
+                    if !labels.contains_key(&l) =>
+                {
+                    // Leave unresolved: build() reports a BuildError.
+                    remaining.push((bi, ii, SymTarget::BrLabel(l)));
+                }
+                SymTarget::BcLabels(t, fl)
+                    if !labels.contains_key(&t) || !labels.contains_key(&fl) =>
+                {
+                    let missing = if labels.contains_key(&t) { fl } else { t };
+                    remaining.push((bi, ii, SymTarget::BrLabel(missing)));
+                }
+                SymTarget::BrLabel(l) => {
+                    blocks[bi].insts[ii].target = Target::Block(labels[&l]);
+                }
+                SymTarget::BcLabel(l) => {
+                    let fall = (bi + 1) as u32;
+                    blocks[bi].insts[ii].target =
+                        Target::CondBlocks { taken: labels[&l], fall };
+                }
+                SymTarget::BcLabels(t, fl) => {
+                    blocks[bi].insts[ii].target =
+                        Target::CondBlocks { taken: labels[&t], fall: labels[&fl] };
+                }
+                SymTarget::JsrName(n) => remaining.push((bi, ii, SymTarget::JsrName(n))),
+            }
+        }
+        let func = Function {
+            id: fb.id,
+            name: fb.name,
+            blocks,
+            entry: crate::BlockId(0),
+            n_args: fb.n_args,
+            returns_value: fb.returns_value,
+        };
+        self.pending_syms[fb.id.index()] = remaining;
+        self.bodies[fb.id.index()] = Some(func);
+    }
+
+    /// Finalize: resolve calls, add fall-through branches, verify.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] for unresolved labels or calls, missing
+    /// terminators, bodiless functions, or verification failures.
+    pub fn build(mut self) -> Result<Program, BuildError> {
+        let mut funcs = Vec::with_capacity(self.bodies.len());
+        for (i, body) in self.bodies.iter_mut().enumerate() {
+            let name = self.sigs[i].0.clone();
+            let mut f = body
+                .take()
+                .ok_or(BuildError::UndefinedFunction { name: name.clone() })?;
+            if f.blocks.is_empty() {
+                return Err(BuildError::NoBlocks { func: name });
+            }
+            // Resolve remaining symbolic targets.
+            for (bi, ii, sym) in std::mem::take(&mut self.pending_syms[i]) {
+                match sym {
+                    SymTarget::JsrName(n) => {
+                        let callee = self
+                            .func_ids
+                            .get(&n)
+                            .ok_or(BuildError::UnknownFunction { name: n.clone() })?;
+                        f.blocks[bi].insts[ii].target = Target::Func(callee.0);
+                    }
+                    SymTarget::BrLabel(l) | SymTarget::BcLabel(l) | SymTarget::BcLabels(l, _) => {
+                        return Err(BuildError::UnknownLabel { func: name, label: l });
+                    }
+                }
+            }
+            // Insert fall-through branches and check final terminators.
+            let n_blocks = f.blocks.len();
+            for bi in 0..n_blocks {
+                let has_term =
+                    f.blocks[bi].insts.last().is_some_and(|t| t.op.is_terminator());
+                if !has_term {
+                    if bi + 1 < n_blocks {
+                        f.blocks[bi].insts.push(Inst::br(bi as u32 + 1));
+                    } else {
+                        return Err(BuildError::MissingTerminator { func: name });
+                    }
+                }
+                // A conditional branch whose fall-through points past the
+                // last block is malformed.
+                if let Some(Inst { target: Target::CondBlocks { fall, .. }, .. }) =
+                    f.blocks[bi].insts.last()
+                {
+                    if *fall as usize >= n_blocks {
+                        return Err(BuildError::MissingTerminator { func: name });
+                    }
+                }
+            }
+            funcs.push(f);
+        }
+        let entry = self
+            .func_ids
+            .get("main")
+            .copied()
+            .unwrap_or(FuncId(0));
+        let program = Program { funcs, entry, data: self.data };
+        program.verify()?;
+        Ok(program)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use og_isa::Op;
+
+    #[test]
+    fn builds_loop_with_fallthrough() {
+        let mut pb = ProgramBuilder::new();
+        pb.data_quads("tbl", &[1, 2, 3]);
+        let mut f = pb.function("main", 0);
+        f.block("entry");
+        f.ldi(Reg::T0, 0);
+        f.la(Reg::T1, "tbl");
+        f.block("loop");
+        f.ld(Width::D, Reg::T2, Reg::T1, 0);
+        f.add(Width::W, Reg::T0, Reg::T0, Reg::T2);
+        f.add(Width::D, Reg::T1, Reg::T1, imm(8));
+        f.cmp(CmpKind::Lt, Width::D, Reg::T3, Reg::T0, imm(6));
+        f.bne(Reg::T3, "loop");
+        f.block("exit");
+        f.out(Width::B, Reg::T0);
+        f.halt();
+        pb.finish(f);
+        let p = pb.build().unwrap();
+        let main = p.func(p.entry);
+        assert_eq!(main.blocks.len(), 3);
+        // entry falls through to loop via an inserted br
+        assert_eq!(main.blocks[0].insts.last().unwrap().op, Op::Br);
+        // bne taken target is the loop block, fall is exit
+        match main.blocks[1].insts.last().unwrap().target {
+            Target::CondBlocks { taken, fall } => {
+                assert_eq!(taken, 1);
+                assert_eq!(fall, 2);
+            }
+            ref t => panic!("unexpected target {t:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_label_is_an_error() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        f.block("entry");
+        f.br("nowhere");
+        f.block("pad");
+        f.halt();
+        pb.finish(f);
+        match pb.build() {
+            Err(BuildError::UnknownLabel { label, .. }) => assert_eq!(label, "nowhere"),
+            other => panic!("expected UnknownLabel, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_function_is_an_error() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        f.block("entry");
+        f.jsr("ghost");
+        f.halt();
+        pb.finish(f);
+        assert!(matches!(pb.build(), Err(BuildError::UnknownFunction { .. })));
+    }
+
+    #[test]
+    fn missing_terminator_is_an_error() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        f.block("entry");
+        f.ldi(Reg::T0, 1);
+        pb.finish(f);
+        assert!(matches!(pb.build(), Err(BuildError::MissingTerminator { .. })));
+    }
+
+    #[test]
+    fn declared_but_undefined_function_is_an_error() {
+        let mut pb = ProgramBuilder::new();
+        pb.declare("ghost", 0);
+        let mut f = pb.function("main", 0);
+        f.block("entry");
+        f.halt();
+        pb.finish(f);
+        assert!(matches!(pb.build(), Err(BuildError::UndefinedFunction { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "after terminator")]
+    fn emitting_after_terminator_panics() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        f.block("entry");
+        f.halt();
+        f.ldi(Reg::T0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "reused")]
+    fn duplicate_label_panics() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        f.block("a");
+        f.block("a");
+    }
+
+    #[test]
+    fn mutual_recursion_via_declare() {
+        let mut pb = ProgramBuilder::new();
+        pb.declare("odd", 1);
+        let mut even = pb.function("even", 1);
+        even.block("entry");
+        even.beq(Reg::A0, "yes");
+        even.block("rec");
+        even.sub(Width::W, Reg::A0, Reg::A0, imm(1));
+        even.jsr("odd");
+        even.ret();
+        even.block("yes");
+        even.ldi(Reg::V0, 1);
+        even.ret();
+        pb.finish(even);
+        let mut odd = pb.function("odd", 1);
+        odd.block("entry");
+        odd.beq(Reg::A0, "no");
+        odd.block("rec");
+        odd.sub(Width::W, Reg::A0, Reg::A0, imm(1));
+        odd.jsr("even");
+        odd.ret();
+        odd.block("no");
+        odd.ldi(Reg::V0, 0);
+        odd.ret();
+        pb.finish(odd);
+        let mut main = pb.function("main", 0);
+        main.block("entry");
+        main.ldi(Reg::A0, 4);
+        main.jsr("even");
+        main.out(Width::B, Reg::V0);
+        main.halt();
+        pb.finish(main);
+        let p = pb.build().unwrap();
+        assert_eq!(p.funcs.len(), 3);
+        assert_eq!(p.func(p.entry).name, "main");
+    }
+}

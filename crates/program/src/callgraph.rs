@@ -1,0 +1,237 @@
+//! Call graph and register write summaries.
+//!
+//! The interprocedural value-range propagation of §2.4 needs to know, at
+//! every call site, which registers the callee may overwrite (directly or
+//! through its own callees). [`WriteSummaries`] computes that set as a
+//! fixpoint over the call graph, so registers a callee provably never
+//! touches keep their range information across the call.
+
+use crate::{FuncId, Program};
+use og_isa::Reg;
+
+/// The program's static call graph (direct `jsr` edges only; OGA-64 has no
+/// indirect calls, matching the paper's analysis scope).
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    callees: Vec<Vec<FuncId>>,
+    callers: Vec<Vec<FuncId>>,
+}
+
+impl CallGraph {
+    /// Build the call graph of `p`.
+    pub fn new(p: &Program) -> CallGraph {
+        let n = p.funcs.len();
+        let mut callees = vec![Vec::new(); n];
+        let mut callers = vec![Vec::new(); n];
+        for f in &p.funcs {
+            for c in f.callees() {
+                if !callees[f.id.index()].contains(&c) {
+                    callees[f.id.index()].push(c);
+                }
+                if !callers[c.index()].contains(&f.id) {
+                    callers[c.index()].push(f.id);
+                }
+            }
+        }
+        CallGraph { callees, callers }
+    }
+
+    /// Functions called directly by `f`.
+    pub fn callees(&self, f: FuncId) -> &[FuncId] {
+        &self.callees[f.index()]
+    }
+
+    /// Functions that call `f` directly.
+    pub fn callers(&self, f: FuncId) -> &[FuncId] {
+        &self.callers[f.index()]
+    }
+
+    /// Functions in callee-before-caller order (cycles broken arbitrarily),
+    /// starting the traversal from `entry` and then covering any functions
+    /// not reachable from it.
+    pub fn post_order(&self, entry: FuncId) -> Vec<FuncId> {
+        let n = self.callees.len();
+        let mut visited = vec![false; n];
+        let mut order = Vec::with_capacity(n);
+        let mut stack: Vec<(FuncId, usize)> = Vec::new();
+        let mut roots: Vec<FuncId> = vec![entry];
+        roots.extend((0..n as u32).map(FuncId));
+        for root in roots {
+            if visited[root.index()] {
+                continue;
+            }
+            visited[root.index()] = true;
+            stack.push((root, 0));
+            while let Some(&mut (f, ref mut i)) = stack.last_mut() {
+                if *i < self.callees[f.index()].len() {
+                    let c = self.callees[f.index()][*i];
+                    *i += 1;
+                    if !visited[c.index()] {
+                        visited[c.index()] = true;
+                        stack.push((c, 0));
+                    }
+                } else {
+                    order.push(f);
+                    stack.pop();
+                }
+            }
+        }
+        order
+    }
+}
+
+/// Per-function register write summaries: the set of registers a call to
+/// the function may modify, including through transitive callees.
+#[derive(Debug, Clone)]
+pub struct WriteSummaries {
+    masks: Vec<u32>,
+}
+
+impl WriteSummaries {
+    /// Compute summaries for every function of `p` (fixpoint; recursion is
+    /// handled by iterating until stable).
+    pub fn compute(p: &Program) -> WriteSummaries {
+        let n = p.funcs.len();
+        // Direct writes.
+        let mut masks: Vec<u32> = p
+            .funcs
+            .iter()
+            .map(|f| {
+                let mut m = 0u32;
+                for (_, i) in f.insts() {
+                    if let Some(d) = i.def() {
+                        m |= 1 << d.index();
+                    }
+                }
+                // A function that returns a value writes v0 by convention.
+                if f.returns_value {
+                    m |= 1 << Reg::V0.index();
+                }
+                m
+            })
+            .collect();
+        let cg = CallGraph::new(p);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for f in 0..n {
+                let mut m = masks[f];
+                for c in cg.callees(FuncId(f as u32)) {
+                    m |= masks[c.index()];
+                }
+                if m != masks[f] {
+                    masks[f] = m;
+                    changed = true;
+                }
+            }
+        }
+        WriteSummaries { masks }
+    }
+
+    /// Bitmask (bit *i* = register *i*) of registers `f` may write.
+    pub fn mask(&self, f: FuncId) -> u32 {
+        self.masks[f.index()]
+    }
+
+    /// May `f` write register `r`?
+    pub fn writes(&self, f: FuncId, r: Reg) -> bool {
+        self.masks[f.index()] & (1 << r.index()) != 0
+    }
+
+    /// Iterate over the registers `f` may write.
+    pub fn written_regs(&self, f: FuncId) -> impl Iterator<Item = Reg> + '_ {
+        let m = self.masks[f.index()];
+        Reg::all().filter(move |r| m & (1 << r.index()) != 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{imm, ProgramBuilder};
+    use og_isa::Width;
+
+    fn chain_program() -> Program {
+        // main -> a -> b; b writes t5, a writes t4, main writes t0.
+        let mut pb = ProgramBuilder::new();
+        pb.declare("a", 0);
+        pb.declare("b", 0);
+        let mut b = pb.function("b", 0);
+        b.block("entry");
+        b.ldi(Reg::T5, 9);
+        b.ldi(Reg::V0, 1);
+        b.ret();
+        pb.finish(b);
+        let mut a = pb.function("a", 0);
+        a.block("entry");
+        a.ldi(Reg::T4, 2);
+        a.jsr("b");
+        a.ret();
+        pb.finish(a);
+        let mut m = pb.function("main", 0);
+        m.block("entry");
+        m.ldi(Reg::T0, 1);
+        m.jsr("a");
+        m.halt();
+        pb.finish(m);
+        pb.build().unwrap()
+    }
+
+    #[test]
+    fn call_graph_edges() {
+        let p = chain_program();
+        let cg = CallGraph::new(&p);
+        let a = p.func_by_name("a").unwrap().id;
+        let b = p.func_by_name("b").unwrap().id;
+        let main = p.func_by_name("main").unwrap().id;
+        assert_eq!(cg.callees(main), &[a]);
+        assert_eq!(cg.callees(a), &[b]);
+        assert_eq!(cg.callers(b), &[a]);
+        let order = cg.post_order(main);
+        let pos = |f: FuncId| order.iter().position(|&x| x == f).unwrap();
+        assert!(pos(b) < pos(a));
+        assert!(pos(a) < pos(main));
+    }
+
+    #[test]
+    fn summaries_are_transitive() {
+        let p = chain_program();
+        let ws = WriteSummaries::compute(&p);
+        let a = p.func_by_name("a").unwrap().id;
+        let b = p.func_by_name("b").unwrap().id;
+        assert!(ws.writes(b, Reg::T5));
+        assert!(!ws.writes(b, Reg::T4));
+        assert!(ws.writes(a, Reg::T5)); // through b
+        assert!(ws.writes(a, Reg::T4));
+        assert!(ws.writes(a, Reg::V0));
+        assert!(!ws.writes(a, Reg::T0));
+    }
+
+    #[test]
+    fn recursion_terminates() {
+        let mut pb = ProgramBuilder::new();
+        pb.declare("r", 1);
+        let mut r = pb.function("r", 1);
+        r.block("entry");
+        r.beq(Reg::A0, "done");
+        r.block("rec");
+        r.sub(Width::W, Reg::A0, Reg::A0, imm(1));
+        r.jsr("r");
+        r.ret();
+        r.block("done");
+        r.ldi(Reg::V0, 0);
+        r.ret();
+        pb.finish(r);
+        let mut m = pb.function("main", 0);
+        m.block("entry");
+        m.ldi(Reg::A0, 3);
+        m.jsr("r");
+        m.halt();
+        pb.finish(m);
+        let p = pb.build().unwrap();
+        let ws = WriteSummaries::compute(&p);
+        let r = p.func_by_name("r").unwrap().id;
+        assert!(ws.writes(r, Reg::A0));
+        assert!(ws.writes(r, Reg::V0));
+    }
+}

@@ -1,0 +1,222 @@
+//! Structural verification of programs.
+
+use crate::{InstRef, Program};
+use og_isa::{Op, Operand, Target};
+use std::fmt;
+
+/// A structural invariant violation detected by [`Program::verify`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// A block is empty.
+    EmptyBlock {
+        /// Offending location (idx is unused).
+        at: InstRef,
+    },
+    /// A block's last instruction is not a terminator.
+    NotTerminated {
+        /// Offending location.
+        at: InstRef,
+    },
+    /// A terminator appears before the end of a block.
+    TerminatorMidBlock {
+        /// Offending location.
+        at: InstRef,
+    },
+    /// A branch targets a block id that does not exist.
+    BadBranchTarget {
+        /// Offending location.
+        at: InstRef,
+        /// The out-of-range block id.
+        target: u32,
+    },
+    /// A call targets a function id that does not exist.
+    BadCallTarget {
+        /// Offending location.
+        at: InstRef,
+        /// The out-of-range function id.
+        target: u32,
+    },
+    /// An instruction's operand shape does not match its operation.
+    BadOperands {
+        /// Offending location.
+        at: InstRef,
+        /// What is wrong.
+        what: &'static str,
+    },
+    /// The program's entry function id is out of range.
+    BadEntry,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::EmptyBlock { at } => write!(f, "empty block at {at}"),
+            VerifyError::NotTerminated { at } => write!(f, "block not terminated at {at}"),
+            VerifyError::TerminatorMidBlock { at } => {
+                write!(f, "terminator before end of block at {at}")
+            }
+            VerifyError::BadBranchTarget { at, target } => {
+                write!(f, "branch to nonexistent block {target} at {at}")
+            }
+            VerifyError::BadCallTarget { at, target } => {
+                write!(f, "call to nonexistent function {target} at {at}")
+            }
+            VerifyError::BadOperands { at, what } => write!(f, "{what} at {at}"),
+            VerifyError::BadEntry => write!(f, "entry function id out of range"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+pub(crate) fn verify(p: &Program) -> Result<(), VerifyError> {
+    if p.entry.index() >= p.funcs.len() {
+        return Err(VerifyError::BadEntry);
+    }
+    for f in &p.funcs {
+        let n_blocks = f.blocks.len() as u32;
+        for (bi, b) in f.blocks.iter().enumerate() {
+            let first = InstRef::new(f.id, crate::BlockId(bi as u32), 0);
+            if b.insts.is_empty() {
+                return Err(VerifyError::EmptyBlock { at: first });
+            }
+            for (ii, inst) in b.insts.iter().enumerate() {
+                let at = InstRef::new(f.id, crate::BlockId(bi as u32), ii as u32);
+                let last = ii + 1 == b.insts.len();
+                if inst.op.is_terminator() && !last {
+                    return Err(VerifyError::TerminatorMidBlock { at });
+                }
+                if last && !inst.op.is_terminator() {
+                    return Err(VerifyError::NotTerminated { at });
+                }
+                check_operands(inst, at)?;
+                match inst.target {
+                    Target::Block(t) => {
+                        if t >= n_blocks {
+                            return Err(VerifyError::BadBranchTarget { at, target: t });
+                        }
+                    }
+                    Target::CondBlocks { taken, fall } => {
+                        for t in [taken, fall] {
+                            if t >= n_blocks {
+                                return Err(VerifyError::BadBranchTarget { at, target: t });
+                            }
+                        }
+                    }
+                    Target::Func(t) => {
+                        if t as usize >= p.funcs.len() {
+                            return Err(VerifyError::BadCallTarget { at, target: t });
+                        }
+                    }
+                    Target::None => {}
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_operands(inst: &og_isa::Inst, at: InstRef) -> Result<(), VerifyError> {
+    let bad = |what| Err(VerifyError::BadOperands { at, what });
+    if inst.op.has_dst() && inst.dst.is_none() {
+        return bad("missing destination register");
+    }
+    if !inst.op.has_dst() && inst.dst.is_some() {
+        return bad("unexpected destination register");
+    }
+    match inst.op {
+        Op::Ld { .. } if inst.src1.is_none() => bad("load without base register"),
+        Op::St if inst.src1.is_none() || inst.src2.reg().is_none() => {
+            bad("store needs data and base registers")
+        }
+        Op::Ldi if inst.src2.imm().is_none() => bad("ldi without immediate"),
+        Op::Zapnot if inst.src2.imm().is_none() => bad("zapnot needs an immediate byte mask"),
+        Op::Bc(_) => {
+            if inst.src1.is_none() {
+                bad("conditional branch without test register")
+            } else if !matches!(inst.target, Target::CondBlocks { .. }) {
+                bad("conditional branch without taken/fall targets")
+            } else {
+                Ok(())
+            }
+        }
+        Op::Br if !matches!(inst.target, Target::Block(_)) => bad("br without block target"),
+        Op::Jsr if !matches!(inst.target, Target::Func(_)) => bad("jsr without function target"),
+        Op::Out if inst.src1.is_none() => bad("out without source register"),
+        Op::Sext | Op::Zext if matches!(inst.src2, Operand::None) => {
+            bad("extension without source operand")
+        }
+        _ => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{imm, ProgramBuilder};
+    use og_isa::{Inst, Reg, Width};
+
+    fn good() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        f.block("entry");
+        f.ldi(Reg::T0, 1);
+        f.add(Width::D, Reg::T0, Reg::T0, imm(1));
+        f.halt();
+        pb.finish(f);
+        pb.build().unwrap()
+    }
+
+    #[test]
+    fn good_program_verifies() {
+        assert!(good().verify().is_ok());
+    }
+
+    #[test]
+    fn detects_mid_block_terminator() {
+        let mut p = good();
+        let f = p.func_mut(crate::FuncId(0));
+        f.blocks[0].insts.insert(0, Inst::halt());
+        assert!(matches!(
+            p.verify(),
+            Err(VerifyError::TerminatorMidBlock { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_unterminated_block() {
+        let mut p = good();
+        p.func_mut(crate::FuncId(0)).blocks[0].insts.pop();
+        assert!(matches!(p.verify(), Err(VerifyError::NotTerminated { .. })));
+    }
+
+    #[test]
+    fn detects_bad_branch_target() {
+        let mut p = good();
+        let f = p.func_mut(crate::FuncId(0));
+        let n = f.blocks[0].insts.len();
+        f.blocks[0].insts[n - 1] = Inst::br(99);
+        assert!(matches!(
+            p.verify(),
+            Err(VerifyError::BadBranchTarget { target: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn detects_bad_call_target() {
+        let mut p = good();
+        let f = p.func_mut(crate::FuncId(0));
+        f.blocks[0].insts.insert(0, Inst::jsr(42));
+        assert!(matches!(
+            p.verify(),
+            Err(VerifyError::BadCallTarget { target: 42, .. })
+        ));
+    }
+
+    #[test]
+    fn detects_empty_block() {
+        let mut p = good();
+        p.func_mut(crate::FuncId(0)).blocks.push(crate::Block::new("empty"));
+        assert!(matches!(p.verify(), Err(VerifyError::EmptyBlock { .. })));
+    }
+}

@@ -1,0 +1,192 @@
+//! The combined branch predictor of Table 2: a 1K-entry chooser selecting
+//! between a gshare predictor (64K 2-bit counters, 16-bit global history)
+//! and a 2K-entry bimodal predictor, plus a BTB and a return-address
+//! stack.
+
+/// Two-bit saturating counter helpers.
+fn bump(c: &mut u8, taken: bool) {
+    if taken {
+        *c = (*c + 1).min(3);
+    } else {
+        *c = c.saturating_sub(1);
+    }
+}
+
+fn predicts_taken(c: u8) -> bool {
+    c >= 2
+}
+
+/// The combined predictor.
+#[derive(Debug, Clone)]
+pub struct BranchPredictor {
+    gshare: Vec<u8>,
+    bimodal: Vec<u8>,
+    chooser: Vec<u8>,
+    ghr: u16,
+    btb: Vec<Vec<(u64, u64)>>, // per set: (tag, target), MRU first
+    btb_assoc: usize,
+    ras: Vec<u64>,
+    ras_depth: usize,
+    /// Conditional-branch predictions made.
+    pub lookups: u64,
+    /// Conditional-branch direction mispredictions.
+    pub mispredicts: u64,
+}
+
+impl BranchPredictor {
+    /// Build the Table 2 predictor.
+    pub fn new(ras_depth: usize) -> BranchPredictor {
+        BranchPredictor {
+            gshare: vec![1; 64 * 1024],
+            bimodal: vec![1; 2 * 1024],
+            chooser: vec![2; 1024],
+            ghr: 0,
+            btb: vec![Vec::new(); 512],
+            btb_assoc: 4,
+            ras: Vec::new(),
+            ras_depth,
+            lookups: 0,
+            mispredicts: 0,
+        }
+    }
+
+    fn gshare_index(&self, pc: u64) -> usize {
+        (((pc >> 3) as u16) ^ self.ghr) as usize
+    }
+
+    fn bimodal_index(pc: u64) -> usize {
+        ((pc >> 3) as usize) & (2 * 1024 - 1)
+    }
+
+    fn chooser_index(pc: u64) -> usize {
+        ((pc >> 3) as usize) & 1023
+    }
+
+    /// Predict a conditional branch at `pc`; then update with the actual
+    /// outcome. Returns whether the *direction* was mispredicted.
+    pub fn predict_and_update(&mut self, pc: u64, taken: bool) -> bool {
+        self.lookups += 1;
+        let gi = self.gshare_index(pc);
+        let bi = Self::bimodal_index(pc);
+        let ci = Self::chooser_index(pc);
+        let g = predicts_taken(self.gshare[gi]);
+        let b = predicts_taken(self.bimodal[bi]);
+        let use_gshare = predicts_taken(self.chooser[ci]);
+        let pred = if use_gshare { g } else { b };
+        // Chooser trains toward the component that was right.
+        if g != b {
+            bump(&mut self.chooser[ci], g == taken);
+        }
+        bump(&mut self.gshare[gi], taken);
+        bump(&mut self.bimodal[bi], taken);
+        self.ghr = (self.ghr << 1) | taken as u16;
+        let miss = pred != taken;
+        if miss {
+            self.mispredicts += 1;
+        }
+        miss
+    }
+
+    /// Look up the BTB; on miss or stale target the front end cannot
+    /// redirect correctly. Always installs/updates the actual target.
+    pub fn btb_lookup_update(&mut self, pc: u64, target: u64) -> bool {
+        let set = ((pc >> 3) as usize) & (self.btb.len() - 1);
+        let tag = pc >> 12;
+        let ways = &mut self.btb[set];
+        let hit = if let Some(pos) = ways.iter().position(|&(t, _)| t == tag) {
+            let (_, old_target) = ways.remove(pos);
+            ways.insert(0, (tag, target));
+            old_target == target
+        } else {
+            if ways.len() == self.btb_assoc {
+                ways.pop();
+            }
+            ways.insert(0, (tag, target));
+            false
+        };
+        hit
+    }
+
+    /// Push a return address at a call.
+    pub fn ras_push(&mut self, ret: u64) {
+        if self.ras.len() == self.ras_depth {
+            self.ras.remove(0);
+        }
+        self.ras.push(ret);
+    }
+
+    /// Pop a predicted return address; compares with the actual one.
+    pub fn ras_pop_matches(&mut self, actual: u64) -> bool {
+        self.ras.pop() == Some(actual)
+    }
+
+    /// Direction misprediction rate.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.lookups as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_a_constant_direction() {
+        let mut bp = BranchPredictor::new(16);
+        let mut misses = 0;
+        for _ in 0..100 {
+            if bp.predict_and_update(0x4000, true) {
+                misses += 1;
+            }
+        }
+        assert!(misses <= 2, "always-taken learned, {misses} misses");
+    }
+
+    #[test]
+    fn learns_alternation_via_history() {
+        let mut bp = BranchPredictor::new(16);
+        let mut recent = 0;
+        for i in 0..400 {
+            let taken = i % 2 == 0;
+            let miss = bp.predict_and_update(0x8000, taken);
+            if i >= 300 && miss {
+                recent += 1;
+            }
+        }
+        assert!(recent <= 5, "gshare should capture alternation, {recent} late misses");
+    }
+
+    #[test]
+    fn btb_learns_targets() {
+        let mut bp = BranchPredictor::new(16);
+        assert!(!bp.btb_lookup_update(0x100, 0x900));
+        assert!(bp.btb_lookup_update(0x100, 0x900));
+        assert!(!bp.btb_lookup_update(0x100, 0xA00), "target changed");
+        assert!(bp.btb_lookup_update(0x100, 0xA00));
+    }
+
+    #[test]
+    fn ras_matches_call_return_pairs() {
+        let mut bp = BranchPredictor::new(4);
+        bp.ras_push(0x10);
+        bp.ras_push(0x20);
+        assert!(bp.ras_pop_matches(0x20));
+        assert!(bp.ras_pop_matches(0x10));
+        assert!(!bp.ras_pop_matches(0x30), "empty stack mismatches");
+    }
+
+    #[test]
+    fn ras_overflow_drops_oldest() {
+        let mut bp = BranchPredictor::new(2);
+        bp.ras_push(1);
+        bp.ras_push(2);
+        bp.ras_push(3);
+        assert!(bp.ras_pop_matches(3));
+        assert!(bp.ras_pop_matches(2));
+        assert!(!bp.ras_pop_matches(1), "1 was dropped on overflow");
+    }
+}

@@ -1,0 +1,121 @@
+//! Set-associative LRU caches.
+
+/// A set-associative cache with true-LRU replacement, modelling hits and
+/// misses (contents are irrelevant: the emulator supplies values).
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: Vec<Vec<u64>>, // tags per set, MRU first
+    assoc: usize,
+    line_shift: u32,
+    set_mask: u64,
+    /// Total accesses.
+    pub accesses: u64,
+    /// Total misses.
+    pub misses: u64,
+}
+
+impl Cache {
+    /// Build a cache of `bytes` capacity, `assoc` ways and `line` bytes
+    /// per line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is not a power-of-two or the capacity is
+    /// smaller than one set.
+    pub fn new(bytes: u32, assoc: u32, line: u32) -> Cache {
+        assert!(line.is_power_of_two() && bytes % (line * assoc) == 0);
+        let n_sets = (bytes / (line * assoc)) as usize;
+        assert!(n_sets.is_power_of_two() && n_sets > 0);
+        Cache {
+            sets: vec![Vec::with_capacity(assoc as usize); n_sets],
+            assoc: assoc as usize,
+            line_shift: line.trailing_zeros(),
+            set_mask: n_sets as u64 - 1,
+            accesses: 0,
+            misses: 0,
+        }
+    }
+
+    /// Access `addr`; returns true on hit. Misses install the line.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.accesses += 1;
+        let line = addr >> self.line_shift;
+        let set = (line & self.set_mask) as usize;
+        let tag = line >> self.set_mask.count_ones();
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|&t| t == tag) {
+            let t = ways.remove(pos);
+            ways.insert(0, t);
+            true
+        } else {
+            self.misses += 1;
+            if ways.len() == self.assoc {
+                ways.pop();
+            }
+            ways.insert(0, tag);
+            false
+        }
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(&self) -> u32 {
+        1 << self.line_shift
+    }
+
+    /// Miss rate over all accesses so far (0 when never accessed).
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_after_fill() {
+        let mut c = Cache::new(1024, 2, 32);
+        assert!(!c.access(0));
+        assert!(c.access(0));
+        assert!(c.access(31));
+        assert!(!c.access(32));
+        assert_eq!(c.misses, 2);
+        assert_eq!(c.accesses, 4);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        // 2-way, line 32, sets = 1024/(32*2) = 16 → addresses 0, 512, 1024
+        // map to the same set (stride 16 lines * 32B = 512).
+        let mut c = Cache::new(1024, 2, 32);
+        c.access(0);
+        c.access(512);
+        assert!(c.access(0), "still resident");
+        c.access(1024); // evicts 512 (LRU)
+        assert!(c.access(0));
+        assert!(!c.access(512), "512 was evicted");
+    }
+
+    #[test]
+    fn distinct_sets_do_not_conflict() {
+        let mut c = Cache::new(1024, 2, 32);
+        for i in 0..16u64 {
+            assert!(!c.access(i * 32));
+        }
+        for i in 0..16u64 {
+            assert!(c.access(i * 32), "line {i} resident");
+        }
+    }
+
+    #[test]
+    fn miss_rate() {
+        let mut c = Cache::new(1024, 2, 32);
+        c.access(0);
+        c.access(0);
+        assert!((c.miss_rate() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,38 @@
+//! # og-sim: cycle-level out-of-order processor simulator
+//!
+//! A trace-driven timing model of the paper's Table 2 machine: a 4-wide
+//! out-of-order superscalar with a 64-entry instruction window, 96
+//! physical registers, 3 integer ALUs + 1 integer multiplier (plus the FP
+//! units integer workloads leave idle), a combined gshare/bimodal branch
+//! predictor, 64 KB split L1 caches and a 256 KB L2.
+//!
+//! The simulator consumes the committed-path trace produced by `og-vm`
+//! and produces:
+//!
+//! * [`CycleStats`] — cycles, IPC, branch/cache behaviour (the *delay*
+//!   part of the paper's energy-delay² metric), and
+//! * [`ActivityCounts`] — per-structure access counts annotated, for
+//!   every access, with the active byte lanes under each operand-gating
+//!   scheme (none / software / hardware-significance / hardware-size /
+//!   cooperative). The `og-power` energy model turns these into the
+//!   paper's per-structure energy numbers.
+//!
+//! Being trace-driven, wrong-path activity is approximated as front-end
+//! bubbles after a mispredicted branch (the standard trace-driven
+//! simplification; it affects absolute energy slightly but not the
+//! relative savings the paper reports).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod activity;
+mod bpred;
+mod cache;
+mod config;
+mod pipeline;
+
+pub use activity::{round_size_class, ActivityCounts, SchemeBytes, StructActivity, Structure};
+pub use bpred::BranchPredictor;
+pub use cache::Cache;
+pub use config::MachineConfig;
+pub use pipeline::{CycleStats, SimResult, Simulator};

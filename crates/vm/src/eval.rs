@@ -1,0 +1,195 @@
+//! Pure evaluation of ALU operations at a given width.
+//!
+//! Shared by the emulator and by the constant-folding step of value range
+//! specialization, so that "what the hardware computes" has exactly one
+//! definition in the repository.
+//!
+//! Width semantics (§2.4 of the paper): an operation executed at width *w*
+//! computes on the *w*-bit two's-complement views of its operands and
+//! sign-extends its *w*-bit result into the 64-bit register. Narrow values
+//! therefore always live in registers in sign-extended form.
+
+use og_isa::{CmpKind, Op, Width};
+
+/// Shift amounts use a 6-bit field (the paper's §2.2.5 notes the useful
+/// range of a shift amount is 0..63).
+pub const SHIFT_MASK: i64 = 63;
+
+/// Evaluate a three-operand ALU operation at width `w`.
+///
+/// Returns `None` for operations that are not pure ALU computations
+/// (memory, control, `cmov` — which needs the old destination value; use
+/// [`cmov_eval`] for it).
+pub fn alu_eval(op: Op, w: Width, a: i64, b: i64) -> Option<i64> {
+    let r = match op {
+        Op::Add => w.sext(w.sext(a).wrapping_add(w.sext(b))),
+        Op::Sub => w.sext(w.sext(a).wrapping_sub(w.sext(b))),
+        Op::Mul => w.sext(w.sext(a).wrapping_mul(w.sext(b))),
+        Op::And => w.sext(a & b),
+        Op::Or => w.sext(a | b),
+        Op::Xor => w.sext(a ^ b),
+        Op::Andc => w.sext(a & !b),
+        Op::Sll => w.sext(a.wrapping_shl((b & SHIFT_MASK) as u32)),
+        Op::Srl => {
+            let amt = (b & SHIFT_MASK) as u32;
+            w.sext((w.zext(a) >> amt) as i64)
+        }
+        Op::Sra => {
+            let amt = (b & SHIFT_MASK) as u32;
+            w.sext(w.sext(a) >> amt.min(63))
+        }
+        Op::Cmp(k) => cmp_eval(k, w, a, b) as i64,
+        Op::Sext => w.sext(b),
+        Op::Zext => w.zext(b) as i64,
+        Op::Ldi => b,
+        Op::Zapnot => zapnot_eval(a, b as u8),
+        Op::Ext => {
+            let idx = (b & 7) as u32;
+            (((a as u64) >> (8 * idx)) & w.mask()) as i64
+        }
+        Op::Msk => {
+            let idx = (b & 7) as u32;
+            let field = w.mask().wrapping_shl(8 * idx);
+            ((a as u64) & !field) as i64
+        }
+        _ => return None,
+    };
+    Some(r)
+}
+
+/// Evaluate a comparison at width `w`: signed kinds compare the
+/// sign-extended views, unsigned kinds the zero-extended views.
+pub fn cmp_eval(k: CmpKind, w: Width, a: i64, b: i64) -> bool {
+    if k.is_unsigned() {
+        k.eval(w.zext(a) as i64, w.zext(b) as i64)
+    } else {
+        k.eval(w.sext(a), w.sext(b))
+    }
+}
+
+/// Evaluate a conditional move: returns the new destination value given the
+/// old one. The condition tests the sign-extended `w`-bit view of `test`;
+/// a transferred value is truncated and sign-extended at `w`.
+pub fn cmov_eval(cond: og_isa::Cond, w: Width, test: i64, val: i64, old_dst: i64) -> i64 {
+    if cond.eval(w.sext(test)) {
+        w.sext(val)
+    } else {
+        old_dst
+    }
+}
+
+/// `ZAPNOT`: keep byte *i* of `a` where bit *i* of `mask` is set.
+pub fn zapnot_eval(a: i64, mask: u8) -> i64 {
+    let mut keep = 0u64;
+    for i in 0..8 {
+        if mask & (1 << i) != 0 {
+            keep |= 0xFFu64 << (8 * i);
+        }
+    }
+    ((a as u64) & keep) as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use og_isa::Cond;
+
+    #[test]
+    fn add_wraps_at_width() {
+        assert_eq!(alu_eval(Op::Add, Width::B, 127, 1), Some(-128));
+        assert_eq!(alu_eval(Op::Add, Width::H, 0x7FFF, 1), Some(-0x8000));
+        assert_eq!(alu_eval(Op::Add, Width::D, i64::MAX, 1), Some(i64::MIN));
+        assert_eq!(alu_eval(Op::Add, Width::W, 5, 6), Some(11));
+    }
+
+    #[test]
+    fn narrow_add_matches_low_bits_of_wide_add() {
+        // The low-bits-closure property VRP's useful analysis relies on.
+        for (a, b) in [(1000i64, -990i64), (0x1234, 0x00FF), (-5, 3), (255, 255)] {
+            let wide = alu_eval(Op::Add, Width::D, a, b).unwrap();
+            let narrow = alu_eval(Op::Add, Width::B, a, b).unwrap();
+            assert_eq!(Width::B.zext(narrow), Width::B.zext(wide));
+        }
+    }
+
+    #[test]
+    fn sub_and_mul() {
+        assert_eq!(alu_eval(Op::Sub, Width::B, 0, 1), Some(-1));
+        assert_eq!(alu_eval(Op::Mul, Width::B, 16, 16), Some(0)); // 256 wraps
+        assert_eq!(alu_eval(Op::Mul, Width::H, 16, 16), Some(256));
+    }
+
+    #[test]
+    fn logic_truncates() {
+        assert_eq!(alu_eval(Op::And, Width::D, 0xFF00F, 0x0FFFF), Some(0xF00F));
+        assert_eq!(alu_eval(Op::Or, Width::B, 0x80, 0x01), Some(Width::B.sext(0x81)));
+        assert_eq!(alu_eval(Op::Xor, Width::W, -1, 0), Some(-1));
+        assert_eq!(alu_eval(Op::Andc, Width::D, 0xFF, 0x0F), Some(0xF0));
+    }
+
+    #[test]
+    fn shifts() {
+        assert_eq!(alu_eval(Op::Sll, Width::B, 1, 7), Some(-128));
+        assert_eq!(alu_eval(Op::Sll, Width::D, 1, 63), Some(i64::MIN));
+        // srl of a narrow negative value operates on the narrow pattern
+        assert_eq!(alu_eval(Op::Srl, Width::B, -1, 1), Some(0x7F));
+        assert_eq!(alu_eval(Op::Srl, Width::D, -1, 60), Some(0xF));
+        assert_eq!(alu_eval(Op::Sra, Width::B, -2, 1), Some(-1));
+        assert_eq!(alu_eval(Op::Sra, Width::D, i64::MIN, 63), Some(-1));
+        // shift amounts are masked to 6 bits
+        assert_eq!(alu_eval(Op::Sll, Width::D, 1, 64), Some(1));
+    }
+
+    #[test]
+    fn comparisons_signed_and_unsigned() {
+        assert_eq!(alu_eval(Op::Cmp(CmpKind::Lt), Width::D, -1, 0), Some(1));
+        assert_eq!(alu_eval(Op::Cmp(CmpKind::Ult), Width::D, -1, 0), Some(0));
+        // at byte width, 0x80 is -128 signed but 128 unsigned
+        assert_eq!(alu_eval(Op::Cmp(CmpKind::Lt), Width::B, 0x80, 0), Some(1));
+        assert_eq!(alu_eval(Op::Cmp(CmpKind::Ult), Width::B, 0x80, 0x7F), Some(0));
+        assert_eq!(alu_eval(Op::Cmp(CmpKind::Eq), Width::B, 0x100, 0), Some(1));
+        assert_eq!(alu_eval(Op::Cmp(CmpKind::Le), Width::D, 3, 3), Some(1));
+        assert_eq!(alu_eval(Op::Cmp(CmpKind::Ule), Width::D, 4, 3), Some(0));
+    }
+
+    #[test]
+    fn extensions() {
+        assert_eq!(alu_eval(Op::Sext, Width::B, 0, 0xFF), Some(-1));
+        assert_eq!(alu_eval(Op::Zext, Width::B, 0, -1), Some(0xFF));
+        assert_eq!(alu_eval(Op::Sext, Width::W, 0, 0x8000_0000), Some(-0x8000_0000));
+    }
+
+    #[test]
+    fn byte_manipulation() {
+        assert_eq!(zapnot_eval(0x1122_3344_5566_7788, 0x0F), Some(0x5566_7788).unwrap());
+        assert_eq!(alu_eval(Op::Zapnot, Width::D, -1, 0x01), Some(0xFF));
+        assert_eq!(alu_eval(Op::Ext, Width::B, 0x1122_3344_5566_7788, 1), Some(0x77));
+        assert_eq!(alu_eval(Op::Ext, Width::H, 0x1122_3344_5566_7788, 2), Some(0x5566));
+        assert_eq!(
+            alu_eval(Op::Msk, Width::B, 0x1122_3344_5566_7788, 0),
+            Some(0x1122_3344_5566_7700)
+        );
+        assert_eq!(
+            alu_eval(Op::Msk, Width::W, 0x1122_3344_5566_7788u64 as i64, 0),
+            Some(0x1122_3344_0000_0000)
+        );
+    }
+
+    #[test]
+    fn cmov_semantics() {
+        assert_eq!(cmov_eval(Cond::Eq, Width::D, 0, 7, 1), 7);
+        assert_eq!(cmov_eval(Cond::Eq, Width::D, 5, 7, 1), 1);
+        // condition tested at width: 0x100 is 0 at byte width
+        assert_eq!(cmov_eval(Cond::Eq, Width::B, 0x100, 7, 1), 7);
+        // moved value truncates at width
+        assert_eq!(cmov_eval(Cond::Ne, Width::B, 1, 0x1FF, 0), -1);
+    }
+
+    #[test]
+    fn non_alu_ops_return_none() {
+        assert_eq!(alu_eval(Op::Ld { signed: true }, Width::D, 0, 0), None);
+        assert_eq!(alu_eval(Op::St, Width::D, 0, 0), None);
+        assert_eq!(alu_eval(Op::Br, Width::D, 0, 0), None);
+        assert_eq!(alu_eval(Op::Cmov(Cond::Eq), Width::D, 0, 0), None);
+    }
+}

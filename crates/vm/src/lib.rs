@@ -1,0 +1,60 @@
+//! # og-vm: functional emulator for OGA-64 programs
+//!
+//! The emulator executes programs at architectural level and produces
+//! everything the rest of the pipeline consumes:
+//!
+//! * the **output stream** and its digest — the observational-equivalence
+//!   oracle for every program transformation in this repository;
+//! * **dynamic statistics** ([`DynStats`]): per-block execution counts
+//!   (the basic-block profiles VRS builds on), operation-class × width
+//!   histograms (Table 3, Figures 2 and 7), and the dynamic
+//!   significant-byte distribution of operand values (Figure 12);
+//! * an optional **committed-path trace** ([`TraceRecord`]) that drives
+//!   the cycle-level timing model in `og-sim`;
+//! * **value watch points** ([`Watcher`]) used by the Calder-style value
+//!   profiler in `og-profile`.
+//!
+//! ```
+//! use og_program::{ProgramBuilder, imm};
+//! use og_isa::{Reg, Width};
+//! use og_vm::{Vm, RunConfig};
+//!
+//! let mut pb = ProgramBuilder::new();
+//! let mut f = pb.function("main", 0);
+//! f.block("entry");
+//! f.ldi(Reg::T0, 41);
+//! f.add(Width::B, Reg::T0, Reg::T0, imm(1));
+//! f.out(Width::B, Reg::T0);
+//! f.halt();
+//! pb.finish(f);
+//! let program = pb.build().unwrap();
+//!
+//! let mut vm = Vm::new(&program, RunConfig::default());
+//! let outcome = vm.run().unwrap();
+//! assert_eq!(vm.output(), &[42]);
+//! assert_eq!(outcome.steps, 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod eval;
+mod machine;
+mod memory;
+mod stats;
+mod trace;
+
+pub use machine::{HaltReason, RunConfig, RunOutcome, Vm, VmError, Watcher};
+pub use memory::Memory;
+pub use stats::DynStats;
+pub use trace::TraceRecord;
+
+/// 64-bit FNV-1a digest, used to fingerprint program output.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}

@@ -1,0 +1,570 @@
+//! The emulator core.
+
+use crate::eval::{alu_eval, cmov_eval};
+use crate::{fnv1a, DynStats, Memory, TraceRecord};
+use og_isa::{Op, Operand, Reg, Target, Width};
+use og_program::{BlockId, FuncId, InstRef, Layout, Program, STACK_BASE};
+use std::fmt;
+
+/// Emulator configuration.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Abort with [`VmError::OutOfFuel`] after this many committed
+    /// instructions.
+    pub max_steps: u64,
+    /// Collect a [`TraceRecord`] per committed instruction (needed to feed
+    /// the timing model; costs memory proportional to the run length).
+    pub collect_trace: bool,
+    /// Maximum call depth before [`VmError::CallDepthExceeded`].
+    pub max_call_depth: usize,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig { max_steps: 100_000_000, collect_trace: false, max_call_depth: 1024 }
+    }
+}
+
+/// Why a run ended successfully.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HaltReason {
+    /// A `halt` instruction executed.
+    Halt,
+    /// The entry function returned.
+    ReturnFromEntry,
+}
+
+/// Successful run summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Committed instructions.
+    pub steps: u64,
+    /// How the program ended.
+    pub reason: HaltReason,
+    /// FNV-1a digest of the output stream.
+    pub output_digest: u64,
+}
+
+/// Emulation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// The step budget was exhausted (likely a non-terminating program).
+    OutOfFuel {
+        /// Steps executed before giving up.
+        steps: u64,
+    },
+    /// Call depth exceeded the configured maximum.
+    CallDepthExceeded {
+        /// The configured maximum.
+        max: usize,
+    },
+    /// An instruction had an operand shape the emulator cannot execute
+    /// (programs that pass [`Program::verify`] never trigger this).
+    Malformed {
+        /// Where.
+        at: InstRef,
+        /// What is wrong.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::OutOfFuel { steps } => write!(f, "out of fuel after {steps} steps"),
+            VmError::CallDepthExceeded { max } => write!(f, "call depth exceeded {max}"),
+            VmError::Malformed { at, what } => write!(f, "malformed instruction at {at}: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// Observes defined values during execution; implemented by the value
+/// profiler in `og-profile`.
+pub trait Watcher {
+    /// Called after every instruction that writes a destination register,
+    /// with the written value.
+    fn record(&mut self, at: InstRef, value: i64);
+}
+
+/// A no-op watcher.
+struct NoWatcher;
+
+impl Watcher for NoWatcher {
+    fn record(&mut self, _at: InstRef, _value: i64) {}
+}
+
+/// The functional emulator. See the crate docs for an example.
+pub struct Vm<'p> {
+    program: &'p Program,
+    layout: Layout,
+    config: RunConfig,
+    regs: [i64; 32],
+    mem: Memory,
+    call_stack: Vec<InstRef>,
+    output: Vec<u8>,
+    stats: DynStats,
+    trace: Vec<TraceRecord>,
+}
+
+impl<'p> Vm<'p> {
+    /// Create an emulator: loads the data segment and points `sp` at the
+    /// stack base and `gp` at the global base.
+    pub fn new(program: &'p Program, config: RunConfig) -> Vm<'p> {
+        let mut mem = Memory::new();
+        for item in program.data.items() {
+            mem.write_bytes(item.addr, &item.bytes);
+        }
+        let mut regs = [0i64; 32];
+        regs[Reg::SP.index() as usize] = STACK_BASE as i64;
+        regs[Reg::GP.index() as usize] = og_program::GLOBAL_BASE as i64;
+        Vm {
+            program,
+            layout: program.layout(),
+            config,
+            regs,
+            mem,
+            call_stack: Vec::new(),
+            output: Vec::new(),
+            stats: DynStats::default(),
+            trace: Vec::new(),
+        }
+    }
+
+    /// Current value of a register (zero register reads as 0).
+    pub fn reg(&self, r: Reg) -> i64 {
+        if r.is_zero() {
+            0
+        } else {
+            self.regs[r.index() as usize]
+        }
+    }
+
+    fn set_reg(&mut self, r: Reg, v: i64) {
+        if !r.is_zero() {
+            self.regs[r.index() as usize] = v;
+        }
+    }
+
+    /// The output stream produced so far.
+    pub fn output(&self) -> &[u8] {
+        &self.output
+    }
+
+    /// Dynamic statistics gathered so far.
+    pub fn stats(&self) -> &DynStats {
+        &self.stats
+    }
+
+    /// The committed-path trace (empty unless
+    /// [`RunConfig::collect_trace`]).
+    pub fn trace(&self) -> &[TraceRecord] {
+        &self.trace
+    }
+
+    /// Consume the emulator, returning its trace and statistics.
+    pub fn into_parts(self) -> (Vec<TraceRecord>, DynStats, Vec<u8>) {
+        (self.trace, self.stats, self.output)
+    }
+
+    /// Run to completion without a watcher.
+    ///
+    /// # Errors
+    ///
+    /// See [`VmError`].
+    pub fn run(&mut self) -> Result<RunOutcome, VmError> {
+        self.run_watched(&mut NoWatcher)
+    }
+
+    /// Run to completion, reporting every defined value to `watcher`.
+    ///
+    /// # Errors
+    ///
+    /// See [`VmError`].
+    pub fn run_watched(&mut self, watcher: &mut dyn Watcher) -> Result<RunOutcome, VmError> {
+        let entry = self.program.entry;
+        let mut pc = InstRef::new(entry, self.program.func(entry).entry, 0);
+        let reason = loop {
+            if self.stats.steps >= self.config.max_steps {
+                return Err(VmError::OutOfFuel { steps: self.stats.steps });
+            }
+            match self.step(pc, watcher)? {
+                Next::At(next) => pc = next,
+                Next::Done(r) => break r,
+            }
+        };
+        Ok(RunOutcome {
+            steps: self.stats.steps,
+            reason,
+            output_digest: fnv1a(&self.output),
+        })
+    }
+
+    fn operand_value(&self, o: Operand) -> i64 {
+        match o {
+            Operand::None => 0,
+            Operand::Reg(r) => self.reg(r),
+            Operand::Imm(v) => v,
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn step(&mut self, at: InstRef, watcher: &mut dyn Watcher) -> Result<Next, VmError> {
+        let func = self.program.func(at.func);
+        let block = func.block(at.block);
+        if at.idx == 0 {
+            *self.stats.block_counts.entry((at.func, at.block)).or_insert(0) += 1;
+        }
+        let inst = block.insts[at.idx as usize];
+        self.stats.steps += 1;
+
+        let a = inst.src1.map(|r| self.reg(r)).unwrap_or(0);
+        let b = self.operand_value(inst.src2);
+        let w = inst.width;
+        let next_seq = InstRef::new(at.func, at.block, at.idx + 1);
+
+        let mut dst_value: Option<i64> = None;
+        let mut mem_addr = 0u64;
+        let mut taken = false;
+
+        let next = match inst.op {
+            Op::Ld { signed } => {
+                mem_addr = (a + inst.disp as i64) as u64;
+                let v = self.mem.read(mem_addr, w, signed);
+                self.set_reg(inst.dst.expect("load dst"), v);
+                dst_value = Some(v);
+                self.stats.loads += 1;
+                Next::At(next_seq)
+            }
+            Op::St => {
+                let base = self.operand_value(inst.src2);
+                mem_addr = (base + inst.disp as i64) as u64;
+                self.mem.write(mem_addr, w, a);
+                self.stats.stores += 1;
+                Next::At(next_seq)
+            }
+            Op::Out => {
+                let bytes = (a as u64).to_le_bytes();
+                self.output.extend_from_slice(&bytes[..w.bytes() as usize]);
+                self.stats.out_bytes += w.bytes() as u64;
+                Next::At(next_seq)
+            }
+            Op::Br => match inst.target {
+                Target::Block(t) => {
+                    taken = true;
+                    Next::At(InstRef::new(at.func, BlockId(t), 0))
+                }
+                _ => return Err(VmError::Malformed { at, what: "br without target" }),
+            },
+            Op::Bc(cond) => match inst.target {
+                Target::CondBlocks { taken: t, fall } => {
+                    self.stats.cond_branches += 1;
+                    taken = cond.eval(a);
+                    if taken {
+                        self.stats.taken_branches += 1;
+                    }
+                    let dest = if taken { t } else { fall };
+                    Next::At(InstRef::new(at.func, BlockId(dest), 0))
+                }
+                _ => return Err(VmError::Malformed { at, what: "bc without targets" }),
+            },
+            Op::Jsr => match inst.target {
+                Target::Func(callee) => {
+                    if self.call_stack.len() >= self.config.max_call_depth {
+                        return Err(VmError::CallDepthExceeded {
+                            max: self.config.max_call_depth,
+                        });
+                    }
+                    self.stats.calls += 1;
+                    taken = true;
+                    self.call_stack.push(next_seq);
+                    let callee = FuncId(callee);
+                    let entry = self.program.func(callee).entry;
+                    Next::At(InstRef::new(callee, entry, 0))
+                }
+                _ => return Err(VmError::Malformed { at, what: "jsr without target" }),
+            },
+            Op::Ret => {
+                taken = true;
+                match self.call_stack.pop() {
+                    Some(ret) => Next::At(ret),
+                    None => Next::Done(HaltReason::ReturnFromEntry),
+                }
+            }
+            Op::Halt => Next::Done(HaltReason::Halt),
+            Op::Nop => Next::At(next_seq),
+            Op::Cmov(cond) => {
+                let dst = inst.dst.expect("cmov dst");
+                let v = cmov_eval(cond, w, a, b, self.reg(dst));
+                self.set_reg(dst, v);
+                dst_value = Some(v);
+                Next::At(next_seq)
+            }
+            op => {
+                let v = alu_eval(op, w, a, b)
+                    .ok_or(VmError::Malformed { at, what: "not executable" })?;
+                self.set_reg(inst.dst.expect("alu dst"), v);
+                dst_value = Some(v);
+                Next::At(next_seq)
+            }
+        };
+
+        // ---- statistics -----------------------------------------------
+        let class = inst.op.class();
+        if class != og_isa::OpClass::Ctrl {
+            self.stats.record_class_width(class, w);
+        }
+        let mut src_sigs = [0u8; 2];
+        if let Some(r) = inst.src1 {
+            let v = self.reg(r);
+            self.stats.record_sig(v);
+            src_sigs[0] = Width::sig_bytes(v);
+        }
+        if let Operand::Reg(r) = inst.src2 {
+            let v = self.reg(r);
+            self.stats.record_sig(v);
+            src_sigs[1] = Width::sig_bytes(v);
+        }
+        if let Some(v) = dst_value {
+            self.stats.record_sig(v);
+            watcher.record(at, v);
+        }
+
+        // ---- trace -----------------------------------------------------
+        if self.config.collect_trace {
+            let pc_addr = self.layout.addr_of(at);
+            if let Some(prev) = self.trace.last_mut() {
+                prev.next_pc = pc_addr;
+            }
+            let srcs = [
+                inst.src1,
+                match inst.op {
+                    Op::St => inst.src2.reg(),
+                    _ => inst.src2.reg(),
+                },
+            ];
+            self.trace.push(TraceRecord {
+                pc: pc_addr,
+                next_pc: u64::MAX,
+                op: inst.op,
+                width: w,
+                dst: inst.def(),
+                srcs,
+                mem_addr,
+                taken,
+                dst_sig: dst_value.map_or(0, Width::sig_bytes),
+                src_sigs,
+            });
+        }
+        Ok(next)
+    }
+}
+
+enum Next {
+    At(InstRef),
+    Done(HaltReason),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use og_program::{imm, ProgramBuilder};
+
+    fn run_program(p: &Program) -> (Vec<u8>, RunOutcome, DynStats) {
+        let mut vm = Vm::new(p, RunConfig::default());
+        let out = vm.run().unwrap();
+        (vm.output().to_vec(), out, vm.stats().clone())
+    }
+
+    #[test]
+    fn loop_sums_table() {
+        let mut pb = ProgramBuilder::new();
+        pb.data_quads("tbl", &[5, 6, 7]);
+        let mut f = pb.function("main", 0);
+        f.block("entry");
+        f.la(Reg::T1, "tbl");
+        f.ldi(Reg::T0, 0);
+        f.ldi(Reg::T4, 0);
+        f.block("loop");
+        f.ld(Width::D, Reg::T2, Reg::T1, 0);
+        f.add(Width::W, Reg::T0, Reg::T0, Reg::T2);
+        f.add(Width::D, Reg::T1, Reg::T1, imm(8));
+        f.add(Width::W, Reg::T4, Reg::T4, imm(1));
+        f.cmp(og_isa::CmpKind::Lt, Width::D, Reg::T3, Reg::T4, imm(3));
+        f.bne(Reg::T3, "loop");
+        f.block("exit");
+        f.out(Width::B, Reg::T0);
+        f.halt();
+        pb.finish(f);
+        let p = pb.build().unwrap();
+        let (out, outcome, stats) = run_program(&p);
+        assert_eq!(out, vec![18]);
+        assert_eq!(outcome.reason, HaltReason::Halt);
+        assert_eq!(stats.loads, 3);
+        assert_eq!(stats.cond_branches, 3);
+        assert_eq!(stats.taken_branches, 2);
+        // loop block ran 3 times
+        let f = p.func(p.entry);
+        let loop_id = f
+            .block_ids()
+            .find(|&b| f.block(b).label == "loop")
+            .unwrap();
+        assert_eq!(stats.block_counts[&(p.entry, loop_id)], 3);
+    }
+
+    #[test]
+    fn call_and_return() {
+        let mut pb = ProgramBuilder::new();
+        let mut callee = pb.function("sq", 1);
+        callee.block("entry");
+        callee.mul(Width::W, Reg::V0, Reg::A0, Reg::A0);
+        callee.ret();
+        pb.finish(callee);
+        let mut main = pb.function("main", 0);
+        main.block("entry");
+        main.ldi(Reg::A0, 9);
+        main.jsr("sq");
+        main.out(Width::B, Reg::V0);
+        main.halt();
+        pb.finish(main);
+        let p = pb.build().unwrap();
+        let (out, _, stats) = run_program(&p);
+        assert_eq!(out, vec![81]);
+        assert_eq!(stats.calls, 1);
+    }
+
+    #[test]
+    fn return_from_entry_ends_program() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        f.block("entry");
+        f.ldi(Reg::V0, 3);
+        f.ret();
+        pb.finish(f);
+        let p = pb.build().unwrap();
+        let (_, outcome, _) = run_program(&p);
+        assert_eq!(outcome.reason, HaltReason::ReturnFromEntry);
+    }
+
+    #[test]
+    fn out_of_fuel_detected() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        f.block("spin");
+        f.br("spin");
+        f.block("unreach");
+        f.halt();
+        pb.finish(f);
+        let p = pb.build().unwrap();
+        let mut vm = Vm::new(&p, RunConfig { max_steps: 1000, ..Default::default() });
+        assert_eq!(vm.run(), Err(VmError::OutOfFuel { steps: 1000 }));
+    }
+
+    #[test]
+    fn infinite_recursion_detected() {
+        let mut pb = ProgramBuilder::new();
+        pb.declare("r", 0);
+        let mut r = pb.function("r", 0);
+        r.block("entry");
+        r.jsr("r");
+        r.ret();
+        pb.finish(r);
+        let mut m = pb.function("main", 0);
+        m.block("entry");
+        m.jsr("r");
+        m.halt();
+        pb.finish(m);
+        let p = pb.build().unwrap();
+        let mut vm = Vm::new(&p, RunConfig { max_call_depth: 64, ..Default::default() });
+        assert_eq!(vm.run(), Err(VmError::CallDepthExceeded { max: 64 }));
+    }
+
+    #[test]
+    fn memory_stack_and_globals_are_disjoint() {
+        let mut pb = ProgramBuilder::new();
+        pb.data_zeroed("g", 8);
+        let mut f = pb.function("main", 0);
+        f.block("entry");
+        f.ldi(Reg::T0, 0x11);
+        f.st(Width::B, Reg::T0, Reg::SP, -8);
+        f.la(Reg::T1, "g");
+        f.ldi(Reg::T2, 0x22);
+        f.st(Width::B, Reg::T2, Reg::T1, 0);
+        f.ld(Width::B, Reg::T3, Reg::SP, -8);
+        f.out(Width::B, Reg::T3);
+        f.ld(Width::B, Reg::T3, Reg::T1, 0);
+        f.out(Width::B, Reg::T3);
+        f.halt();
+        pb.finish(f);
+        let p = pb.build().unwrap();
+        let (out, ..) = run_program(&p);
+        assert_eq!(out, vec![0x11, 0x22]);
+    }
+
+    #[test]
+    fn trace_records_chain_pcs() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        f.block("entry");
+        f.ldi(Reg::T0, 1);
+        f.beq(Reg::ZERO, "target");
+        f.block("fall");
+        f.halt();
+        f.block("target");
+        f.out(Width::B, Reg::T0);
+        f.halt();
+        pb.finish(f);
+        let p = pb.build().unwrap();
+        let mut vm = Vm::new(&p, RunConfig { collect_trace: true, ..Default::default() });
+        vm.run().unwrap();
+        let t = vm.trace();
+        assert_eq!(t.len(), 4); // ldi, beq, out, halt
+        assert!(t[1].is_cond_branch());
+        assert!(t[1].taken);
+        // the branch's next_pc equals the target block's out pc
+        assert_eq!(t[1].next_pc, t[2].pc);
+        assert_eq!(t[0].next_pc, t[1].pc);
+        assert_eq!(t[3].next_pc, u64::MAX);
+    }
+
+    #[test]
+    fn watcher_sees_defined_values() {
+        struct Collect(Vec<(InstRef, i64)>);
+        impl Watcher for Collect {
+            fn record(&mut self, at: InstRef, value: i64) {
+                self.0.push((at, value));
+            }
+        }
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        f.block("entry");
+        f.ldi(Reg::T0, 7);
+        f.add(Width::D, Reg::T1, Reg::T0, imm(1));
+        f.halt();
+        pb.finish(f);
+        let p = pb.build().unwrap();
+        let mut vm = Vm::new(&p, RunConfig::default());
+        let mut c = Collect(Vec::new());
+        vm.run_watched(&mut c).unwrap();
+        assert_eq!(c.0.len(), 2);
+        assert_eq!(c.0[0].1, 7);
+        assert_eq!(c.0[1].1, 8);
+    }
+
+    #[test]
+    fn digest_is_stable_and_output_sensitive() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        f.block("entry");
+        f.ldi(Reg::T0, 1);
+        f.out(Width::B, Reg::T0);
+        f.halt();
+        pb.finish(f);
+        let p = pb.build().unwrap();
+        let (_, o1, _) = run_program(&p);
+        let (_, o2, _) = run_program(&p);
+        assert_eq!(o1.output_digest, o2.output_digest);
+        assert_ne!(o1.output_digest, crate::fnv1a(&[2]));
+    }
+}

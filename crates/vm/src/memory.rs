@@ -1,0 +1,124 @@
+//! Sparse byte-addressable memory.
+
+use og_isa::Width;
+use std::collections::HashMap;
+
+const PAGE_BITS: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_BITS;
+
+/// A sparse, demand-zeroed, little-endian memory.
+///
+/// Pages materialize on first touch, so any address is readable (as zero)
+/// and writable — generated and hand-written workloads manage their own
+/// layout via [`og_program::DataSegment`] and the stack pointer.
+#[derive(Debug, Default, Clone)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl Memory {
+    /// An empty memory.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    fn page_mut(&mut self, addr: u64) -> &mut [u8; PAGE_SIZE] {
+        self.pages
+            .entry(addr >> PAGE_BITS)
+            .or_insert_with(|| Box::new([0; PAGE_SIZE]))
+    }
+
+    /// Read one byte.
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr >> PAGE_BITS)) {
+            Some(p) => p[(addr & (PAGE_SIZE as u64 - 1)) as usize],
+            None => 0,
+        }
+    }
+
+    /// Write one byte.
+    pub fn write_u8(&mut self, addr: u64, v: u8) {
+        self.page_mut(addr)[(addr & (PAGE_SIZE as u64 - 1)) as usize] = v;
+    }
+
+    /// Read `w` bytes little-endian; sign- or zero-extend to 64 bits.
+    pub fn read(&self, addr: u64, w: Width, signed: bool) -> i64 {
+        let mut v = 0u64;
+        for i in 0..w.bytes() as u64 {
+            v |= (self.read_u8(addr.wrapping_add(i)) as u64) << (8 * i);
+        }
+        if signed {
+            w.sext(v as i64)
+        } else {
+            v as i64
+        }
+    }
+
+    /// Write the low `w` bytes of `v` little-endian.
+    pub fn write(&mut self, addr: u64, w: Width, v: i64) {
+        let bytes = (v as u64).to_le_bytes();
+        for (i, &b) in bytes.iter().take(w.bytes() as usize).enumerate() {
+            self.write_u8(addr.wrapping_add(i as u64), b);
+        }
+    }
+
+    /// Bulk-initialize a region (used to load the data segment).
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u64), b);
+        }
+    }
+
+    /// Number of materialized pages (for tests and diagnostics).
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_on_first_read() {
+        let m = Memory::new();
+        assert_eq!(m.read(0x1234, Width::D, true), 0);
+        assert_eq!(m.page_count(), 0);
+    }
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut m = Memory::new();
+        for w in Width::ALL {
+            m.write(0x100, w, -2);
+            assert_eq!(m.read(0x100, w, true), -2, "{w:?}");
+        }
+        m.write(0x200, Width::B, 0xFF);
+        assert_eq!(m.read(0x200, Width::B, false), 0xFF);
+        assert_eq!(m.read(0x200, Width::B, true), -1);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = Memory::new();
+        let addr = (1 << PAGE_BITS) - 2; // straddles the page boundary
+        m.write(addr, Width::D, 0x1122_3344_5566_7788);
+        assert_eq!(m.read(addr, Width::D, true), 0x1122_3344_5566_7788);
+        assert_eq!(m.page_count(), 2);
+    }
+
+    #[test]
+    fn partial_store_preserves_neighbors() {
+        let mut m = Memory::new();
+        m.write(0x300, Width::D, -1);
+        m.write(0x302, Width::B, 0);
+        assert_eq!(m.read(0x300, Width::D, true), !(0xFFu64 << 16) as i64);
+    }
+
+    #[test]
+    fn bulk_init() {
+        let mut m = Memory::new();
+        m.write_bytes(0x400, &[1, 2, 3, 4]);
+        assert_eq!(m.read(0x400, Width::W, false), 0x0403_0201);
+    }
+}

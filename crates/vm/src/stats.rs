@@ -1,0 +1,141 @@
+//! Dynamic execution statistics.
+
+use og_isa::{OpClass, Width};
+use og_program::{BlockId, FuncId, InstRef};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Statistics gathered during a [`crate::Vm`] run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DynStats {
+    /// Committed (architectural) instruction count.
+    pub steps: u64,
+    /// Execution count of every basic block — the basic-block profile that
+    /// Value Range Specialization's candidate selection uses (§3.3).
+    pub block_counts: HashMap<(FuncId, BlockId), u64>,
+    /// `class_width[class.index()][width index 0..4]` — dynamic counts per
+    /// operation class and operand width (control flow excluded). This is
+    /// the raw material of Table 3 and Figures 2/7.
+    pub class_width: [[u64; 4]; 13],
+    /// Histogram of dynamic value sizes in significant bytes
+    /// (`sig_hist[n]` counts values needing exactly `n` bytes, n = 1..=8);
+    /// index 0 is unused. Figure 12's distribution.
+    pub sig_hist: [u64; 9],
+    /// Dynamic loads.
+    pub loads: u64,
+    /// Dynamic stores.
+    pub stores: u64,
+    /// Dynamic conditional branches.
+    pub cond_branches: u64,
+    /// Taken conditional branches.
+    pub taken_branches: u64,
+    /// Calls executed.
+    pub calls: u64,
+    /// Bytes emitted to the output stream.
+    pub out_bytes: u64,
+}
+
+impl DynStats {
+    /// Execution count of the block containing `r` — the paper's
+    /// `InstCount(I)` (every instruction of a block executes as often as
+    /// the block).
+    pub fn inst_count(&self, r: InstRef) -> u64 {
+        self.block_counts.get(&(r.func, r.block)).copied().unwrap_or(0)
+    }
+
+    /// Total dynamic count of non-control instructions.
+    pub fn data_insts(&self) -> u64 {
+        self.class_width.iter().flatten().sum()
+    }
+
+    /// Dynamic width distribution over non-control instructions, as
+    /// fractions `[8-bit, 16-bit, 32-bit, 64-bit]` summing to 1 (or zeros
+    /// when nothing ran).
+    pub fn width_fractions(&self) -> [f64; 4] {
+        let total = self.data_insts();
+        if total == 0 {
+            return [0.0; 4];
+        }
+        let mut out = [0.0; 4];
+        for row in &self.class_width {
+            for (i, &c) in row.iter().enumerate() {
+                out[i] += c as f64;
+            }
+        }
+        for v in &mut out {
+            *v /= total as f64;
+        }
+        out
+    }
+
+    /// Record one executed non-control instruction.
+    pub(crate) fn record_class_width(&mut self, class: OpClass, w: Width) {
+        let wi = match w {
+            Width::B => 0,
+            Width::H => 1,
+            Width::W => 2,
+            Width::D => 3,
+        };
+        self.class_width[class.index()][wi] += 1;
+    }
+
+    /// Record the significance (in bytes) of a dynamic value.
+    pub(crate) fn record_sig(&mut self, v: i64) {
+        self.sig_hist[Width::sig_bytes(v) as usize] += 1;
+    }
+
+    /// The Figure 12 distribution: fraction of dynamic values needing
+    /// exactly 1..=8 significant bytes.
+    pub fn sig_fractions(&self) -> [f64; 8] {
+        let total: u64 = self.sig_hist.iter().sum();
+        let mut out = [0.0; 8];
+        if total == 0 {
+            return out;
+        }
+        for n in 1..=8usize {
+            out[n - 1] = self.sig_hist[n] as f64 / total as f64;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use og_isa::OpClass;
+
+    #[test]
+    fn width_fractions_normalize() {
+        let mut s = DynStats::default();
+        s.record_class_width(OpClass::Add, Width::B);
+        s.record_class_width(OpClass::Add, Width::D);
+        s.record_class_width(OpClass::Sub, Width::D);
+        s.record_class_width(OpClass::Mul, Width::W);
+        let f = s.width_fractions();
+        assert!((f[0] - 0.25).abs() < 1e-12);
+        assert!((f[2] - 0.25).abs() < 1e-12);
+        assert!((f[3] - 0.5).abs() < 1e-12);
+        assert_eq!(s.data_insts(), 4);
+    }
+
+    #[test]
+    fn sig_histogram() {
+        let mut s = DynStats::default();
+        s.record_sig(0); // 1 byte
+        s.record_sig(-1); // 1 byte
+        s.record_sig(300); // 2 bytes
+        s.record_sig(0x12_0000_0000); // 5 bytes
+        let f = s.sig_fractions();
+        assert!((f[0] - 0.5).abs() < 1e-12);
+        assert!((f[1] - 0.25).abs() < 1e-12);
+        assert!((f[4] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = DynStats::default();
+        assert_eq!(s.width_fractions(), [0.0; 4]);
+        assert_eq!(s.sig_fractions(), [0.0; 8]);
+        assert_eq!(s.inst_count(InstRef::new(FuncId(0), BlockId(0), 0)), 0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Committed-path trace records consumed by the timing model.
+
+use og_isa::{Op, Reg, Width};
+use serde::{Deserialize, Serialize};
+
+/// One committed instruction, with everything the out-of-order timing
+/// model and the width-aware power model need:
+///
+/// * `pc`/`next_pc` for instruction-cache and branch-predictor behaviour,
+/// * architectural source/destination registers for rename dependences,
+/// * the memory address for data-cache behaviour,
+/// * the *software* width (the opcode's width after VRP/VRS) and the
+///   *dynamic* significance of the values (for the hardware
+///   significance/size-compression schemes of §4.6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Address of this instruction.
+    pub pc: u64,
+    /// Address of the next committed instruction (branch target when
+    /// taken; fall-through otherwise). `u64::MAX` for the last record.
+    pub next_pc: u64,
+    /// The operation.
+    pub op: Op,
+    /// Software (opcode) width.
+    pub width: Width,
+    /// Destination register, if any.
+    pub dst: Option<Reg>,
+    /// Source registers (up to 2 renamed operands; a conditional move's
+    /// old destination is carried in `src2`).
+    pub srcs: [Option<Reg>; 2],
+    /// Memory address for loads/stores, 0 otherwise.
+    pub mem_addr: u64,
+    /// Was a conditional branch taken? (`true` for unconditional
+    /// transfers.)
+    pub taken: bool,
+    /// Significant bytes (1..=8) of the result value; 0 when no result.
+    pub dst_sig: u8,
+    /// Significant bytes of each source value; 0 when absent.
+    pub src_sigs: [u8; 2],
+}
+
+impl TraceRecord {
+    /// Is this record a control transfer the branch predictor sees?
+    pub fn is_control(&self) -> bool {
+        matches!(self.op, Op::Br | Op::Bc(_) | Op::Jsr | Op::Ret)
+    }
+
+    /// Is this a conditional branch?
+    pub fn is_cond_branch(&self) -> bool {
+        matches!(self.op, Op::Bc(_))
+    }
+
+    /// The largest dynamic significance among sources and result, in bytes
+    /// (at least 1); this is the operand width a hardware
+    /// significance-compression scheme would process.
+    pub fn max_sig(&self) -> u8 {
+        self.dst_sig
+            .max(self.src_sigs[0])
+            .max(self.src_sigs[1])
+            .max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use og_isa::Cond;
+
+    fn rec(op: Op) -> TraceRecord {
+        TraceRecord {
+            pc: 0x400000,
+            next_pc: 0x400008,
+            op,
+            width: Width::D,
+            dst: Some(Reg::T0),
+            srcs: [Some(Reg::T1), None],
+            mem_addr: 0,
+            taken: false,
+            dst_sig: 3,
+            src_sigs: [1, 0],
+        }
+    }
+
+    #[test]
+    fn control_classification() {
+        assert!(rec(Op::Br).is_control());
+        assert!(rec(Op::Bc(Cond::Eq)).is_control());
+        assert!(rec(Op::Bc(Cond::Eq)).is_cond_branch());
+        assert!(rec(Op::Jsr).is_control());
+        assert!(rec(Op::Ret).is_control());
+        assert!(!rec(Op::Add).is_control());
+        assert!(!rec(Op::Br).is_cond_branch());
+    }
+
+    #[test]
+    fn max_sig_covers_all_operands() {
+        let mut r = rec(Op::Add);
+        assert_eq!(r.max_sig(), 3);
+        r.src_sigs = [7, 2];
+        assert_eq!(r.max_sig(), 7);
+        r.dst_sig = 0;
+        r.src_sigs = [0, 0];
+        assert_eq!(r.max_sig(), 1, "never below one byte");
+    }
+}

@@ -1,0 +1,793 @@
+//! The eight benchmark kernels.
+//!
+//! Style note: kernels are written the way a 1990s C compiler would emit
+//! Alpha code — `int` arithmetic at 32 bits, address arithmetic at 64
+//! bits, byte/halfword memory accesses with explicit masks and shifts —
+//! so the width analyses face realistic material. The VRS scratch
+//! registers (`at`, `pv`) are never used.
+
+use crate::{run_structured_bytes, InputSet, Workload};
+use og_isa::{CmpKind, Reg, Width};
+use og_program::rng::SplitMix64;
+use og_program::{imm, ProgramBuilder};
+
+use Width::{B, D, H, W};
+
+// Short register aliases (Reg is a struct with associated constants, so a
+// `use` list cannot import them).
+const V0: Reg = Reg::V0;
+const A0: Reg = Reg::A0;
+const A1: Reg = Reg::A1;
+const S0: Reg = Reg::S0;
+const S1: Reg = Reg::S1;
+const S2: Reg = Reg::S2;
+const S3: Reg = Reg::S3;
+const S4: Reg = Reg::S4;
+const S5: Reg = Reg::S5;
+const SP: Reg = Reg::SP;
+const T0: Reg = Reg::T0;
+const T1: Reg = Reg::T1;
+const T2: Reg = Reg::T2;
+const T3: Reg = Reg::T3;
+const T4: Reg = Reg::T4;
+const T5: Reg = Reg::T5;
+const T6: Reg = Reg::T6;
+const T7: Reg = Reg::T7;
+const T8: Reg = Reg::T8;
+const T9: Reg = Reg::T9;
+const T10: Reg = Reg::T10;
+
+/// `compress`: run-length + rolling-hash compression of a byte stream.
+///
+/// Dominated by byte loads, byte equality compares and an 8-bit output
+/// stream, with one 32-bit hash accumulator — the narrowest benchmark of
+/// the suite, like its namesake.
+pub fn compress(input: InputSet) -> Workload {
+    let mut rng = SplitMix64::new(input.seed(1));
+    let n = 1200 * input.scale();
+    let mut pb = ProgramBuilder::new();
+    let mut data = run_structured_bytes(&mut rng, 4096);
+    data.resize(4096, 0);
+    pb.data_bytes("input", data);
+    pb.data_quads("n", &[n as i64]);
+
+    let mut f = pb.function("main", 0);
+    f.block("entry");
+    f.la(S0, "input");
+    f.la(T0, "n");
+    f.ld(D, S1, T0, 0); // n
+    f.ldi(S2, 0); // i
+    f.ldi(S3, 0); // hash
+    f.block("outer");
+    f.add(D, T2, S0, S2);
+    f.ldu(B, T0, T2, 0); // current byte
+    f.ldi(T3, 1); // run length
+    f.block("scan");
+    f.add(D, T4, S2, T3);
+    f.cmp(CmpKind::Lt, D, T5, T4, S1);
+    f.beq(T5, "scan_done");
+    f.block("scan_more");
+    f.add(D, T6, S0, T4);
+    f.ldu(B, T7, T6, 0);
+    f.cmp(CmpKind::Eq, W, T8, T7, T0);
+    f.beq(T8, "scan_done");
+    f.block("scan_len");
+    f.cmp(CmpKind::Lt, W, T9, T3, imm(255));
+    f.beq(T9, "scan_done");
+    f.block("scan_inc");
+    f.add(W, T3, T3, imm(1));
+    f.br("scan");
+    f.block("scan_done");
+    f.out(B, T0);
+    f.out(B, T3);
+    // hash = (hash * 31 + byte) & 0xFFFFFF
+    f.mul(W, S3, S3, imm(31));
+    f.add(W, S3, S3, T0);
+    f.zapnot(S3, S3, 0x07); // keep the low three hash bytes
+    f.add(D, S2, S2, T3);
+    f.cmp(CmpKind::Lt, D, T5, S2, S1);
+    f.bne(T5, "outer");
+    f.block("done");
+    f.out(W, S3);
+    f.halt();
+    pb.finish(f);
+    Workload { name: "compress", program: pb.build().expect("compress builds") }
+}
+
+/// `gcc`: a tokenizer feeding a symbol hash table, followed by a
+/// switch-heavy "code generation" pass with mixed-width constants.
+pub fn gcc(input: InputSet) -> Workload {
+    let mut rng = SplitMix64::new(input.seed(2));
+    let n = 1000 * input.scale();
+    let mut pb = ProgramBuilder::new();
+    let src: Vec<u8> = (0..4096).map(|_| rng.next_u64() as u8).collect();
+    pb.data_bytes("src", src);
+    pb.data_quads("n", &[n as i64]);
+    pb.data_quads("counts", &[0; 16]);
+    pb.data_zeroed("symtab", 2048);
+
+    let mut f = pb.function("main", 0);
+    f.block("entry");
+    f.la(S0, "src");
+    f.la(T0, "n");
+    f.ld(D, S1, T0, 0);
+    f.la(S2, "counts");
+    f.la(S3, "symtab");
+    f.ldi(S4, 0); // i
+    f.ldi(S5, 0); // sym hash
+    // ---- pass 1: lex + symbol table ----
+    f.block("lex");
+    f.add(D, T1, S0, S4);
+    f.ldu(B, T0, T1, 0);
+    f.srl(W, T2, T0, imm(4)); // token class 0..15
+    f.and(W, T3, T0, imm(0xF)); // payload
+    f.sll(D, T4, T2, imm(3));
+    f.add(D, T4, S2, T4);
+    f.ld(D, T5, T4, 0);
+    f.add(W, T5, T5, imm(1));
+    f.st(D, T5, T4, 0); // counts[tok]++
+    f.cmp(CmpKind::Eq, W, T6, T2, imm(1));
+    f.beq(T6, "lex_next");
+    f.block("lex_sym");
+    f.mul(W, S5, S5, imm(33));
+    f.add(W, S5, S5, T3);
+    f.and(W, S5, S5, imm(1023));
+    f.sll(D, T7, S5, imm(1));
+    f.add(D, T7, S3, T7);
+    f.ldu(H, T8, T7, 0);
+    f.add(W, T8, T8, imm(1));
+    f.st(H, T8, T7, 0); // symtab[sym]++
+    f.block("lex_next");
+    f.add(D, S4, S4, imm(1));
+    f.cmp(CmpKind::Lt, D, T9, S4, S1);
+    f.bne(T9, "lex");
+    // ---- pass 2: "codegen" switch ----
+    f.block("gen_init");
+    f.ldi(S4, 0);
+    f.ldi(T10, 0); // cost accumulator
+    f.block("gen");
+    f.add(D, T1, S0, S4);
+    f.ldu(B, T0, T1, 0);
+    f.srl(W, T2, T0, imm(4));
+    f.and(W, T3, T0, imm(0xF));
+    f.cmp(CmpKind::Eq, W, T5, T2, imm(0));
+    f.bne(T5, "gen_nop");
+    f.block("gen_c1");
+    f.cmp(CmpKind::Lt, W, T5, T2, imm(4));
+    f.bne(T5, "gen_cheap");
+    f.block("gen_c2");
+    f.cmp(CmpKind::Lt, W, T5, T2, imm(8));
+    f.bne(T5, "gen_mid");
+    f.block("gen_c3");
+    f.cmp(CmpKind::Eq, W, T5, T2, imm(8));
+    f.bne(T5, "gen_emit");
+    f.block("gen_wide");
+    f.mul(W, T6, T3, imm(1027)); // "relocation" arithmetic
+    f.add(W, T10, T10, T6);
+    f.br("gen_next");
+    f.block("gen_nop");
+    f.add(W, T10, T10, imm(1));
+    f.br("gen_next");
+    f.block("gen_cheap");
+    f.mul(W, T6, T3, imm(3));
+    f.add(W, T10, T10, T6);
+    f.br("gen_next");
+    f.block("gen_mid");
+    f.sll(W, T6, T3, imm(2));
+    f.add(W, T6, T6, imm(7));
+    f.add(W, T10, T10, T6);
+    f.br("gen_next");
+    f.block("gen_emit");
+    f.out(B, T3);
+    f.block("gen_next");
+    f.add(D, S4, S4, imm(1));
+    f.cmp(CmpKind::Lt, D, T9, S4, S1);
+    f.bne(T9, "gen");
+    // ---- output ----
+    f.block("dump_init");
+    f.ldi(S4, 0);
+    f.block("dump");
+    f.sll(D, T4, S4, imm(3));
+    f.add(D, T4, S2, T4);
+    f.ld(D, T5, T4, 0);
+    f.out(W, T5);
+    f.add(D, S4, S4, imm(1));
+    f.cmp(CmpKind::Lt, D, T9, S4, imm(16));
+    f.bne(T9, "dump");
+    f.block("done");
+    f.out(W, T10);
+    f.out(W, S5);
+    f.halt();
+    pb.finish(f);
+    Workload { name: "gcc", program: pb.build().expect("gcc builds") }
+}
+
+/// `go`: repeated 19×19 board scans counting same-colour neighbours,
+/// updating a byte influence map — tiny values, dense branching.
+pub fn go(input: InputSet) -> Workload {
+    let mut rng = SplitMix64::new(input.seed(3));
+    let passes = 2 * input.scale() as i64;
+    let mut pb = ProgramBuilder::new();
+    let board: Vec<u8> = (0..448).map(|_| (rng.below(3)) as u8).collect();
+    pb.data_bytes("board", board);
+    pb.data_zeroed("influence", 448);
+    pb.data_quads("passes", &[passes]);
+
+    let mut f = pb.function("main", 0);
+    f.block("entry");
+    f.la(S0, "board");
+    f.la(S1, "influence");
+    f.la(T0, "passes");
+    f.ld(D, S2, T0, 0);
+    f.ldi(S3, 0); // pass counter
+    f.block("pass");
+    f.ldi(S4, 1); // y
+    f.ldi(T10, 0); // score
+    f.block("row");
+    f.ldi(S5, 1); // x
+    f.block("cell");
+    f.mul(W, T1, S4, imm(21));
+    f.add(W, T1, T1, S5); // idx
+    f.add(D, T2, S0, T1);
+    f.ldu(B, T3, T2, 0); // colour
+    // four neighbours
+    f.ldu(B, T4, T2, -21);
+    f.ldu(B, T5, T2, 21);
+    f.ldu(B, T6, T2, -1);
+    f.ldu(B, T7, T2, 1);
+    f.cmp(CmpKind::Eq, B, T4, T4, T3);
+    f.cmp(CmpKind::Eq, B, T5, T5, T3);
+    f.cmp(CmpKind::Eq, B, T6, T6, T3);
+    f.cmp(CmpKind::Eq, B, T7, T7, T3);
+    f.add(B, T8, T4, T5);
+    f.add(B, T8, T8, T6);
+    f.add(B, T8, T8, T7); // same-colour neighbour count 0..4
+    f.mul(W, T9, T8, T3);
+    f.add(W, T10, T10, T9); // score += same * colour
+    f.add(D, T2, S1, T1);
+    f.ldu(B, T9, T2, 0);
+    f.add(W, T9, T9, T8);
+    f.zapnot(T9, T9, 0x01); // clip to a byte
+    f.st(B, T9, T2, 0); // influence[idx] = byte(influence + same)
+    f.add(W, S5, S5, imm(1));
+    f.cmp(CmpKind::Lt, W, T9, S5, imm(20));
+    f.bne(T9, "cell");
+    f.block("row_next");
+    f.add(W, S4, S4, imm(1));
+    f.cmp(CmpKind::Lt, W, T9, S4, imm(20));
+    f.bne(T9, "row");
+    f.block("pass_next");
+    f.out(W, T10);
+    f.add(W, S3, S3, imm(1));
+    f.cmp(CmpKind::Lt, W, T9, S3, S2);
+    f.bne(T9, "pass");
+    f.block("done");
+    f.halt();
+    pb.finish(f);
+    Workload { name: "go", program: pb.build().expect("go builds") }
+}
+
+/// `ijpeg`: 8×8 integer butterfly transform (DCT-style) over an 8-bit
+/// image: byte pixels, 16/32-bit intermediates, constant multiplies.
+pub fn ijpeg(input: InputSet) -> Workload {
+    let mut rng = SplitMix64::new(input.seed(4));
+    let nblocks = 16 * input.scale() as i64; // 8x8 blocks processed
+    let mut pb = ProgramBuilder::new();
+    let img: Vec<u8> = (0..4096).map(|_| rng.next_u64() as u8).collect();
+    pb.data_bytes("img", img);
+    pb.data_quads("nblocks", &[nblocks]);
+
+    let mut f = pb.function("main", 0);
+    f.block("entry");
+    f.la(S0, "img");
+    f.la(T0, "nblocks");
+    f.ld(D, S1, T0, 0);
+    f.ldi(S2, 0); // block index
+    f.ldi(S5, 0); // energy accumulator
+    f.block("block");
+    // block base: (block % 8) * 8 + (block / 8) * 512
+    f.and(W, T0, S2, imm(7));
+    f.sll(W, T0, T0, imm(3));
+    f.srl(W, T1, S2, imm(3));
+    f.sll(W, T1, T1, imm(9));
+    f.add(W, T0, T0, T1);
+    f.add(D, S3, S0, T0); // row pointer
+    f.ldi(S4, 0); // row counter
+    f.block("row");
+    f.ldu(B, T0, S3, 0);
+    f.ldu(B, T1, S3, 1);
+    f.ldu(B, T2, S3, 2);
+    f.ldu(B, T3, S3, 3);
+    f.ldu(B, T4, S3, 4);
+    f.ldu(B, T5, S3, 5);
+    f.ldu(B, T6, S3, 6);
+    f.ldu(B, T7, S3, 7);
+    // butterflies (9-bit sums / differences)
+    f.add(H, T8, T0, T7);
+    f.sub(H, T0, T0, T7);
+    f.add(H, T9, T1, T6);
+    f.sub(H, T1, T1, T6);
+    f.add(H, T10, T2, T5);
+    f.sub(H, T2, T2, T5);
+    f.add(H, T7, T3, T4);
+    f.sub(H, T3, T3, T4);
+    // dc = s0+s1+s2+s3; ac = d0*181 + d1*98 + d2*49 >> 6
+    f.add(W, T8, T8, T9);
+    f.add(W, T8, T8, T10);
+    f.add(W, T8, T8, T7); // dc (0..2040)
+    f.mul(W, T0, T0, imm(181));
+    f.mul(W, T1, T1, imm(98));
+    f.mul(W, T2, T2, imm(49));
+    f.add(W, T0, T0, T1);
+    f.add(W, T0, T0, T2);
+    f.add(W, T0, T0, T3);
+    f.sra(W, T0, T0, imm(6)); // ac
+    // energy += dc + |ac| (via conditional negate)
+    f.add(W, S5, S5, T8);
+    f.cmov(og_isa::Cond::Ge, W, T1, T0, T0);
+    f.sub(W, T2, Reg::ZERO, T0);
+    f.cmov(og_isa::Cond::Lt, W, T1, T0, T2);
+    f.add(W, S5, S5, T1);
+    // store quantized dc back as a byte
+    f.srl(W, T9, T8, imm(3));
+    f.zapnot(T9, T9, 0x01); // clip to a byte
+    f.st(B, T9, S3, 0);
+    f.add(D, S3, S3, imm(64)); // next row of the block
+    f.add(W, S4, S4, imm(1));
+    f.cmp(CmpKind::Lt, W, T9, S4, imm(8));
+    f.bne(T9, "row");
+    f.block("block_next");
+    f.out(H, S5);
+    f.add(W, S2, S2, imm(1));
+    f.cmp(CmpKind::Lt, W, T9, S2, S1);
+    f.bne(T9, "block");
+    f.block("done");
+    f.out(W, S5);
+    f.halt();
+    pb.finish(f);
+    Workload { name: "ijpeg", program: pb.build().expect("ijpeg builds") }
+}
+
+/// `li`: a cons-cell list machine — build, recursively sum, double and
+/// count a list; exercises calls, recursion and the return-address stack.
+pub fn li(input: InputSet) -> Workload {
+    let mut rng = SplitMix64::new(input.seed(5));
+    let n = 60 * input.scale() as i64;
+    let mut pb = ProgramBuilder::new();
+    pb.data_zeroed("cells", 2048 * 16); // (car, cdr) quads
+    pb.data_quads("freep", &[0]);
+    pb.data_quads("nlist", &[n]);
+    let vals: Vec<i64> = (0..512).map(|_| rng.below(1000) as i64).collect();
+    pb.data_quads("vals", &vals);
+
+    pb.declare("cons", 2);
+    pb.declare("sum", 1);
+
+    // cons(car, cdr) -> index
+    let mut c = pb.function("cons", 2);
+    c.block("entry");
+    c.la(T0, "freep");
+    c.ld(D, T1, T0, 0);
+    c.add(D, T2, T1, imm(1));
+    c.st(D, T2, T0, 0);
+    c.la(T3, "cells");
+    c.sll(D, T4, T1, imm(4));
+    c.add(D, T4, T3, T4);
+    c.st(D, A0, T4, 0); // car
+    c.st(D, A1, T4, 8); // cdr (index or -1)
+    c.mov(D, V0, T1);
+    c.ret();
+    pb.finish(c);
+
+    // sum(list) -> recursive sum of cars
+    let mut s = pb.function("sum", 1);
+    s.block("entry");
+    s.bge(A0, "recurse");
+    s.block("base");
+    s.ldi(V0, 0);
+    s.ret();
+    s.block("recurse");
+    s.la(T0, "cells");
+    s.sll(D, T1, A0, imm(4));
+    s.add(D, T1, T0, T1);
+    s.ld(D, T2, T1, 0); // car
+    s.ld(D, A0, T1, 8); // cdr
+    s.sub(D, SP, SP, imm(16));
+    s.st(D, T2, SP, 0);
+    s.jsr("sum");
+    s.ld(D, T2, SP, 0);
+    s.add(D, SP, SP, imm(16));
+    s.add(W, V0, V0, T2);
+    s.ret();
+    pb.finish(s);
+
+    let mut f = pb.function("main", 0);
+    f.block("entry");
+    f.la(T0, "nlist");
+    f.ld(D, S1, T0, 0); // n
+    f.la(S2, "vals");
+    f.ldi(S0, -1); // list head
+    f.ldi(S3, 0); // i
+    f.block("build");
+    f.and(D, T1, S3, imm(511));
+    f.sll(D, T1, T1, imm(3));
+    f.add(D, T1, S2, T1);
+    f.ld(D, A0, T1, 0); // value
+    f.mov(D, A1, S0);
+    f.jsr("cons");
+    f.mov(D, S0, V0);
+    f.add(D, S3, S3, imm(1));
+    f.cmp(CmpKind::Lt, D, T2, S3, S1);
+    f.bne(T2, "build");
+    f.block("sum1");
+    f.mov(D, A0, S0);
+    f.jsr("sum");
+    f.out(W, V0);
+    // double every car, iteratively
+    f.block("dbl_init");
+    f.mov(D, S3, S0);
+    f.la(S4, "cells");
+    f.block("dbl");
+    f.blt(S3, "sum2");
+    f.block("dbl_body");
+    f.sll(D, T1, S3, imm(4));
+    f.add(D, T1, S4, T1);
+    f.ld(D, T2, T1, 0);
+    f.sll(W, T2, T2, imm(1));
+    f.st(D, T2, T1, 0);
+    f.ld(D, S3, T1, 8);
+    f.br("dbl");
+    f.block("sum2");
+    f.mov(D, A0, S0);
+    f.jsr("sum");
+    f.out(W, V0);
+    // count odd cars
+    f.block("odd_init");
+    f.mov(D, S3, S0);
+    f.ldi(S5, 0);
+    f.block("odd");
+    f.blt(S3, "done");
+    f.block("odd_body");
+    f.sll(D, T1, S3, imm(4));
+    f.add(D, T1, S4, T1);
+    f.ld(D, T2, T1, 0);
+    f.and(B, T2, T2, imm(1));
+    f.add(W, S5, S5, T2);
+    f.ld(D, S3, T1, 8);
+    f.br("odd");
+    f.block("done");
+    f.out(W, S5);
+    f.halt();
+    pb.finish(f);
+    Workload { name: "li", program: pb.build().expect("li builds") }
+}
+
+/// `m88ksim`: an instruction-set simulator simulating a toy 32-bit ISA —
+/// the decode loop is shift/mask-heavy, exactly like its namesake.
+pub fn m88ksim(input: InputSet) -> Workload {
+    let mut rng = SplitMix64::new(input.seed(6));
+    let passes = 6 * input.scale() as i64;
+    let mut pb = ProgramBuilder::new();
+    // Toy ISA: op[24..28] rd[20..24] rs1[16..20] rs2[12..16] imm[0..8]
+    let text: Vec<i64> = (0..256)
+        .map(|_| {
+            let op = rng.below(8);
+            let rd = rng.below(16);
+            let rs1 = rng.below(16);
+            let rs2 = rng.below(16);
+            let immv = rng.below(256);
+            ((op << 24) | (rd << 20) | (rs1 << 16) | (rs2 << 12) | immv) as i64
+        })
+        .collect();
+    let mut words = Vec::with_capacity(256 * 4);
+    for w in &text {
+        words.extend_from_slice(&(*w as u32).to_le_bytes());
+    }
+    pb.data_bytes("text", words);
+    pb.data_zeroed("tregs", 64); // 16 × u32
+    pb.data_quads("passes", &[passes]);
+
+    let mut f = pb.function("main", 0);
+    f.block("entry");
+    f.la(S0, "text");
+    f.la(S1, "tregs");
+    f.la(T0, "passes");
+    f.ld(D, S2, T0, 0);
+    f.ldi(S3, 0); // pass
+    f.block("pass");
+    f.ldi(S4, 0); // pc
+    f.block("fetch");
+    f.sll(D, T0, S4, imm(2));
+    f.add(D, T0, S0, T0);
+    f.ld(W, T1, T0, 0); // instruction word (LDL sign-extends)
+    // decode
+    f.srl(W, T2, T1, imm(24));
+    f.and(W, T2, T2, imm(0xF)); // op
+    f.srl(W, T3, T1, imm(20));
+    f.and(W, T3, T3, imm(0xF)); // rd
+    f.srl(W, T4, T1, imm(16));
+    f.and(W, T4, T4, imm(0xF)); // rs1
+    f.srl(W, T5, T1, imm(12));
+    f.and(W, T5, T5, imm(0xF)); // rs2
+    f.ext(B, T6, T1, imm(0)); // imm8 (EXTBL)
+    // read rs1 / rs2
+    f.sll(D, T7, T4, imm(2));
+    f.add(D, T7, S1, T7);
+    f.ld(W, T7, T7, 0); // v1 (LDL)
+    f.sll(D, T8, T5, imm(2));
+    f.add(D, T8, S1, T8);
+    f.ld(W, T8, T8, 0); // v2 (LDL)
+    // execute
+    f.cmp(CmpKind::Eq, W, T9, T2, imm(0));
+    f.bne(T9, "ex_add");
+    f.block("d1");
+    f.cmp(CmpKind::Eq, W, T9, T2, imm(1));
+    f.bne(T9, "ex_sub");
+    f.block("d2");
+    f.cmp(CmpKind::Eq, W, T9, T2, imm(2));
+    f.bne(T9, "ex_and");
+    f.block("d3");
+    f.cmp(CmpKind::Eq, W, T9, T2, imm(3));
+    f.bne(T9, "ex_or");
+    f.block("d4");
+    f.cmp(CmpKind::Eq, W, T9, T2, imm(4));
+    f.bne(T9, "ex_xor");
+    f.block("d5");
+    f.cmp(CmpKind::Eq, W, T9, T2, imm(5));
+    f.bne(T9, "ex_li");
+    f.block("d6");
+    f.cmp(CmpKind::Eq, W, T9, T2, imm(6));
+    f.bne(T9, "ex_srl");
+    f.block("ex_skip"); // op 7: skip next if v1 != 0
+    f.beq(T7, "advance");
+    f.block("do_skip");
+    f.add(W, S4, S4, imm(1));
+    f.br("advance");
+    f.block("ex_add");
+    f.add(W, T9, T7, T8);
+    f.br("writeback");
+    f.block("ex_sub");
+    f.sub(W, T9, T7, T8);
+    f.br("writeback");
+    f.block("ex_and");
+    f.and(W, T9, T7, T8);
+    f.br("writeback");
+    f.block("ex_or");
+    f.or(W, T9, T7, T8);
+    f.br("writeback");
+    f.block("ex_xor");
+    f.xor(W, T9, T7, T8);
+    f.br("writeback");
+    f.block("ex_li");
+    f.mov(W, T9, T6);
+    f.br("writeback");
+    f.block("ex_srl");
+    f.and(W, T10, T6, imm(31));
+    f.srl(W, T9, T7, T10);
+    f.block("writeback");
+    f.sll(D, T10, T3, imm(2));
+    f.add(D, T10, S1, T10);
+    f.st(W, T9, T10, 0);
+    f.block("advance");
+    f.add(W, S4, S4, imm(1));
+    f.cmp(CmpKind::Lt, W, T9, S4, imm(256));
+    f.bne(T9, "fetch");
+    f.block("pass_next");
+    f.add(W, S3, S3, imm(1));
+    f.cmp(CmpKind::Lt, W, T9, S3, S2);
+    f.bne(T9, "pass");
+    // checksum of the simulated register file
+    f.block("check_init");
+    f.ldi(S4, 0);
+    f.ldi(S5, 0);
+    f.block("check");
+    f.sll(D, T0, S4, imm(2));
+    f.add(D, T0, S1, T0);
+    f.ld(W, T1, T0, 0);
+    f.xor(W, S5, S5, T1);
+    f.add(W, S4, S4, imm(1));
+    f.cmp(CmpKind::Lt, W, T2, S4, imm(16));
+    f.bne(T2, "check");
+    f.block("done");
+    f.out(W, S5);
+    f.halt();
+    pb.finish(f);
+    Workload { name: "m88ksim", program: pb.build().expect("m88ksim builds") }
+}
+
+/// `perl`: word hashing into buckets plus a pattern scan over text.
+pub fn perl(input: InputSet) -> Workload {
+    let mut rng = SplitMix64::new(input.seed(7));
+    let n = 1100 * input.scale() as i64;
+    let mut pb = ProgramBuilder::new();
+    let mut text = Vec::with_capacity(4096);
+    while text.len() < 4096 {
+        let wlen = 1 + rng.below(8) as usize;
+        for _ in 0..wlen.min(4096 - text.len()) {
+            text.push(b'a' + rng.below(26) as u8);
+        }
+        if text.len() < 4096 {
+            text.push(b' ');
+        }
+    }
+    pb.data_bytes("text", text);
+    pb.data_quads("n", &[n]);
+    pb.data_quads("buckets", &[0; 64]);
+
+    let mut f = pb.function("main", 0);
+    f.block("entry");
+    f.la(S0, "text");
+    f.la(T0, "n");
+    f.ld(D, S1, T0, 0);
+    f.la(S2, "buckets");
+    f.ldi(S3, 0); // i
+    f.ldi(S4, 0); // running word hash
+    f.block("scan");
+    f.add(D, T1, S0, S3);
+    f.ldu(B, T0, T1, 0);
+    f.cmp(CmpKind::Eq, W, T2, T0, imm(32)); // space?
+    f.bne(T2, "word_end");
+    f.block("accumulate");
+    f.mul(W, S4, S4, imm(131));
+    f.add(W, S4, S4, T0);
+    f.and(W, S4, S4, imm(0xF_FFFF));
+    f.br("scan_next");
+    f.block("word_end");
+    f.and(W, T3, S4, imm(63));
+    f.sll(D, T4, T3, imm(3));
+    f.add(D, T4, S2, T4);
+    f.ld(D, T5, T4, 0);
+    f.add(W, T5, T5, imm(1));
+    f.st(D, T5, T4, 0);
+    f.ldi(S4, 0);
+    f.block("scan_next");
+    f.add(D, S3, S3, imm(1));
+    f.cmp(CmpKind::Lt, D, T6, S3, S1);
+    f.bne(T6, "scan");
+    // pattern scan: count "th" pairs
+    f.block("pat_init");
+    f.ldi(S3, 0);
+    f.ldi(S5, 0);
+    f.block("pat");
+    f.add(D, T1, S0, S3);
+    f.ldu(B, T0, T1, 0);
+    f.cmp(CmpKind::Eq, W, T2, T0, imm('t' as i64));
+    f.beq(T2, "pat_next");
+    f.block("pat_second");
+    f.ldu(B, T3, T1, 1);
+    f.cmp(CmpKind::Eq, W, T4, T3, imm('h' as i64));
+    f.add(W, S5, S5, T4);
+    f.block("pat_next");
+    f.add(D, S3, S3, imm(1));
+    f.cmp(CmpKind::Lt, D, T6, S3, S1);
+    f.bne(T6, "pat");
+    // dump bucket histogram bytes + counts
+    f.block("dump_init");
+    f.ldi(S3, 0);
+    f.block("dump");
+    f.sll(D, T4, S3, imm(3));
+    f.add(D, T4, S2, T4);
+    f.ld(D, T5, T4, 0);
+    f.out(B, T5);
+    f.add(D, S3, S3, imm(1));
+    f.cmp(CmpKind::Lt, D, T6, S3, imm(64));
+    f.bne(T6, "dump");
+    f.block("done");
+    f.out(W, S5);
+    f.halt();
+    pb.finish(f);
+    Workload { name: "perl", program: pb.build().expect("perl builds") }
+}
+
+/// `vortex`: an in-memory object store — hashed insert then chained
+/// lookups; 32-bit keys threaded through 64-bit pointers.
+pub fn vortex(input: InputSet) -> Workload {
+    let mut rng = SplitMix64::new(input.seed(8));
+    let nrec = 170 * input.scale() as i64; // ≤ 510 < 512
+    let nq = 160 * input.scale() as i64;
+    let mut pb = ProgramBuilder::new();
+    let mut records = Vec::with_capacity(512 * 16);
+    let mut keys = Vec::with_capacity(512);
+    for i in 0..512u64 {
+        let key = rng.below(4096) as u32;
+        keys.push(key);
+        // Most payloads are empty (deleted / tombstoned objects): the
+        // dynamically-sparse wide field VRS thrives on.
+        let val = if rng.chance(9, 10) { 0 } else { rng.below(100_000) as u32 };
+        records.extend_from_slice(&(i as u32).to_le_bytes());
+        records.extend_from_slice(&key.to_le_bytes());
+        records.extend_from_slice(&val.to_le_bytes());
+        records.extend_from_slice(&0u32.to_le_bytes());
+    }
+    pb.data_bytes("records", records);
+    pb.data_bytes("heads", vec![0xFF; 128 * 4]); // -1 sentinels
+    pb.data_bytes("chains", vec![0xFF; 512 * 4]);
+    pb.data_quads("nrec", &[nrec]);
+    pb.data_quads("nq", &[nq]);
+    // Most queries hit (drawn from inserted keys), some miss.
+    let queries: Vec<i64> = (0..512)
+        .map(|_| {
+            if rng.chance(4, 5) {
+                keys[rng.below(nrec as u64) as usize] as i64
+            } else {
+                rng.below(4096) as i64
+            }
+        })
+        .collect();
+    pb.data_quads("queries", &queries);
+
+    let mut f = pb.function("main", 0);
+    f.block("entry");
+    f.la(S0, "records");
+    f.la(S1, "heads");
+    f.la(S2, "chains");
+    f.la(T0, "nrec");
+    f.ld(D, S3, T0, 0);
+    f.ldi(S4, 0); // i
+    // ---- insert phase ----
+    f.block("insert");
+    f.sll(D, T0, S4, imm(4));
+    f.add(D, T0, S0, T0);
+    f.ld(W, T1, T0, 4); // key (LDL)
+    f.and(W, T2, T1, imm(127)); // bucket
+    f.sll(D, T3, T2, imm(2));
+    f.add(D, T3, S1, T3);
+    f.ld(W, T4, T3, 0); // old head (sign-extended; -1 = empty)
+    f.sll(D, T5, S4, imm(2));
+    f.add(D, T5, S2, T5);
+    f.st(W, T4, T5, 0); // chains[i] = old head
+    f.st(W, S4, T3, 0); // heads[b] = i
+    f.add(D, S4, S4, imm(1));
+    f.cmp(CmpKind::Lt, D, T6, S4, S3);
+    f.bne(T6, "insert");
+    // ---- query phase ----
+    f.block("query_init");
+    f.la(T0, "nq");
+    f.ld(D, S3, T0, 0);
+    f.la(S5, "queries");
+    f.ldi(S4, 0); // q
+    f.ldi(T10, 0); // found-value accumulator
+    f.block("query");
+    f.sll(D, T0, S4, imm(3));
+    f.add(D, T0, S5, T0);
+    f.ld(D, T1, T0, 0); // key
+    f.and(W, T2, T1, imm(127));
+    f.sll(D, T3, T2, imm(2));
+    f.add(D, T3, S1, T3);
+    f.ld(W, T4, T3, 0); // idx = heads[b]
+    f.block("walk");
+    f.blt(T4, "query_next");
+    f.block("walk_body");
+    f.sll(D, T5, T4, imm(4));
+    f.add(D, T5, S0, T5);
+    f.ld(W, T6, T5, 4); // record key (LDL)
+    f.cmp(CmpKind::Eq, W, T7, T6, T1);
+    f.beq(T7, "walk_next");
+    f.block("found");
+    f.ld(W, T8, T5, 8); // value (LDL)
+    // payload processing: scale, bias and fold the value into the
+    // accumulator (the chain VRS can specialize when the value is 0)
+    f.add(W, T6, T8, imm(3));
+    f.sll(W, T7, T6, imm(1));
+    f.add(W, T6, T7, T8);
+    f.add(W, T7, T6, imm(25));
+    f.sub(W, T6, T7, imm(2));
+    f.sra(W, T7, T6, imm(1));
+    f.add(W, T6, T7, T6);
+    f.add(W, T10, T10, T6);
+    f.br("query_next");
+    f.block("walk_next");
+    f.sll(D, T5, T4, imm(2));
+    f.add(D, T5, S2, T5);
+    f.ld(W, T4, T5, 0); // idx = chains[idx]
+    f.br("walk");
+    f.block("query_next");
+    f.add(D, S4, S4, imm(1));
+    f.cmp(CmpKind::Lt, D, T9, S4, S3);
+    f.bne(T9, "query");
+    f.block("done");
+    f.out(W, T10);
+    f.halt();
+    pb.finish(f);
+    Workload { name: "vortex", program: pb.build().expect("vortex builds") }
+}

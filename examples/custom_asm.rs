@@ -1,0 +1,58 @@
+//! Write a program in the textual assembly dialect, analyze it, and
+//! print the re-encoded (width-annotated) assembly.
+//!
+//! ```text
+//! cargo run --example custom_asm
+//! ```
+
+use operand_gating::prelude::*;
+use og_program::{parse_asm, program_to_asm};
+
+const SOURCE: &str = r"
+; Count bytes above a threshold and emit a bounded checksum.
+.data
+buf:    .byte 12, 200, 7, 99, 250, 3, 128, 64
+.text
+.func main, args=0
+entry:
+    ldi     s0, @buf
+    ldi     t0, 0          ; i
+    ldi     t1, 0          ; count
+    ldi     t2, 0          ; checksum
+loop:
+    add.d   t3, s0, t0
+    ldu.b   t4, 0(t3)
+    cmplt.d t5, t4, 100
+    bne     t5, next
+small:
+    add.d   t1, t1, 1
+    add.d   t2, t2, t4
+next:
+    add.d   t0, t0, 1
+    cmplt.d t6, t0, 8
+    bne     t6, loop
+exit:
+    and.d   t2, t2, 0xFF   ; only the low byte is ever used...
+    out.b   t2
+    out.b   t1
+    halt
+.endfunc
+";
+
+fn main() {
+    let mut program = parse_asm(SOURCE).expect("assembly parses");
+    let mut vm = Vm::new(&program, RunConfig::default());
+    vm.run().expect("program runs");
+    println!("output: {:?}\n", vm.output());
+
+    let report = VrpPass::new(VrpConfig::default()).run(&mut program);
+    println!(
+        "after VRP ({} instructions narrowed):\n",
+        report.narrowed_instructions
+    );
+    println!("{}", program_to_asm(&program));
+
+    let mut vm = Vm::new(&program, RunConfig::default());
+    vm.run().expect("transformed program runs");
+    println!("output unchanged: {:?}", vm.output());
+}

@@ -1,0 +1,50 @@
+//! Hardware vs software operand gating (the paper's §4.6/§4.7
+//! comparison) on one benchmark: one simulation run, five prices.
+//!
+//! ```text
+//! cargo run --release --example hw_vs_sw
+//! ```
+
+use operand_gating::prelude::*;
+use og_vm::Vm;
+use og_workloads::m88ksim;
+
+fn main() {
+    let model = EnergyModel::new();
+
+    // The hardware schemes price the *baseline* program's activity;
+    // the software and cooperative schemes need the VRP-annotated one.
+    let baseline = m88ksim(InputSet::Ref).program;
+    let mut vrp_prog = baseline.clone();
+    VrpPass::new(VrpConfig::default()).run(&mut vrp_prog);
+
+    let run = |p: &og_program::Program| {
+        let mut vm = Vm::new(p, RunConfig { collect_trace: true, ..Default::default() });
+        vm.run().expect("workload runs");
+        let (trace, _, _) = vm.into_parts();
+        Simulator::new(MachineConfig::default()).run(&trace)
+    };
+    let base_sim = run(&baseline);
+    let vrp_sim = run(&vrp_prog);
+
+    let base = model.report(&base_sim.activity, GatingScheme::None);
+    println!("m88ksim, energy relative to the ungated baseline:");
+    for (label, activity, scheme) in [
+        ("software (VRP opcodes)", &vrp_sim.activity, GatingScheme::Software),
+        ("hw significance (7 tag bits)", &base_sim.activity, GatingScheme::HwSignificance),
+        ("hw size {1,2,5,8} (2 tag bits)", &base_sim.activity, GatingScheme::HwSize),
+        ("cooperative sw+hw (§4.7)", &vrp_sim.activity, GatingScheme::Cooperative),
+    ] {
+        let report = model.report(activity, scheme);
+        println!(
+            "  {label:<32} {:>10.0} nJ   savings {:>6.2}%",
+            report.total_nj,
+            100.0 * report.total_savings_vs(&base)
+        );
+    }
+    println!(
+        "\nShape check (paper §4.6–4.7): hardware ≈ 15%, software below it,\n\
+         cooperative the best of all — because dynamic tags catch values\n\
+         the static analysis must assume wide."
+    );
+}

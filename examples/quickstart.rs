@@ -1,0 +1,60 @@
+//! Quickstart: build a small program, run Value Range Propagation, and
+//! watch the opcode widths narrow.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use operand_gating::prelude::*;
+use og_program::{imm, ProgramBuilder};
+
+fn main() {
+    // A toy kernel: sum the low bytes of a table, like the paper's
+    // motivating AND-0xFF example.
+    let mut pb = ProgramBuilder::new();
+    pb.data_quads("table", &[0x1234_5601, 0x0BAD_5602, 0x0FEE_5603, 0x7777_5604]);
+    let mut f = pb.function("main", 0);
+    f.block("entry");
+    f.la(Reg::S0, "table");
+    f.ldi(Reg::T0, 0); // i
+    f.ldi(Reg::S1, 0); // acc
+    f.block("loop");
+    f.sll(Width::D, Reg::T1, Reg::T0, imm(3));
+    f.add(Width::D, Reg::T1, Reg::S0, Reg::T1);
+    f.ld(Width::D, Reg::T2, Reg::T1, 0); // load the whole quad...
+    f.and(Width::D, Reg::T3, Reg::T2, imm(0xFF)); // ...but use one byte
+    f.add(Width::D, Reg::S1, Reg::S1, Reg::T3);
+    f.add(Width::D, Reg::T0, Reg::T0, imm(1));
+    f.cmp(CmpKind::Lt, Width::D, Reg::T4, Reg::T0, imm(4));
+    f.bne(Reg::T4, "loop");
+    f.block("exit");
+    f.out(Width::H, Reg::S1);
+    f.halt();
+    pb.finish(f);
+    let mut program = pb.build().expect("program builds");
+
+    println!("== before VRP ==");
+    print_widths(&program);
+
+    let baseline_output = run(&program);
+    let report = VrpPass::new(VrpConfig::default()).run(&mut program);
+
+    println!("\n== after VRP ({} instructions narrowed) ==", report.narrowed_instructions);
+    print_widths(&program);
+
+    let transformed_output = run(&program);
+    assert_eq!(baseline_output, transformed_output);
+    println!("\noutput unchanged: {baseline_output:?} — observational equivalence holds");
+}
+
+fn print_widths(program: &og_program::Program) {
+    for (at, inst) in program.func(program.entry).insts() {
+        println!("  {at}  {inst}");
+    }
+}
+
+fn run(program: &og_program::Program) -> Vec<u8> {
+    let mut vm = Vm::new(program, RunConfig::default());
+    vm.run().expect("program runs");
+    vm.output().to_vec()
+}

@@ -1,0 +1,128 @@
+//! The repository's central correctness property: every program
+//! transformation preserves observational equivalence — the transformed
+//! program's output stream is byte-identical to the original's.
+
+use og_core::{UsefulPolicy, VrpConfig, VrpPass, VrsConfig, VrsPass};
+use og_isa::IsaExtension;
+use og_program::generate::{generate_program, GenConfig};
+use og_program::Program;
+use og_vm::{RunConfig, Vm};
+use og_workloads::{all, by_name, InputSet, NAMES};
+use proptest::prelude::*;
+
+fn run_output(p: &Program) -> (Vec<u8>, u64) {
+    let mut vm = Vm::new(p, RunConfig::default());
+    let outcome = vm.run().expect("program runs");
+    (vm.output().to_vec(), outcome.steps)
+}
+
+#[test]
+fn vrp_preserves_every_workload_output() {
+    for input in [InputSet::Train, InputSet::Ref] {
+        for wl in all(input) {
+            let (base_out, base_steps) = run_output(&wl.program);
+            for policy in [UsefulPolicy::Off, UsefulPolicy::Paper, UsefulPolicy::Aggressive] {
+                let mut p = wl.program.clone();
+                let report =
+                    VrpPass::new(VrpConfig { useful_policy: policy, ..Default::default() })
+                        .run(&mut p);
+                p.verify().expect("still well-formed");
+                let (out, steps) = run_output(&p);
+                assert_eq!(
+                    out, base_out,
+                    "{} ({input:?}, {policy:?}): output diverged after narrowing {} insts",
+                    wl.name, report.narrowed_instructions
+                );
+                assert_eq!(steps, base_steps, "{}: VRP must not change the path", wl.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn vrp_narrows_every_workload() {
+    // Static narrowing counts are modest (addresses are 5-byte values on
+    // this machine and stay 64-bit), but every kernel must have *some*
+    // statically narrowable instructions, and the suite as a whole a
+    // meaningful fraction.
+    let mut narrowed_total = 0usize;
+    let mut inst_total = 0usize;
+    for wl in all(InputSet::Ref) {
+        let mut p = wl.program.clone();
+        let report = VrpPass::new(VrpConfig::default()).run(&mut p);
+        assert!(
+            report.narrowed_instructions >= 1,
+            "{}: nothing narrowed",
+            wl.name
+        );
+        narrowed_total += report.narrowed_instructions;
+        inst_total += p.inst_count();
+    }
+    assert!(
+        narrowed_total * 10 >= inst_total,
+        "suite-wide narrowing too weak: {narrowed_total}/{inst_total}"
+    );
+}
+
+#[test]
+fn vrs_preserves_every_workload_output() {
+    for name in NAMES {
+        let train = by_name(name, InputSet::Train).program;
+        let mut refp = by_name(name, InputSet::Ref).program;
+        let (base_out, _) = run_output(&refp);
+        let report = VrsPass::new(VrsConfig::default()).run(&mut refp, &train);
+        refp.verify().expect("specialized program verifies");
+        let (out, _) = run_output(&refp);
+        assert_eq!(
+            out, base_out,
+            "{name}: output diverged ({} specialized)",
+            report.count_fate(og_core::CandidateFate::Specialized)
+        );
+    }
+}
+
+#[test]
+fn vrs_triage_covers_all_profiled_points() {
+    for name in ["gcc", "vortex", "go"] {
+        let train = by_name(name, InputSet::Train).program;
+        let mut refp = by_name(name, InputSet::Ref).program;
+        let report = VrsPass::new(VrsConfig::default()).run(&mut refp, &train);
+        assert_eq!(report.fates.len(), report.profiled_points, "{name}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// VRP equivalence over randomly generated programs (all policies).
+    #[test]
+    fn vrp_equivalence_on_random_programs(seed in 0u64..10_000) {
+        let p = generate_program(&GenConfig { seed, ..Default::default() });
+        let (base_out, _) = run_output(&p);
+        for policy in [UsefulPolicy::Paper, UsefulPolicy::Aggressive] {
+            let mut t = p.clone();
+            VrpPass::new(VrpConfig {
+                useful_policy: policy,
+                isa: IsaExtension::Full,
+                ..Default::default()
+            })
+            .run(&mut t);
+            let (out, _) = run_output(&t);
+            prop_assert_eq!(&out, &base_out, "seed {} policy {:?}", seed, policy);
+        }
+    }
+
+    /// VRS equivalence over randomly generated programs (self-training).
+    #[test]
+    fn vrs_equivalence_on_random_programs(seed in 0u64..10_000) {
+        let p = generate_program(&GenConfig { seed, regions: 4, ..Default::default() });
+        let (base_out, _) = run_output(&p);
+        let mut t = p.clone();
+        let mut cfg = VrsConfig::default();
+        cfg.specialization_cost_nj = 1.0; // specialize eagerly
+        VrsPass::new(cfg).run(&mut t, &p);
+        t.verify().expect("specialized random program verifies");
+        let (out, _) = run_output(&t);
+        prop_assert_eq!(&out, &base_out, "seed {}", seed);
+    }
+}
