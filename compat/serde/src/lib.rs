@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! Marker traits only: the workspace derives `Serialize`/`Deserialize` on
+//! its data types so that swapping in the real serde is a one-line change
+//! in the workspace manifest, but nothing in-tree performs reflective
+//! serialization through these traits (the compat `serde_json` degrades to
+//! a disabled cache). Keeping the traits method-free keeps the stub tiny.
+
+/// Marker counterpart of `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize` (lifetime elided: the compat
+/// `serde_json` only ever fails to deserialize, so no borrowed data exists).
+pub trait Deserialize {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

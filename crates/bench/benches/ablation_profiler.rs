@@ -18,8 +18,10 @@ fn main() {
         for (table_size, clean_period) in [(2, 256), (4, 1024), (8, 2048), (16, 1 << 14)] {
             let train = by_name(bench, InputSet::Train).program;
             let mut refp = by_name(bench, InputSet::Ref).program;
-            let mut cfg = VrsConfig::default();
-            cfg.profile = ProfileConfig { table_size, clean_period };
+            let cfg = VrsConfig {
+                profile: ProfileConfig { table_size, clean_period },
+                ..Default::default()
+            };
             let report = VrsPass::new(cfg).run(&mut refp, &train);
             println!(
                 "{:>10} {:>8} {:>8} | {:>11} {:>12} {:>11}",

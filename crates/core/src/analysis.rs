@@ -1,7 +1,9 @@
 //! Shared per-function analysis artifacts.
 
 use og_isa::Reg;
-use og_program::{Cfg, DefUse, Dominators, FuncId, Function, Liveness, LoopForest, Program, WriteSummaries};
+use og_program::{
+    Cfg, DefUse, Dominators, FuncId, Function, Liveness, LoopForest, Program, WriteSummaries,
+};
 
 use crate::ValueRange;
 
@@ -69,11 +71,7 @@ impl ProgramArtifacts {
     /// Compute all artifacts for `p`.
     pub fn compute(p: &Program) -> ProgramArtifacts {
         let summaries = WriteSummaries::compute(p);
-        let funcs = p
-            .funcs
-            .iter()
-            .map(|f| FuncArtifacts::compute(p, f, &summaries))
-            .collect();
+        let funcs = p.funcs.iter().map(|f| FuncArtifacts::compute(p, f, &summaries)).collect();
         ProgramArtifacts { funcs, summaries }
     }
 

@@ -78,15 +78,11 @@ pub fn assign_widths(
                 Op::Out => continue,
                 Op::Sext | Op::Zext => continue, // width *is* the semantics
                 Op::Ld { .. } => w_demand.min(original),
-                Op::Srl | Op::Sra | Op::Ext => {
-                    r.out.width_needed().max(r.in1.width_needed())
-                }
+                Op::Srl | Op::Sra | Op::Ext => r.out.width_needed().max(r.in1.width_needed()),
                 Op::Cmp(_) => r.in1.width_needed().max(r.in2.width_needed()),
-                Op::Cmov(_) => r
-                    .in1
-                    .width_needed()
-                    .max(r.in2.width_needed())
-                    .max(r.out.width_needed()),
+                Op::Cmov(_) => {
+                    r.in1.width_needed().max(r.in2.width_needed()).max(r.out.width_needed())
+                }
                 // Low-bits-closed: exact when the result fits, demand-sound
                 // otherwise.
                 _ => r.out.width_needed().min(w_demand),

@@ -228,12 +228,7 @@ mod tests {
     use og_isa::Width;
     use og_program::{imm, Dominators, LoopForest, ProgramBuilder};
 
-    fn analyze(
-        init: i64,
-        step: i64,
-        kind: CmpKind,
-        bound: i64,
-    ) -> Option<AffineIterator> {
+    fn analyze(init: i64, step: i64, kind: CmpKind, bound: i64) -> Option<AffineIterator> {
         let mut pb = ProgramBuilder::new();
         let mut f = pb.function("main", 0);
         f.block("entry");

@@ -78,13 +78,8 @@ impl VrpPass {
     pub fn run(&self, p: &mut Program) -> VrpReport {
         let art = ProgramArtifacts::compute(p);
         let solution = solve(p, &art, &self.config.limits, &self.config.assumptions);
-        let assignment = assign_widths(
-            p,
-            &art,
-            &solution,
-            self.config.useful_policy,
-            self.config.isa,
-        );
+        let assignment =
+            assign_widths(p, &art, &solution, self.config.useful_policy, self.config.isa);
         let narrowed_instructions = assignment.narrowed;
         VrpReport { assignment, narrowed_instructions, solution }
     }
@@ -140,20 +135,14 @@ mod tests {
         pb.finish(f);
         let p = pb.build().unwrap();
         for policy in [UsefulPolicy::Off, UsefulPolicy::Paper, UsefulPolicy::Aggressive] {
-            assert_equivalent(
-                &p,
-                VrpConfig { useful_policy: policy, ..Default::default() },
-            );
+            assert_equivalent(&p, VrpConfig { useful_policy: policy, ..Default::default() });
         }
     }
 
     #[test]
     fn equivalence_on_generated_programs() {
         for seed in 0..25u64 {
-            let p = generate::generate_program(&generate::GenConfig {
-                seed,
-                ..Default::default()
-            });
+            let p = generate::generate_program(&generate::GenConfig { seed, ..Default::default() });
             for policy in [UsefulPolicy::Paper, UsefulPolicy::Aggressive] {
                 assert_equivalent(
                     &p,
@@ -170,16 +159,11 @@ mod tests {
     #[test]
     fn useful_policy_narrows_at_least_as_much_as_off() {
         for seed in [3u64, 7, 11] {
-            let p = generate::generate_program(&generate::GenConfig {
-                seed,
-                ..Default::default()
-            });
+            let p = generate::generate_program(&generate::GenConfig { seed, ..Default::default() });
             let mut p_off = p.clone();
-            let off = VrpPass::new(VrpConfig {
-                useful_policy: UsefulPolicy::Off,
-                ..Default::default()
-            })
-            .run(&mut p_off);
+            let off =
+                VrpPass::new(VrpConfig { useful_policy: UsefulPolicy::Off, ..Default::default() })
+                    .run(&mut p_off);
             let mut p_paper = p.clone();
             let paper = VrpPass::new(VrpConfig {
                 useful_policy: UsefulPolicy::Paper,

@@ -419,7 +419,12 @@ impl ValueRange {
     /// Returns `None` when the constraint is unsatisfiable (dead code) or
     /// when wrap-around may have occurred (in which case no backward
     /// information is sound).
-    pub fn add_backward(out: ValueRange, in1: ValueRange, in2: ValueRange, w: Width) -> Option<ValueRange> {
+    pub fn add_backward(
+        out: ValueRange,
+        in1: ValueRange,
+        in2: ValueRange,
+        w: Width,
+    ) -> Option<ValueRange> {
         // Wrap possible? Then nothing can be inferred.
         let lo = in1.min as i128 + in2.min as i128;
         let hi = in1.max as i128 + in2.max as i128;
@@ -427,8 +432,10 @@ impl ValueRange {
         if lo < wmin as i128 || hi > wmax as i128 {
             return Some(in1);
         }
-        let derived_min = (out.min as i128 - in2.max as i128).clamp(i64::MIN as i128, i64::MAX as i128) as i64;
-        let derived_max = (out.max as i128 - in2.min as i128).clamp(i64::MIN as i128, i64::MAX as i128) as i64;
+        let derived_min =
+            (out.min as i128 - in2.max as i128).clamp(i64::MIN as i128, i64::MAX as i128) as i64;
+        let derived_max =
+            (out.max as i128 - in2.min as i128).clamp(i64::MIN as i128, i64::MAX as i128) as i64;
         in1.intersect(ValueRange::new(derived_min.min(derived_max), derived_max.max(derived_min)))
     }
 
@@ -642,12 +649,17 @@ mod tests {
     fn refine_cmp_true_and_false_paths() {
         // if (a <= 100): true path caps at 100, false path floors at 101
         // (the §2.2.4 example).
-        let (t, _) = ValueRange::refine_cmp(CmpKind::Le, true, ValueRange::TOP, ValueRange::constant(100)).unwrap();
+        let (t, _) =
+            ValueRange::refine_cmp(CmpKind::Le, true, ValueRange::TOP, ValueRange::constant(100))
+                .unwrap();
         assert_eq!(t.max, 100);
-        let (f, _) = ValueRange::refine_cmp(CmpKind::Le, false, ValueRange::TOP, ValueRange::constant(100)).unwrap();
+        let (f, _) =
+            ValueRange::refine_cmp(CmpKind::Le, false, ValueRange::TOP, ValueRange::constant(100))
+                .unwrap();
         assert_eq!(f.min, 101);
         // equality pins both sides
-        let (l, rr) = ValueRange::refine_cmp(CmpKind::Eq, true, r(0, 9), ValueRange::constant(4)).unwrap();
+        let (l, rr) =
+            ValueRange::refine_cmp(CmpKind::Eq, true, r(0, 9), ValueRange::constant(4)).unwrap();
         assert_eq!(l, ValueRange::constant(4));
         assert_eq!(rr, ValueRange::constant(4));
         // infeasible path
@@ -672,5 +684,122 @@ mod tests {
     fn display_matches_paper_notation() {
         assert_eq!(ValueRange::constant(0).to_string(), "<0, 0>");
         assert_eq!(ValueRange::TOP.to_string(), "<INTmin, INTmax>");
+    }
+
+    // ---- edge cases: width boundaries, wraparound, negative constants ----
+
+    #[test]
+    fn negative_constants_narrow_to_their_signed_width() {
+        // Two's complement: the sign bit is part of the width, so -128
+        // still fits a byte but -129 does not (§2.4 narrow values keep
+        // their sign).
+        assert_eq!(ValueRange::constant(-1).width_needed(), Width::B);
+        assert_eq!(ValueRange::constant(-128).width_needed(), Width::B);
+        assert_eq!(ValueRange::constant(-129).width_needed(), Width::H);
+        assert_eq!(ValueRange::constant(-32768).width_needed(), Width::H);
+        assert_eq!(ValueRange::constant(-32769).width_needed(), Width::W);
+        assert_eq!(ValueRange::constant(i32::MIN as i64).width_needed(), Width::W);
+        assert_eq!(ValueRange::constant(i32::MIN as i64 - 1).width_needed(), Width::D);
+        // Mixed-sign ranges need the wider of the two endpoints.
+        assert_eq!(r(-128, 127).width_needed(), Width::B);
+        assert_eq!(r(-128, 128).width_needed(), Width::H);
+        assert_eq!(r(-129, 127).width_needed(), Width::H);
+        // Significant bytes of negative constants count the sign byte only
+        // as far as it carries information.
+        assert_eq!(ValueRange::constant(-1).sig_bytes(), 1);
+        assert_eq!(ValueRange::constant(-129).sig_bytes(), 2);
+        assert_eq!(r(-1, 256).sig_bytes(), 2);
+    }
+
+    #[test]
+    fn add_wraparound_at_every_narrow_width() {
+        for w in [Width::B, Width::H, Width::W] {
+            let (lo, hi) = w.signed_bounds();
+            // Sitting exactly at the boundary does not wrap…
+            assert_eq!(r(hi - 1, hi - 1).add(r(1, 1), w), r(hi, hi), "{w:?}");
+            assert_eq!(r(lo + 1, lo + 1).sub(r(1, 1), w), r(lo, lo), "{w:?}");
+            // …one past it may, so the transfer widens to the full width.
+            assert_eq!(r(hi, hi).add(r(1, 1), w), ValueRange::of_width(w), "{w:?}");
+            assert_eq!(r(lo, lo).sub(r(1, 1), w), ValueRange::of_width(w), "{w:?}");
+            // Multiplication overflows the same way.
+            let half = hi / 2 + 1;
+            assert_eq!(r(half, half).mul(r(2, 2), w), ValueRange::of_width(w), "{w:?}");
+        }
+        // At 64 bits the "width range" is TOP itself.
+        assert_eq!(r(i64::MIN, i64::MIN).sub(r(1, 1), Width::D), ValueRange::TOP);
+    }
+
+    #[test]
+    fn byte_add_transfer_is_sound_under_wraparound() {
+        // Brute-force soundness at 8 bits: every concrete wrapped sum must
+        // land inside the transferred range, including when it wraps.
+        let cases = [
+            (r(100, 127), r(1, 30)),     // wraps high
+            (r(-128, -100), r(-30, -1)), // wraps low
+            (r(-5, 5), r(-5, 5)),        // never wraps
+            (r(126, 127), r(-2, 2)),     // straddles the boundary
+        ];
+        for (a, b) in cases {
+            let out = a.add(b, Width::B);
+            for x in a.min..=a.max {
+                for y in b.min..=b.max {
+                    let wrapped = Width::B.sext(x.wrapping_add(y));
+                    assert!(out.contains(wrapped), "{a} + {b} -> {out} misses {x}+{y}={wrapped}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clamp_width_models_result_sign_extension() {
+        // Instruction results are sign-extended from their width: clamping
+        // an unsigned-looking range into a byte keeps only what survives.
+        assert_eq!(r(0, 255).clamp_width(Width::B), r(0, 127));
+        assert_eq!(r(-500, -200).clamp_width(Width::B), ValueRange::of_width(Width::B));
+        assert_eq!(ValueRange::TOP.clamp_width(Width::W), ValueRange::of_width(Width::W));
+        assert_eq!(r(-128, 127).clamp_width(Width::B), r(-128, 127));
+    }
+
+    #[test]
+    fn sext_zext_at_exact_boundaries() {
+        // sext keeps a range that exactly fills the width…
+        assert_eq!(r(-128, 127).sext(Width::B), r(-128, 127));
+        // …and collapses to the width range one past either endpoint.
+        assert_eq!(r(-129, 127).sext(Width::B), ValueRange::of_width(Width::B));
+        assert_eq!(r(-128, 128).sext(Width::B), ValueRange::of_width(Width::B));
+        // zext of any negative range at a narrow width exposes the full
+        // unsigned pattern of that width.
+        assert_eq!(r(-128, -1).zext(Width::B), r(0, 255));
+        assert_eq!(r(i32::MIN as i64, -1).zext(Width::W), r(0, 0xFFFF_FFFF));
+        // A non-negative range that fits is unchanged; one that does not
+        // fit is truncated to the width's unsigned span.
+        assert_eq!(r(0, 127).zext(Width::B), r(0, 127));
+        assert_eq!(r(0, 256).zext(Width::B), r(0, 255));
+        // 64-bit zext of a possibly-negative value reinterprets the sign
+        // bit as magnitude: only TOP is sound.
+        assert_eq!(r(-1, 1).zext(Width::D), ValueRange::TOP);
+    }
+
+    #[test]
+    fn narrow_srl_of_negative_sees_unsigned_pattern() {
+        // srl.b of -1: the byte pattern 0xFF shifted right 4 is 0xF.
+        assert_eq!(r(-1, -1).srl(r(4, 4), Width::B), r(0, 0xF));
+        // srl.h of a negative: pattern bounded by 0xFFFF >> shift.
+        assert_eq!(r(-1, -1).srl(r(8, 8), Width::H), r(0, 0xFF));
+        // Shift amounts outside [0, 63] wrap in the 6-bit field: give up.
+        assert_eq!(r(0, 8).srl(r(64, 64), Width::D), ValueRange::of_width(Width::D));
+        assert_eq!(r(0, 8).sll(r(-1, 0), Width::D), ValueRange::of_width(Width::D));
+    }
+
+    #[test]
+    fn backward_add_refuses_wrapping_inputs_at_narrow_widths() {
+        // At byte width the forward sum [120,130] can wrap, so nothing may
+        // be inferred backward and in1 must come back untouched.
+        let in1 = r(100, 120);
+        let got = ValueRange::add_backward(r(0, 0), in1, r(10, 20), Width::B).unwrap();
+        assert_eq!(got, in1);
+        // The same constraint at halfword width cannot wrap and tightens.
+        let got = ValueRange::add_backward(r(115, 125), in1, r(10, 20), Width::H).unwrap();
+        assert_eq!(got, r(100, 115));
     }
 }

@@ -149,10 +149,7 @@ fn contribution(inst: &og_isa::Inst, reg: Reg, d_out: Option<u8>, policy: Useful
         // Logical operations pass demands through; constant masks cap them
         // (the `AND R1, 0xFF` and `OR R1, 0xFFFFFFFF00000000` cases).
         Op::And => {
-            let cap = const_other(is_src1)
-                .filter(|&m| m >= 0)
-                .map_or(ALL, top_byte_of)
-                .max(1);
+            let cap = const_other(is_src1).filter(|&m| m >= 0).map_or(ALL, top_byte_of).max(1);
             d_out.min(cap)
         }
         Op::Or => {

@@ -297,7 +297,12 @@ fn refine_cond(cond: Cond, holds: bool, r: ValueRange) -> Option<ValueRange> {
 
 /// Compute the refined range file flowing along one CFG edge out of
 /// `block`. `None` means the edge is infeasible.
-pub fn refine_edge(f: &Function, block: BlockId, taken: bool, out_rf: &RangeFile) -> Option<RangeFile> {
+pub fn refine_edge(
+    f: &Function,
+    block: BlockId,
+    taken: bool,
+    out_rf: &RangeFile,
+) -> Option<RangeFile> {
     let insts = &f.block(block).insts;
     let term = match insts.last() {
         Some(t) if matches!(t.op, Op::Bc(_)) => t,
@@ -364,7 +369,7 @@ fn widen(old: &RangeFile, new: &RangeFile) -> RangeFile {
 
 /// Analyze one function given its entry state; returns (per-block entry
 /// files, exit file, per-call-site caller states).
-#[allow(clippy::type_complexity)]
+#[allow(clippy::type_complexity, clippy::too_many_arguments)]
 fn analyze_function(
     p: &Program,
     f: &Function,
@@ -603,7 +608,9 @@ mod tests {
     use og_isa::Width;
     use og_program::{imm, ProgramBuilder};
 
-    fn solve_single(build: impl FnOnce(&mut og_program::FunctionBuilder)) -> (Program, RangeSolution) {
+    fn solve_single(
+        build: impl FnOnce(&mut og_program::FunctionBuilder),
+    ) -> (Program, RangeSolution) {
         let mut pb = ProgramBuilder::new();
         let mut f = pb.function("main", 0);
         f.block("entry");

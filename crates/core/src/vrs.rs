@@ -157,11 +157,7 @@ impl VrsPass {
     /// Panics if `train` has a different code shape than `program` or if
     /// the training run fails.
     pub fn run(&self, program: &mut Program, train: &Program) -> VrsReport {
-        assert_eq!(
-            program.funcs.len(),
-            train.funcs.len(),
-            "train/ref program shapes must match"
-        );
+        assert_eq!(program.funcs.len(), train.funcs.len(), "train/ref program shapes must match");
         for (a, b) in program.funcs.iter().zip(&train.funcs) {
             assert_eq!(a.blocks.len(), b.blocks.len(), "train/ref blocks differ in {}", a.name);
         }
@@ -172,7 +168,8 @@ impl VrsPass {
         let sol = VrpPass::new(cfg.vrp.clone()).analyze(program);
 
         // ---- step 0: basic-block profile on the training input --------
-        let mut train_vm = Vm::new(train, RunConfig { max_steps: cfg.train_fuel, ..Default::default() });
+        let mut train_vm =
+            Vm::new(train, RunConfig { max_steps: cfg.train_fuel, ..Default::default() });
         train_vm.run().expect("training run failed");
         let stats = train_vm.stats().clone();
 
@@ -182,12 +179,10 @@ impl VrsPass {
         let profiled_points = candidates.len();
 
         // ---- step 2: value profiling ----------------------------------
-        let mut profiler =
-            ValueProfiler::new(cfg.profile.clone(), candidates.iter().map(|c| c.at));
-        let mut train_vm = Vm::new(train, RunConfig { max_steps: cfg.train_fuel, ..Default::default() });
-        train_vm
-            .run_watched(&mut profiler)
-            .expect("profiling run failed");
+        let mut profiler = ValueProfiler::new(cfg.profile.clone(), candidates.iter().map(|c| c.at));
+        let mut train_vm =
+            Vm::new(train, RunConfig { max_steps: cfg.train_fuel, ..Default::default() });
+        train_vm.run_watched(&mut profiler).expect("profiling run failed");
 
         // ---- step 3: selection ----------------------------------------
         let mut scored: Vec<(Candidate, RangeEstimate, f64)> = Vec::new();
@@ -209,11 +204,9 @@ impl VrsPass {
             }
             match best {
                 Some((est, benefit)) => scored.push((c, est, benefit)),
-                None => scored.push((
-                    c,
-                    RangeEstimate { min: 0, max: 0, freq: 0.0 },
-                    f64::NEG_INFINITY,
-                )),
+                None => {
+                    scored.push((c, RangeEstimate { min: 0, max: 0, freq: 0.0 }, f64::NEG_INFINITY))
+                }
             }
         }
         scored.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
@@ -279,10 +272,9 @@ impl VrsPass {
         // is narrower than their original counterpart's final width.
         let mut static_specialized = 0usize;
         for &(clone, original) in &clone_map {
-            let (Some(cw), Some(ow)) = (
-                exists_width(program, clone),
-                exists_width(program, original),
-            ) else {
+            let (Some(cw), Some(ow)) =
+                (exists_width(program, clone), exists_width(program, original))
+            else {
                 continue;
             };
             if cw < ow {
@@ -338,9 +330,7 @@ impl VrsPass {
             }
         }
         out.sort_by(|a, b| {
-            b.upper_bound
-                .partial_cmp(&a.upper_bound)
-                .unwrap_or(std::cmp::Ordering::Equal)
+            b.upper_bound.partial_cmp(&a.upper_bound).unwrap_or(std::cmp::Ordering::Equal)
         });
         out
     }
@@ -392,13 +382,11 @@ impl VrsPass {
             for &use_at in &affected {
                 let dinst = f.inst(use_at);
                 let Some(r) = sol.at(use_at) else { continue };
-                let in1 = dinst.src1.map_or(r.in1, |reg| {
-                    self.operand_with(fa, sol, &narrowed, use_at, reg, r.in1)
-                });
+                let in1 = dinst
+                    .src1
+                    .map_or(r.in1, |reg| self.operand_with(fa, sol, &narrowed, use_at, reg, r.in1));
                 let in2 = match dinst.src2 {
-                    Operand::Reg(reg) => {
-                        self.operand_with(fa, sol, &narrowed, use_at, reg, r.in2)
-                    }
+                    Operand::Reg(reg) => self.operand_with(fa, sol, &narrowed, use_at, reg, r.in2),
                     _ => r.in2,
                 };
                 let old_dst = match dinst.dst {
@@ -628,10 +616,7 @@ fn apply_specialization(
             clone_map.push((InstRef::new(fid, dst_id, ii), orig));
         }
     }
-    assumptions
-        .entry((fid, spec_entry))
-        .or_default()
-        .push((candidate_reg, range));
+    assumptions.entry((fid, spec_entry)).or_default().push((candidate_reg, range));
     Ok(())
 }
 
@@ -743,10 +728,7 @@ fn fold_and_eliminate(
         removals.sort();
         removals.reverse();
         for at in removals {
-            p.func_mut(at.func)
-                .block_mut(at.block)
-                .insts
-                .remove(at.idx as usize);
+            p.func_mut(at.func).block_mut(at.block).insts.remove(at.idx as usize);
         }
     }
     eliminated
@@ -804,11 +786,7 @@ mod tests {
         });
         let baseline = run_output(&refp);
         let report = VrsPass::new(VrsConfig::default()).run(&mut refp, &train);
-        assert!(
-            report.count_fate(CandidateFate::Specialized) >= 1,
-            "fates: {:?}",
-            report.fates
-        );
+        assert!(report.count_fate(CandidateFate::Specialized) >= 1, "fates: {:?}", report.fates);
         assert!(!report.guard_sites.is_empty());
         assert!(!report.specialized_blocks.is_empty());
         assert_eq!(run_output(&refp), baseline, "observational equivalence");
@@ -844,8 +822,7 @@ mod tests {
         let train = vrs_target(&[5; 48]);
         let mut refp = vrs_target(&[5; 48]);
         let baseline = run_output(&refp);
-        let mut cfg = VrsConfig::default();
-        cfg.specialization_cost_nj = 10.0;
+        let cfg = VrsConfig { specialization_cost_nj: 10.0, ..Default::default() };
         let report = VrsPass::new(cfg).run(&mut refp, &train);
         assert_eq!(run_output(&refp), baseline);
         if report.count_fate(CandidateFate::Specialized) >= 1 {
@@ -863,8 +840,7 @@ mod tests {
             .into_iter()
             .map(|cost| {
                 let mut refp = vrs_target(&[3; 64]);
-                let mut cfg = VrsConfig::default();
-                cfg.specialization_cost_nj = cost;
+                let cfg = VrsConfig { specialization_cost_nj: cost, ..Default::default() };
                 let report = VrsPass::new(cfg).run(&mut refp, &train);
                 report.count_fate(CandidateFate::Specialized)
             })

@@ -175,13 +175,7 @@ impl Inst {
             Op::Jsr => (0, Target::Func(payload)),
             Op::Bc(_) => {
                 let e = ext.ok_or(DecodeError::BadField("missing branch targets"))?;
-                (
-                    0,
-                    Target::CondBlocks {
-                        taken: (e & 0xFFFF_FFFF) as u32,
-                        fall: (e >> 32) as u32,
-                    },
-                )
+                (0, Target::CondBlocks { taken: (e & 0xFFFF_FFFF) as u32, fall: (e >> 32) as u32 })
             }
             _ => (0, Target::None),
         };

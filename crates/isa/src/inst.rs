@@ -447,13 +447,9 @@ impl fmt::Display for Inst {
             Op::Sext | Op::Zext => {
                 write!(f, "{m}.{w} {}, {}", self.dst.unwrap(), fmt_operand(self.src2))
             }
-            Op::Ld { .. } => write!(
-                f,
-                "{m}.{w} {}, {}({})",
-                self.dst.unwrap(),
-                self.disp,
-                self.src1.unwrap()
-            ),
+            Op::Ld { .. } => {
+                write!(f, "{m}.{w} {}, {}({})", self.dst.unwrap(), self.disp, self.src1.unwrap())
+            }
             Op::St => write!(
                 f,
                 "st.{w} {}, {}({})",

@@ -22,13 +22,8 @@ pub enum CmpKind {
 
 impl CmpKind {
     /// All comparison kinds.
-    pub const ALL: [CmpKind; 5] = [
-        CmpKind::Eq,
-        CmpKind::Lt,
-        CmpKind::Le,
-        CmpKind::Ult,
-        CmpKind::Ule,
-    ];
+    pub const ALL: [CmpKind; 5] =
+        [CmpKind::Eq, CmpKind::Lt, CmpKind::Le, CmpKind::Ult, CmpKind::Ule];
 
     /// Evaluate the predicate on two 64-bit register values.
     #[inline]
@@ -290,10 +285,7 @@ impl Op {
     /// Does this instruction have externally observable behaviour (memory
     /// writes, output, control transfers, program end)?
     pub const fn has_side_effect(self) -> bool {
-        matches!(
-            self,
-            Op::St | Op::Out | Op::Br | Op::Bc(_) | Op::Jsr | Op::Ret | Op::Halt
-        )
+        matches!(self, Op::St | Op::Out | Op::Br | Op::Bc(_) | Op::Jsr | Op::Ret | Op::Halt)
     }
 
     /// Operations whose low *w* output bytes depend only on the low *w*
@@ -321,10 +313,7 @@ impl Op {
     /// ones "useful" backward propagation must not cross, to avoid hiding
     /// overflow)?
     pub const fn is_arithmetic(self) -> bool {
-        matches!(
-            self,
-            Op::Add | Op::Sub | Op::Mul | Op::Sll | Op::Srl | Op::Sra
-        )
+        matches!(self, Op::Add | Op::Sub | Op::Mul | Op::Sll | Op::Srl | Op::Sra)
     }
 
     /// Base mnemonic without width/condition decorations.

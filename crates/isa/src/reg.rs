@@ -103,17 +103,8 @@ impl Reg {
     pub const ARGS: [Reg; 6] = [Reg::A0, Reg::A1, Reg::A2, Reg::A3, Reg::A4, Reg::A5];
 
     /// Callee-saved registers (`s0`–`s5`, `fp`, `gp`, `sp`).
-    pub const CALLEE_SAVED: [Reg; 9] = [
-        Reg::S0,
-        Reg::S1,
-        Reg::S2,
-        Reg::S3,
-        Reg::S4,
-        Reg::S5,
-        Reg::FP,
-        Reg::GP,
-        Reg::SP,
-    ];
+    pub const CALLEE_SAVED: [Reg; 9] =
+        [Reg::S0, Reg::S1, Reg::S2, Reg::S3, Reg::S4, Reg::S5, Reg::FP, Reg::GP, Reg::SP];
 
     /// Construct from a raw index.
     ///

@@ -21,6 +21,7 @@ use std::fmt;
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[repr(u8)]
+#[derive(Default)]
 pub enum Width {
     /// Byte: 8 bits.
     B = 1,
@@ -29,6 +30,7 @@ pub enum Width {
     /// Word: 32 bits.
     W = 4,
     /// Doubleword (quadword in Alpha terms): 64 bits.
+    #[default]
     D = 8,
 }
 
@@ -128,7 +130,7 @@ impl Width {
     /// Panics if `bytes` is 0 or greater than 8.
     #[inline]
     pub fn for_bytes(bytes: u8) -> Width {
-        assert!(bytes >= 1 && bytes <= 8, "byte count out of range: {bytes}");
+        assert!((1..=8).contains(&bytes), "byte count out of range: {bytes}");
         match bytes {
             1 => Width::B,
             2 => Width::H,
@@ -190,12 +192,6 @@ impl Width {
             2 => Width::W,
             _ => Width::D,
         }
-    }
-}
-
-impl Default for Width {
-    fn default() -> Self {
-        Width::D
     }
 }
 

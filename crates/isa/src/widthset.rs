@@ -136,12 +136,12 @@ impl IsaExtension {
                     _ => WidthSet::D_ONLY,
                 },
                 IsaExtension::PaperAlphaExt => match op {
-                    Add => WidthSet::FULL,         // + byte, halfword
-                    Sub => WidthSet::BWD,          // + byte
+                    Add => WidthSet::FULL, // + byte, halfword
+                    Sub => WidthSet::BWD,  // + byte
                     And | Or | Xor | Andc => WidthSet::BWD,
                     Sll | Srl | Sra => WidthSet::BWD,
                     Cmp(_) | Cmov(_) => WidthSet::BWD,
-                    Mul => WidthSet::WD,           // "no advantage" to narrow MUL
+                    Mul => WidthSet::WD, // "no advantage" to narrow MUL
                     _ => WidthSet::D_ONLY,
                 },
             },

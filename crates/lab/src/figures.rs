@@ -35,11 +35,11 @@ pub fn table1() -> String {
     let _ = writeln!(s, "-------------+------------------------");
     for (i, label) in ["64", "32", "16", "8"].iter().enumerate() {
         let _ = write!(s, "{label:>12} |");
-        for j in 0..4 {
+        for (j, cell) in m[i].iter().enumerate() {
             if i == j {
                 let _ = write!(s, " {:>5}", "-");
             } else {
-                let _ = write!(s, " {:>5.0}", m[i][j]);
+                let _ = write!(s, " {cell:>5.0}");
             }
         }
         s.push('\n');
@@ -137,17 +137,17 @@ fn structure_table(study: &Study, mechs: &[(String, Mech, GatingScheme)]) -> Str
 /// Figure 3: per-structure energy savings with VRP.
 pub fn fig3(study: &Study) -> String {
     let mut s = String::from("Figure 3: energy savings with VRP (SpecInt avg)\n");
-    s.push_str(&structure_table(
-        study,
-        &[("VRP".into(), Mech::Vrp, GatingScheme::Software)],
-    ));
+    s.push_str(&structure_table(study, &[("VRP".into(), Mech::Vrp, GatingScheme::Software)]));
     s
 }
 
 /// Figure 4: triage of the profiled points (VRS 50nJ).
 pub fn fig4(study: &Study) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "Figure 4: distribution of the points profiled after specialization (VRS 50nJ)");
+    let _ = writeln!(
+        s,
+        "Figure 4: distribution of the points profiled after specialization (VRS 50nJ)"
+    );
     let _ = writeln!(
         s,
         "{:>10} {:>8} | {:>12} {:>11} {:>12}",
@@ -159,34 +159,27 @@ pub fn fig4(study: &Study) -> String {
         let run = study.get(bench, Mech::Vrs(50));
         let v = run.vrs.as_ref().expect("vrs run has summary");
         let (nb, dep, spec) = v.fates;
-        let _ = writeln!(
-            s,
-            "{:>10} {:>8} | {:>12} {:>11} {:>12}",
-            bench, v.profiled, nb, dep, spec
-        );
+        let _ =
+            writeln!(s, "{:>10} {:>8} | {:>12} {:>11} {:>12}", bench, v.profiled, nb, dep, spec);
         tot = (tot.0 + v.profiled, tot.1 + nb, tot.2 + dep, tot.3 + spec);
     }
-    let _ = writeln!(
-        s,
-        "{:>10} {:>8} | {:>12} {:>11} {:>12}",
-        "TOTAL", tot.0, tot.1, tot.2, tot.3
-    );
+    let _ = writeln!(s, "{:>10} {:>8} | {:>12} {:>11} {:>12}", "TOTAL", tot.0, tot.1, tot.2, tot.3);
     s
 }
 
 /// Figure 5: static instructions specialized vs eliminated (VRS 50nJ).
 pub fn fig5(study: &Study) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "Figure 5: distribution of the specialized instructions at compile time (VRS 50nJ)");
+    let _ = writeln!(
+        s,
+        "Figure 5: distribution of the specialized instructions at compile time (VRS 50nJ)"
+    );
     let _ = writeln!(s, "{:>10} | {:>12} {:>12}", "bench", "specialized", "eliminated");
     let _ = writeln!(s, "-----------+---------------------------");
     for bench in NAMES {
         let v = study.get(bench, Mech::Vrs(50)).vrs.as_ref().expect("vrs summary");
-        let _ = writeln!(
-            s,
-            "{:>10} | {:>12} {:>12}",
-            bench, v.static_specialized, v.static_eliminated
-        );
+        let _ =
+            writeln!(s, "{:>10} | {:>12} {:>12}", bench, v.static_specialized, v.static_eliminated);
     }
     s
 }
@@ -279,19 +272,18 @@ fn sw_mechs() -> Vec<(String, Mech)> {
 /// Figure 8: energy savings per benchmark (VRP + the VRS cost sweep).
 pub fn fig8(study: &Study) -> String {
     let model = EnergyModel::new();
-    per_bench_metric(
-        study,
-        "Figure 8: energy savings for Spec95",
-        &sw_mechs(),
-        move |st, b, m| st.energy_savings(&model, b, m, GatingScheme::Software),
-    )
+    per_bench_metric(study, "Figure 8: energy savings for Spec95", &sw_mechs(), move |st, b, m| {
+        st.energy_savings(&model, b, m, GatingScheme::Software)
+    })
 }
 
 /// Figure 9: per-structure energy benefits for VRP and the VRS sweep.
 pub fn fig9(study: &Study) -> String {
     let mut mechs = vec![("VRP".to_string(), Mech::Vrp, GatingScheme::Software)];
     mechs.extend(VRS_SWEEP.iter().map(|m| (m.label(), *m, GatingScheme::Software)));
-    let mut s = String::from("Figure 9: energy benefits for the different parts of the processor (SpecInt avg)\n");
+    let mut s = String::from(
+        "Figure 9: energy benefits for the different parts of the processor (SpecInt avg)\n",
+    );
     s.push_str(&structure_table(study, &mechs));
     s
 }
@@ -299,12 +291,9 @@ pub fn fig9(study: &Study) -> String {
 /// Figure 10: execution time savings for the VRS sweep.
 pub fn fig10(study: &Study) -> String {
     let mechs: Vec<(String, Mech)> = VRS_SWEEP.iter().map(|m| (m.label(), *m)).collect();
-    per_bench_metric(
-        study,
-        "Figure 10: execution time savings",
-        &mechs,
-        |st, b, m| st.time_savings(b, m),
-    )
+    per_bench_metric(study, "Figure 10: execution time savings", &mechs, |st, b, m| {
+        st.time_savings(b, m)
+    })
 }
 
 /// Figure 11: energy-delay² benefits for VRP and the VRS sweep.
@@ -362,7 +351,8 @@ pub fn fig13(study: &Study) -> String {
 
 /// Figure 14: per-structure savings of the hardware approaches.
 pub fn fig14(study: &Study) -> String {
-    let mut s = String::from("Figure 14: energy savings for each processor part (hardware schemes)\n");
+    let mut s =
+        String::from("Figure 14: energy savings for each processor part (hardware schemes)\n");
     s.push_str(&structure_table(
         study,
         &[
@@ -388,7 +378,8 @@ pub fn fig15(study: &Study) -> String {
         ("VRS50+signif.".into(), Mech::Vrs(50), GatingScheme::HwSignificance),
     ];
     let mut s = String::new();
-    let _ = writeln!(s, "Figure 15: Energy-Delay^2 savings for hardware and software configurations");
+    let _ =
+        writeln!(s, "Figure 15: Energy-Delay^2 savings for hardware and software configurations");
     let _ = write!(s, "{:>10} |", "bench");
     for (label, _, _) in &configs {
         let _ = write!(s, " {label:>14}");

@@ -238,8 +238,7 @@ pub fn run_pipeline(bench: &str, mech: Mech, expected_digest: Option<u64>) -> Ru
         }
         Mech::Vrs(cost) => {
             let train = by_name(bench, InputSet::Train).program;
-            let mut cfg = VrsConfig::default();
-            cfg.specialization_cost_nj = cost as f64;
+            let cfg = VrsConfig { specialization_cost_nj: cost as f64, ..Default::default() };
             let report = VrsPass::new(cfg).run(&mut program, &train);
             vrs = Some((
                 report.profiled_points,
@@ -259,16 +258,13 @@ pub fn run_pipeline(bench: &str, mech: Mech, expected_digest: Option<u64>) -> Ru
     let mut vm = Vm::new(&program, RunConfig { collect_trace: true, ..Default::default() });
     let outcome = vm.run().unwrap_or_else(|e| panic!("{bench}/{mech:?}: {e}"));
     if let Some(d) = expected_digest {
-        assert_eq!(
-            outcome.output_digest, d,
-            "{bench}/{mech:?}: output diverged from baseline"
-        );
+        assert_eq!(outcome.output_digest, d, "{bench}/{mech:?}: output diverged from baseline");
     }
     let (trace, stats, _) = vm.into_parts();
     let sim = Simulator::new(MachineConfig::default()).run(&trace);
 
-    let vrs_summary = vrs.map(
-        |(profiled, fates, static_specialized, static_eliminated, blocks, guards)| {
+    let vrs_summary =
+        vrs.map(|(profiled, fates, static_specialized, static_eliminated, blocks, guards)| {
             let total = stats.steps.max(1) as f64;
             let mut spec_dyn = 0u64;
             for (f, b) in &blocks {
@@ -288,8 +284,7 @@ pub fn run_pipeline(bench: &str, mech: Mech, expected_digest: Option<u64>) -> Ru
                 runtime_specialized_frac: spec_dyn as f64 / total,
                 runtime_guard_frac: guard_dyn as f64 / total,
             }
-        },
-    );
+        });
 
     RunSummary {
         bench: bench.to_string(),
@@ -433,10 +428,7 @@ pub fn combined_scheme(hw: GatingScheme) -> GatingScheme {
 
 /// Convenience: map of benchmark → baseline cycles (used by tests).
 pub fn baseline_cycles(study: &Study) -> HashMap<String, u64> {
-    NAMES
-        .iter()
-        .map(|&b| (b.to_string(), study.get(b, Mech::Baseline).sim.cycles))
-        .collect()
+    NAMES.iter().map(|&b| (b.to_string(), study.get(b, Mech::Baseline).sim.cycles)).collect()
 }
 
 #[cfg(test)]

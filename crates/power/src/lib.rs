@@ -187,18 +187,9 @@ impl EnergyModel {
     }
 
     /// Energy (nJ) of one structure's activity under a scheme.
-    pub fn structure_energy(
-        &self,
-        s: Structure,
-        a: &StructActivity,
-        scheme: GatingScheme,
-    ) -> f64 {
+    pub fn structure_energy(&self, s: Structure, a: &StructActivity, scheme: GatingScheme) -> f64 {
         let p = self.params[s.index()];
-        let bytes = if s.width_gateable() {
-            scheme.bytes_of(&a.bytes)
-        } else {
-            a.bytes.none
-        };
+        let bytes = if s.width_gateable() { scheme.bytes_of(&a.bytes) } else { a.bytes.none };
         // Tag bits ride along with every tagged value (§4.7: "two
         // significance compression tag bits follow values in the
         // pipeline").
@@ -227,13 +218,9 @@ pub fn energy_delay_squared(energy_nj: f64, cycles: u64) -> f64 {
 }
 
 /// Fractional ED² improvement of (energy, cycles) vs a baseline.
-pub fn ed2_improvement(
-    energy_nj: f64,
-    cycles: u64,
-    base_energy_nj: f64,
-    base_cycles: u64,
-) -> f64 {
-    1.0 - energy_delay_squared(energy_nj, cycles) / energy_delay_squared(base_energy_nj, base_cycles)
+pub fn ed2_improvement(energy_nj: f64, cycles: u64, base_energy_nj: f64, base_cycles: u64) -> f64 {
+    1.0 - energy_delay_squared(energy_nj, cycles)
+        / energy_delay_squared(base_energy_nj, base_cycles)
 }
 
 #[cfg(test)]

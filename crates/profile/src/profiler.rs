@@ -63,11 +63,7 @@ pub struct ValueProfiler {
 impl ValueProfiler {
     /// Create a profiler watching the given instruction sites.
     pub fn new(config: ProfileConfig, watched: impl IntoIterator<Item = InstRef>) -> ValueProfiler {
-        ValueProfiler {
-            config,
-            watched: watched.into_iter().collect(),
-            sites: HashMap::new(),
-        }
+        ValueProfiler { config, watched: watched.into_iter().collect(), sites: HashMap::new() }
     }
 
     /// Number of watched sites.
@@ -156,10 +152,8 @@ mod tests {
     fn varied_site_yields_hull_ranges() {
         let p = profiled_program();
         let and_site = InstRef::new(FuncId(0), BlockId(1), 0);
-        let mut prof = ValueProfiler::new(
-            ProfileConfig { table_size: 16, clean_period: 1 << 20 },
-            [and_site],
-        );
+        let mut prof =
+            ValueProfiler::new(ProfileConfig { table_size: 16, clean_period: 1 << 20 }, [and_site]);
         let mut vm = Vm::new(&p, RunConfig::default());
         vm.run_watched(&mut prof).unwrap();
         let site = prof.site(and_site).unwrap();

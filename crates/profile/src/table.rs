@@ -112,11 +112,7 @@ impl ValueTable {
             covered += c;
             min = min.min(v);
             max = max.max(v);
-            out.push(RangeEstimate {
-                min,
-                max,
-                freq: covered as f64 / self.total as f64,
-            });
+            out.push(RangeEstimate { min, max, freq: covered as f64 / self.total as f64 });
             if i + 1 >= max_candidates {
                 break;
             }
@@ -174,6 +170,7 @@ mod tests {
         t.record(20);
         t.record(30);
         t.record(40); // 8th record triggers cleaning
+
         // top half (2 entries) kept: 10 (count 5) and the tie-broken next.
         assert_eq!(t.entries().len(), 2);
         assert_eq!(t.entries()[0].0, 10);

@@ -116,7 +116,10 @@ impl<'a> Parser<'a> {
                 match section {
                     Section::Data => self.parse_data_line()?,
                     Section::Text | Section::None => {
-                        return Err(err(ln, format!("unexpected line outside a function: `{line}`")))
+                        return Err(err(
+                            ln,
+                            format!("unexpected line outside a function: `{line}`"),
+                        ))
                     }
                 }
             }
@@ -133,10 +136,7 @@ impl<'a> Parser<'a> {
             .ok_or_else(|| err(ln, "data line must be `label: .directive ...`"))?;
         let rest = rest.trim();
         if let Some(args) = rest.strip_prefix(".space") {
-            let n: usize = args
-                .trim()
-                .parse()
-                .map_err(|_| err(ln, "bad .space size"))?;
+            let n: usize = args.trim().parse().map_err(|_| err(ln, "bad .space size"))?;
             self.pb.data_zeroed(label.trim(), n);
         } else if let Some(args) = rest.strip_prefix(".quad") {
             let vals = parse_int_list(args).map_err(|m| err(ln, m))?;
@@ -157,9 +157,10 @@ impl<'a> Parser<'a> {
     fn parse_func(&mut self, ln: usize, header: &str) -> Result<(), AsmError> {
         // `.func name, args=N [, noret]`
         let mut parts = header.split(',').map(str::trim);
-        let name = parts.next().filter(|s| !s.is_empty()).ok_or_else(|| {
-            err(ln, "function header must be `.func name, args=N`")
-        })?;
+        let name = parts
+            .next()
+            .filter(|s| !s.is_empty())
+            .ok_or_else(|| err(ln, "function header must be `.func name, args=N`"))?;
         let mut n_args = 0u8;
         let mut returns = true;
         for p in parts {
@@ -232,9 +233,7 @@ fn parse_operand(fb: &crate::FunctionBuilder, s: &str) -> Result<Operand, String
             Some((n, o)) => (n, parse_int(o)?),
             None => (sym, 0),
         };
-        let addr = fb
-            .data_symbol(name)
-            .ok_or_else(|| format!("unknown data symbol `{name}`"))?;
+        let addr = fb.data_symbol(name).ok_or_else(|| format!("unknown data symbol `{name}`"))?;
         return Ok(Operand::Imm(addr as i64 + off));
     }
     Ok(Operand::Imm(parse_int(s)?))
@@ -267,11 +266,8 @@ fn parse_inst(fb: &mut crate::FunctionBuilder, ln: usize, line: &str) -> Result<
     };
     let (base, width) = split_mnemonic(mnemonic);
     let w = width.unwrap_or(Width::D);
-    let ops: Vec<&str> = if rest.is_empty() {
-        Vec::new()
-    } else {
-        rest.split(',').map(str::trim).collect()
-    };
+    let ops: Vec<&str> =
+        if rest.is_empty() { Vec::new() } else { rest.split(',').map(str::trim).collect() };
     let e = |m: String| err(ln, m);
     let need = |n: usize| -> Result<(), AsmError> {
         if ops.len() == n {
@@ -459,7 +455,11 @@ pub fn program_to_asm(p: &Program) -> String {
                         if let Target::CondBlocks { taken, fall } = inst.target {
                             let m = Op::Bc(c).mnemonic();
                             if fall as usize == bi + 1 {
-                                format!("{m} {}, {}", inst.src1.unwrap(), f.blocks[taken as usize].label)
+                                format!(
+                                    "{m} {}, {}",
+                                    inst.src1.unwrap(),
+                                    f.blocks[taken as usize].label
+                                )
                             } else {
                                 format!(
                                     "{m} {}, {}, {}",

@@ -140,10 +140,7 @@ impl FunctionBuilder {
             .last_mut()
             .unwrap_or_else(|| panic!("no block opened yet in function `{name}`"));
         if b.insts.last().is_some_and(|i| i.op.is_terminator()) {
-            panic!(
-                "instruction emitted after terminator in block `{}` of `{name}`",
-                b.label
-            );
+            panic!("instruction emitted after terminator in block `{}` of `{name}`", b.label);
         }
         b
     }
@@ -175,10 +172,9 @@ impl FunctionBuilder {
     ///
     /// Panics if the symbol is unknown.
     pub fn la_off(&mut self, dst: Reg, sym: &str, off: i64) -> &mut Self {
-        let base = *self
-            .data_syms
-            .get(sym)
-            .unwrap_or_else(|| panic!("unknown data symbol `{sym}` (define data before functions)"));
+        let base = *self.data_syms.get(sym).unwrap_or_else(|| {
+            panic!("unknown data symbol `{sym}` (define data before functions)")
+        });
         self.ldi(dst, base as i64 + off)
     }
 
@@ -474,10 +470,7 @@ impl ProgramBuilder {
     pub fn function(&mut self, name: &str, n_args: u8) -> FunctionBuilder {
         assert!(n_args <= 6, "at most 6 register arguments");
         let id = self.declare(name, n_args);
-        assert!(
-            self.bodies[id.index()].is_none(),
-            "function `{name}` defined twice"
-        );
+        assert!(self.bodies[id.index()].is_none(), "function `{name}` defined twice");
         self.sigs[id.index()].1 = n_args;
         let mut data_syms = HashMap::new();
         for item in self.data.items() {
@@ -516,9 +509,7 @@ impl ProgramBuilder {
         let mut remaining = Vec::new();
         for (bi, ii, sym) in syms {
             match sym {
-                SymTarget::BrLabel(l) | SymTarget::BcLabel(l)
-                    if !labels.contains_key(&l) =>
-                {
+                SymTarget::BrLabel(l) | SymTarget::BcLabel(l) if !labels.contains_key(&l) => {
                     // Leave unresolved: build() reports a BuildError.
                     remaining.push((bi, ii, SymTarget::BrLabel(l)));
                 }
@@ -533,8 +524,7 @@ impl ProgramBuilder {
                 }
                 SymTarget::BcLabel(l) => {
                     let fall = (bi + 1) as u32;
-                    blocks[bi].insts[ii].target =
-                        Target::CondBlocks { taken: labels[&l], fall };
+                    blocks[bi].insts[ii].target = Target::CondBlocks { taken: labels[&l], fall };
                 }
                 SymTarget::BcLabels(t, fl) => {
                     blocks[bi].insts[ii].target =
@@ -565,9 +555,7 @@ impl ProgramBuilder {
         let mut funcs = Vec::with_capacity(self.bodies.len());
         for (i, body) in self.bodies.iter_mut().enumerate() {
             let name = self.sigs[i].0.clone();
-            let mut f = body
-                .take()
-                .ok_or(BuildError::UndefinedFunction { name: name.clone() })?;
+            let mut f = body.take().ok_or(BuildError::UndefinedFunction { name: name.clone() })?;
             if f.blocks.is_empty() {
                 return Err(BuildError::NoBlocks { func: name });
             }
@@ -589,8 +577,7 @@ impl ProgramBuilder {
             // Insert fall-through branches and check final terminators.
             let n_blocks = f.blocks.len();
             for bi in 0..n_blocks {
-                let has_term =
-                    f.blocks[bi].insts.last().is_some_and(|t| t.op.is_terminator());
+                let has_term = f.blocks[bi].insts.last().is_some_and(|t| t.op.is_terminator());
                 if !has_term {
                     if bi + 1 < n_blocks {
                         f.blocks[bi].insts.push(Inst::br(bi as u32 + 1));
@@ -610,11 +597,7 @@ impl ProgramBuilder {
             }
             funcs.push(f);
         }
-        let entry = self
-            .func_ids
-            .get("main")
-            .copied()
-            .unwrap_or(FuncId(0));
+        let entry = self.func_ids.get("main").copied().unwrap_or(FuncId(0));
         let program = Program { funcs, entry, data: self.data };
         program.verify()?;
         Ok(program)

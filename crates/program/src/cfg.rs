@@ -242,7 +242,8 @@ impl LoopForest {
                     }
                 }
             }
-            let body: Vec<BlockId> = (0..n as u32).map(BlockId).filter(|b| in_body[b.index()]).collect();
+            let body: Vec<BlockId> =
+                (0..n as u32).map(BlockId).filter(|b| in_body[b.index()]).collect();
             loops.push(Loop { header, body, latches, depth: 0 });
         }
         // Nesting depth: loop A nests in B if B's body contains A's header
@@ -252,7 +253,9 @@ impl LoopForest {
                 1 + loops
                     .iter()
                     .enumerate()
-                    .filter(|(j, l)| *j != i && l.contains(loops[i].header) && l.body.len() > loops[i].body.len())
+                    .filter(|(j, l)| {
+                        *j != i && l.contains(loops[i].header) && l.body.len() > loops[i].body.len()
+                    })
                     .count() as u32
             })
             .collect();

@@ -51,10 +51,7 @@ impl DataSegment {
     /// Panics if `name` is already defined.
     pub fn define(&mut self, name: impl Into<String>, bytes: Vec<u8>) -> u64 {
         let name = name.into();
-        assert!(
-            !self.by_name.contains_key(&name),
-            "data symbol defined twice: {name}"
-        );
+        assert!(!self.by_name.contains_key(&name), "data symbol defined twice: {name}");
         let addr = self.next_addr;
         self.next_addr = (addr + bytes.len() as u64 + 7) & !7;
         self.by_name.insert(name.clone(), self.items.len());

@@ -119,11 +119,7 @@ impl DefUse {
             changed = false;
             for &b in cfg.rpo() {
                 let bi = b.index();
-                let mut newin = if b == f.entry {
-                    inb[bi].clone()
-                } else {
-                    BitSet::new(n_defs)
-                };
+                let mut newin = if b == f.entry { inb[bi].clone() } else { BitSet::new(n_defs) };
                 for &p in cfg.preds(b) {
                     newin.union_with(&outb[p.index()]);
                 }

@@ -28,9 +28,8 @@ impl Block {
 
     /// Successor block ids (empty for `ret`/`halt`).
     pub fn successors(&self) -> Vec<BlockId> {
-        self.terminator().map_or_else(Vec::new, |t| {
-            t.successors().into_iter().map(BlockId).collect()
-        })
+        self.terminator()
+            .map_or_else(Vec::new, |t| t.successors().into_iter().map(BlockId).collect())
     }
 }
 
@@ -108,9 +107,10 @@ impl Function {
     pub fn insts(&self) -> impl Iterator<Item = (InstRef, &Inst)> {
         let fid = self.id;
         self.blocks.iter().enumerate().flat_map(move |(bi, b)| {
-            b.insts.iter().enumerate().map(move |(ii, inst)| {
-                (InstRef::new(fid, BlockId(bi as u32), ii as u32), inst)
-            })
+            b.insts
+                .iter()
+                .enumerate()
+                .map(move |(ii, inst)| (InstRef::new(fid, BlockId(bi as u32), ii as u32), inst))
         })
     }
 

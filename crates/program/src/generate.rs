@@ -35,16 +35,7 @@ impl Default for GenConfig {
 }
 
 /// Registers the generator computes with (caller-saved temporaries).
-const POOL: [Reg; 8] = [
-    Reg::T0,
-    Reg::T1,
-    Reg::T2,
-    Reg::T3,
-    Reg::T4,
-    Reg::T5,
-    Reg::T6,
-    Reg::T7,
-];
+const POOL: [Reg; 8] = [Reg::T0, Reg::T1, Reg::T2, Reg::T3, Reg::T4, Reg::T5, Reg::T6, Reg::T7];
 
 /// Scratch buffer length in 8-byte slots.
 const SCRATCH_SLOTS: i64 = 16;

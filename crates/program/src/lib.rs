@@ -50,8 +50,8 @@ pub mod rng;
 mod verify;
 
 pub use asm::{parse_asm, program_to_asm, AsmError};
-pub use builder::BuildError;
 pub use bitset::BitSet;
+pub use builder::BuildError;
 pub use builder::{imm, FunctionBuilder, ProgramBuilder};
 pub use callgraph::{CallGraph, WriteSummaries};
 pub use cfg::{Cfg, Dominators, Loop, LoopForest};

@@ -177,10 +177,7 @@ mod tests {
         let mut p = good();
         let f = p.func_mut(crate::FuncId(0));
         f.blocks[0].insts.insert(0, Inst::halt());
-        assert!(matches!(
-            p.verify(),
-            Err(VerifyError::TerminatorMidBlock { .. })
-        ));
+        assert!(matches!(p.verify(), Err(VerifyError::TerminatorMidBlock { .. })));
     }
 
     #[test]
@@ -196,10 +193,7 @@ mod tests {
         let f = p.func_mut(crate::FuncId(0));
         let n = f.blocks[0].insts.len();
         f.blocks[0].insts[n - 1] = Inst::br(99);
-        assert!(matches!(
-            p.verify(),
-            Err(VerifyError::BadBranchTarget { target: 99, .. })
-        ));
+        assert!(matches!(p.verify(), Err(VerifyError::BadBranchTarget { target: 99, .. })));
     }
 
     #[test]
@@ -207,10 +201,7 @@ mod tests {
         let mut p = good();
         let f = p.func_mut(crate::FuncId(0));
         f.blocks[0].insts.insert(0, Inst::jsr(42));
-        assert!(matches!(
-            p.verify(),
-            Err(VerifyError::BadCallTarget { target: 42, .. })
-        ));
+        assert!(matches!(p.verify(), Err(VerifyError::BadCallTarget { target: 42, .. })));
     }
 
     #[test]

@@ -23,7 +23,7 @@ impl Cache {
     /// Panics if the geometry is not a power-of-two or the capacity is
     /// smaller than one set.
     pub fn new(bytes: u32, assoc: u32, line: u32) -> Cache {
-        assert!(line.is_power_of_two() && bytes % (line * assoc) == 0);
+        assert!(line.is_power_of_two() && bytes.is_multiple_of(line * assoc));
         let n_sets = (bytes / (line * assoc)) as usize;
         assert!(n_sets.is_power_of_two() && n_sets > 0);
         Cache {

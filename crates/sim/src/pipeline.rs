@@ -298,15 +298,19 @@ impl Simulator {
                         }
                     }
                     Op::Ret => {
-                        if rec.next_pc != u64::MAX && !bpred.ras_pop_matches(rec.next_pc) {
+                        // ras_pop_matches pops the return-address stack;
+                        // keep the call in the arm body (not a match guard)
+                        // so the side effect stays tied to handling Ret.
+                        let predicted =
+                            rec.next_pc == u64::MAX || bpred.ras_pop_matches(rec.next_pc);
+                        if !predicted {
                             redirect_at_resolve = true;
                         }
                     }
                     _ => {}
                 }
                 if redirect_at_resolve {
-                    fetch_base =
-                        fetch_base.max(complete + cfg.mispredict_penalty as u64);
+                    fetch_base = fetch_base.max(complete + cfg.mispredict_penalty as u64);
                 } else if redirect_at_decode {
                     // Direct-branch target computed in decode: small bubble.
                     fetch_base = fetch_base.max(f_cyc + 2);

@@ -161,7 +161,7 @@ mod tests {
 
     #[test]
     fn byte_manipulation() {
-        assert_eq!(zapnot_eval(0x1122_3344_5566_7788, 0x0F), Some(0x5566_7788).unwrap());
+        assert_eq!(zapnot_eval(0x1122_3344_5566_7788, 0x0F), 0x5566_7788);
         assert_eq!(alu_eval(Op::Zapnot, Width::D, -1, 0x01), Some(0xFF));
         assert_eq!(alu_eval(Op::Ext, Width::B, 0x1122_3344_5566_7788, 1), Some(0x77));
         assert_eq!(alu_eval(Op::Ext, Width::H, 0x1122_3344_5566_7788, 2), Some(0x5566));

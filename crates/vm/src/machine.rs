@@ -194,11 +194,7 @@ impl<'p> Vm<'p> {
                 Next::Done(r) => break r,
             }
         };
-        Ok(RunOutcome {
-            steps: self.stats.steps,
-            reason,
-            output_digest: fnv1a(&self.output),
-        })
+        Ok(RunOutcome { steps: self.stats.steps, reason, output_digest: fnv1a(&self.output) })
     }
 
     fn operand_value(&self, o: Operand) -> i64 {
@@ -272,9 +268,7 @@ impl<'p> Vm<'p> {
             Op::Jsr => match inst.target {
                 Target::Func(callee) => {
                     if self.call_stack.len() >= self.config.max_call_depth {
-                        return Err(VmError::CallDepthExceeded {
-                            max: self.config.max_call_depth,
-                        });
+                        return Err(VmError::CallDepthExceeded { max: self.config.max_call_depth });
                     }
                     self.stats.calls += 1;
                     taken = true;
@@ -406,10 +400,7 @@ mod tests {
         assert_eq!(stats.taken_branches, 2);
         // loop block ran 3 times
         let f = p.func(p.entry);
-        let loop_id = f
-            .block_ids()
-            .find(|&b| f.block(b).label == "loop")
-            .unwrap();
+        let loop_id = f.block_ids().find(|&b| f.block(b).label == "loop").unwrap();
         assert_eq!(stats.block_counts[&(p.entry, loop_id)], 3);
     }
 

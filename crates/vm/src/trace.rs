@@ -54,10 +54,7 @@ impl TraceRecord {
     /// (at least 1); this is the operand width a hardware
     /// significance-compression scheme would process.
     pub fn max_sig(&self) -> u8 {
-        self.dst_sig
-            .max(self.src_sigs[0])
-            .max(self.src_sigs[1])
-            .max(1)
+        self.dst_sig.max(self.src_sigs[0]).max(self.src_sigs[1]).max(1)
     }
 }
 

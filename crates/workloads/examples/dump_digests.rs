@@ -1,0 +1,24 @@
+//! Maintenance tool: print the `output_digest` and step count of every
+//! workload under every input set, in the exact literal form used by the
+//! golden table in `tests/golden.rs`. Rerun after an *intentional*
+//! workload/VM semantics change and paste the output over the table.
+//!
+//! ```sh
+//! cargo run --release -p og-workloads --example dump_digests
+//! ```
+
+use og_vm::{RunConfig, Vm};
+use og_workloads::{all, InputSet};
+
+fn main() {
+    for input in [InputSet::Train, InputSet::Ref] {
+        for wl in all(input) {
+            let mut vm = Vm::new(&wl.program, RunConfig::default());
+            let o = vm.run().expect("workload runs to completion");
+            println!(
+                "    (\"{}\", InputSet::{:?}, 0x{:016x}, {}),",
+                wl.name, input, o.output_digest, o.steps
+            );
+        }
+    }
+}

@@ -115,6 +115,7 @@ pub fn gcc(input: InputSet) -> Workload {
     f.la(S3, "symtab");
     f.ldi(S4, 0); // i
     f.ldi(S5, 0); // sym hash
+
     // ---- pass 1: lex + symbol table ----
     f.block("lex");
     f.add(D, T1, S0, S4);
@@ -230,6 +231,7 @@ pub fn go(input: InputSet) -> Workload {
     f.add(W, T1, T1, S5); // idx
     f.add(D, T2, S0, T1);
     f.ldu(B, T3, T2, 0); // colour
+
     // four neighbours
     f.ldu(B, T4, T2, -21);
     f.ldu(B, T5, T2, 21);
@@ -322,6 +324,7 @@ pub fn ijpeg(input: InputSet) -> Workload {
     f.add(W, T0, T0, T2);
     f.add(W, T0, T0, T3);
     f.sra(W, T0, T0, imm(6)); // ac
+
     // energy += dc + |ac| (via conditional negate)
     f.add(W, S5, S5, T8);
     f.cmov(og_isa::Cond::Ge, W, T1, T0, T0);
@@ -500,6 +503,7 @@ pub fn m88ksim(input: InputSet) -> Workload {
     f.sll(D, T0, S4, imm(2));
     f.add(D, T0, S0, T0);
     f.ld(W, T1, T0, 0); // instruction word (LDL sign-extends)
+
     // decode
     f.srl(W, T2, T1, imm(24));
     f.and(W, T2, T2, imm(0xF)); // op
@@ -510,6 +514,7 @@ pub fn m88ksim(input: InputSet) -> Workload {
     f.srl(W, T5, T1, imm(12));
     f.and(W, T5, T5, imm(0xF)); // rs2
     f.ext(B, T6, T1, imm(0)); // imm8 (EXTBL)
+
     // read rs1 / rs2
     f.sll(D, T7, T4, imm(2));
     f.add(D, T7, S1, T7);
@@ -517,6 +522,7 @@ pub fn m88ksim(input: InputSet) -> Workload {
     f.sll(D, T8, T5, imm(2));
     f.add(D, T8, S1, T8);
     f.ld(W, T8, T8, 0); // v2 (LDL)
+
     // execute
     f.cmp(CmpKind::Eq, W, T9, T2, imm(0));
     f.bne(T9, "ex_add");
@@ -724,6 +730,7 @@ pub fn vortex(input: InputSet) -> Workload {
     f.la(T0, "nrec");
     f.ld(D, S3, T0, 0);
     f.ldi(S4, 0); // i
+
     // ---- insert phase ----
     f.block("insert");
     f.sll(D, T0, S4, imm(4));
@@ -765,6 +772,7 @@ pub fn vortex(input: InputSet) -> Workload {
     f.beq(T7, "walk_next");
     f.block("found");
     f.ld(W, T8, T5, 8); // value (LDL)
+
     // payload processing: scale, bias and fold the value into the
     // accumulator (the chain VRS can specialize when the value is 0)
     f.add(W, T6, T8, imm(3));

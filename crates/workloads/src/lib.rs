@@ -85,8 +85,7 @@ pub struct Workload {
 }
 
 /// The benchmark names, in the paper's figure order.
-pub const NAMES: [&str; 8] =
-    ["compress", "gcc", "go", "ijpeg", "li", "m88ksim", "perl", "vortex"];
+pub const NAMES: [&str; 8] = ["compress", "gcc", "go", "ijpeg", "li", "m88ksim", "perl", "vortex"];
 
 /// Build one workload by name.
 ///
@@ -137,9 +136,7 @@ mod tests {
             for wl in all(input) {
                 wl.program.verify().unwrap_or_else(|e| panic!("{}: {e}", wl.name));
                 let mut vm = Vm::new(&wl.program, RunConfig::default());
-                let outcome = vm
-                    .run()
-                    .unwrap_or_else(|e| panic!("{} ({input:?}): {e}", wl.name));
+                let outcome = vm.run().unwrap_or_else(|e| panic!("{} ({input:?}): {e}", wl.name));
                 assert!(
                     outcome.steps > 3_000,
                     "{} ({input:?}) too small: {} steps",
@@ -207,10 +204,7 @@ mod tests {
                 let mut vm = Vm::new(&wl.program, RunConfig::default());
                 vm.run().unwrap().steps
             };
-            assert!(
-                steps(InputSet::Ref) > steps(InputSet::Train),
-                "{name}: ref must run longer"
-            );
+            assert!(steps(InputSet::Ref) > steps(InputSet::Train), "{name}: ref must run longer");
         }
     }
 

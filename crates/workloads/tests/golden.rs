@@ -1,0 +1,62 @@
+//! Golden-output pinning: every workload's output digest and dynamic step
+//! count, for both input sets, frozen at the values observed when the
+//! suite first went green.
+//!
+//! The differential suite (`tests/differential.rs` at the workspace root)
+//! only proves that program transformations *preserve* VM behavior — if
+//! the VM's own semantics drift, baseline and transformed runs drift
+//! together and that suite stays green. This table catches such drift
+//! absolutely. If a change to the workload generators or VM semantics is
+//! intentional, regenerate with
+//! `cargo run --release -p og-workloads --example dump_digests`.
+
+use og_vm::{RunConfig, Vm};
+use og_workloads::{by_name, InputSet, NAMES};
+
+/// (workload, input set, expected output digest, expected dynamic steps).
+const GOLDEN: [(&str, InputSet, u64, u64); 16] = [
+    ("compress", InputSet::Train, 0xeb1f8a952cfa4894, 15356),
+    ("gcc", InputSet::Train, 0x281e714cb301371e, 31132),
+    ("go", InputSet::Train, 0x1436f4bc028c4415, 18261),
+    ("ijpeg", InputSet::Train, 0x7046a1a3e6240d4e, 5064),
+    ("li", InputSet::Train, 0xbe97f77242f80117, 3810),
+    ("m88ksim", InputSet::Train, 0x9f50e84e9a092193, 50454),
+    ("perl", InputSet::Train, 0xe1228f5c1b8b9933, 21206),
+    ("vortex", InputSet::Train, 0x9a7bceea31964f67, 7305),
+    ("compress", InputSet::Ref, 0xe4572060ac3c9b4c, 45916),
+    ("gcc", InputSet::Ref, 0x47f3010928b2acac, 93206),
+    ("go", InputSet::Ref, 0x6b19b78ff54ecb99, 54769),
+    ("ijpeg", InputSet::Ref, 0x4071686a5637d660, 15176),
+    ("li", InputSet::Ref, 0x8b3f276e07e1f66a, 11370),
+    ("m88ksim", InputSet::Ref, 0xcdbb76a0a342d15a, 150980),
+    ("perl", InputSet::Ref, 0xd664503712898dfa, 62826),
+    ("vortex", InputSet::Ref, 0xf321d36fb0ec495c, 29570),
+];
+
+#[test]
+fn golden_covers_every_workload_and_input() {
+    for name in NAMES {
+        for input in [InputSet::Train, InputSet::Ref] {
+            assert!(
+                GOLDEN.iter().any(|&(n, i, _, _)| n == name && i == input),
+                "golden table is missing {name}/{input:?}"
+            );
+        }
+    }
+    assert_eq!(GOLDEN.len(), NAMES.len() * 2, "golden table has stale extra rows");
+}
+
+#[test]
+fn workload_digests_match_golden() {
+    for &(name, input, digest, steps) in &GOLDEN {
+        let wl = by_name(name, input);
+        let mut vm = Vm::new(&wl.program, RunConfig::default());
+        let o = vm.run().unwrap_or_else(|e| panic!("{name}/{input:?} failed to run: {e:?}"));
+        assert_eq!(
+            o.output_digest, digest,
+            "{name}/{input:?}: output digest drifted (got 0x{:016x})",
+            o.output_digest
+        );
+        assert_eq!(o.steps, steps, "{name}/{input:?}: dynamic step count drifted");
+    }
+}

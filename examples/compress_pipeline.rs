@@ -5,11 +5,11 @@
 //! cargo run --release --example compress_pipeline
 //! ```
 
-use operand_gating::prelude::*;
 use og_core::VrsPass;
 use og_power::{ed2_improvement, GatingScheme};
 use og_vm::Vm;
 use og_workloads::compress;
+use operand_gating::prelude::*;
 
 fn measure(program: &og_program::Program) -> (og_sim::SimResult, u64) {
     let mut vm = Vm::new(program, RunConfig { collect_trace: true, ..Default::default() });

@@ -5,8 +5,8 @@
 //! cargo run --example custom_asm
 //! ```
 
-use operand_gating::prelude::*;
 use og_program::{parse_asm, program_to_asm};
+use operand_gating::prelude::*;
 
 const SOURCE: &str = r"
 ; Count bytes above a threshold and emit a bounded checksum.
@@ -46,10 +46,7 @@ fn main() {
     println!("output: {:?}\n", vm.output());
 
     let report = VrpPass::new(VrpConfig::default()).run(&mut program);
-    println!(
-        "after VRP ({} instructions narrowed):\n",
-        report.narrowed_instructions
-    );
+    println!("after VRP ({} instructions narrowed):\n", report.narrowed_instructions);
     println!("{}", program_to_asm(&program));
 
     let mut vm = Vm::new(&program, RunConfig::default());

@@ -5,9 +5,9 @@
 //! cargo run --release --example hw_vs_sw
 //! ```
 
-use operand_gating::prelude::*;
 use og_vm::Vm;
 use og_workloads::m88ksim;
+use operand_gating::prelude::*;
 
 fn main() {
     let model = EnergyModel::new();

@@ -5,8 +5,8 @@
 //! cargo run --example quickstart
 //! ```
 
-use operand_gating::prelude::*;
 use og_program::{imm, ProgramBuilder};
+use operand_gating::prelude::*;
 
 fn main() {
     // A toy kernel: sum the low bytes of a table, like the paper's

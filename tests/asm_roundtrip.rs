@@ -8,8 +8,8 @@ use og_workloads::{all, InputSet};
 fn every_workload_roundtrips_through_asm() {
     for wl in all(InputSet::Train) {
         let text = program_to_asm(&wl.program);
-        let reparsed = parse_asm(&text)
-            .unwrap_or_else(|e| panic!("{}: reparse failed: {e}", wl.name));
+        let reparsed =
+            parse_asm(&text).unwrap_or_else(|e| panic!("{}: reparse failed: {e}", wl.name));
         assert_eq!(
             wl.program.inst_count(),
             reparsed.inst_count(),
@@ -31,8 +31,8 @@ fn binary_encoding_roundtrips_every_workload() {
         for f in &wl.program.funcs {
             for b in &f.blocks {
                 let bytes = og_isa::encode_stream(&b.insts);
-                let decoded = og_isa::decode_stream(&bytes)
-                    .unwrap_or_else(|e| panic!("{}: {e}", wl.name));
+                let decoded =
+                    og_isa::decode_stream(&bytes).unwrap_or_else(|e| panic!("{}: {e}", wl.name));
                 assert_eq!(decoded, b.insts, "{}/{}/{}", wl.name, f.name, b.label);
             }
         }

@@ -50,11 +50,7 @@ fn vrp_narrows_every_workload() {
     for wl in all(InputSet::Ref) {
         let mut p = wl.program.clone();
         let report = VrpPass::new(VrpConfig::default()).run(&mut p);
-        assert!(
-            report.narrowed_instructions >= 1,
-            "{}: nothing narrowed",
-            wl.name
-        );
+        assert!(report.narrowed_instructions >= 1, "{}: nothing narrowed", wl.name);
         narrowed_total += report.narrowed_instructions;
         inst_total += p.inst_count();
     }
@@ -74,7 +70,8 @@ fn vrs_preserves_every_workload_output() {
         refp.verify().expect("specialized program verifies");
         let (out, _) = run_output(&refp);
         assert_eq!(
-            out, base_out,
+            out,
+            base_out,
             "{name}: output diverged ({} specialized)",
             report.count_fate(og_core::CandidateFate::Specialized)
         );
@@ -118,8 +115,8 @@ proptest! {
         let p = generate_program(&GenConfig { seed, regions: 4, ..Default::default() });
         let (base_out, _) = run_output(&p);
         let mut t = p.clone();
-        let mut cfg = VrsConfig::default();
-        cfg.specialization_cost_nj = 1.0; // specialize eagerly
+        // specialize eagerly
+        let cfg = VrsConfig { specialization_cost_nj: 1.0, ..Default::default() };
         VrsPass::new(cfg).run(&mut t, &p);
         t.verify().expect("specialized random program verifies");
         let (out, _) = run_output(&t);

@@ -43,10 +43,7 @@ fn hardware_schemes_save_on_the_baseline() {
     let none = model.report(&base.activity, GatingScheme::None);
     for scheme in [GatingScheme::HwSignificance, GatingScheme::HwSize] {
         let e = model.report(&base.activity, scheme);
-        assert!(
-            e.total_nj < none.total_nj,
-            "{scheme:?} should save on narrow-valued workloads"
-        );
+        assert!(e.total_nj < none.total_nj, "{scheme:?} should save on narrow-valued workloads");
     }
 }
 
@@ -57,10 +54,7 @@ fn gating_only_affects_width_gateable_structures() {
     let none = model.report(&base.activity, GatingScheme::None);
     let hw = model.report(&base.activity, GatingScheme::HwSize);
     for s in [Structure::Rename, Structure::BranchPred, Structure::ICache, Structure::Rob] {
-        assert!(
-            (none.of(s) - hw.of(s)).abs() < 1e-9,
-            "{s:?} must be unaffected by operand gating"
-        );
+        assert!((none.of(s) - hw.of(s)).abs() < 1e-9, "{s:?} must be unaffected by operand gating");
     }
     assert!(hw.of(Structure::Fu) < none.of(Structure::Fu));
 }
