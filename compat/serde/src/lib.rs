@@ -3,8 +3,10 @@
 //! Marker traits only: the workspace derives `Serialize`/`Deserialize` on
 //! its data types so that swapping in the real serde is a one-line change
 //! in the workspace manifest, but nothing in-tree performs reflective
-//! serialization through these traits (the compat `serde_json` degrades to
-//! a disabled cache). Keeping the traits method-free keeps the stub tiny.
+//! serialization through these traits — actual serialization runs through
+//! the in-tree `og-json` layer (explicit `ToJson`/`FromJson` impls), which
+//! the compat `serde_json` delegates to. Keeping the traits method-free
+//! keeps the stub tiny.
 
 /// Marker counterpart of `serde::Serialize`.
 pub trait Serialize {}

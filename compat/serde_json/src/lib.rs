@@ -1,42 +1,52 @@
-//! Offline stand-in for `serde_json`.
+//! Offline stand-in for `serde_json`, backed by the in-tree `og-json`
+//! layer.
 //!
 //! The compat `serde` traits are markers with no serialization machinery,
-//! so both entry points report `Err`. The only in-tree caller (`og-lab`'s
-//! study cache) treats that as a cache miss / skipped write, which is the
-//! correct degraded behavior: results are recomputed instead of read from
-//! disk. Swapping the workspace manifest to the real serde + serde_json
-//! re-enables the cache with no source changes.
+//! so this shim bounds its entry points on `og-json`'s explicit
+//! [`og_json::ToJson`]/[`og_json::FromJson`] traits instead: any type the
+//! workspace hand-implements those for (the whole study-cache object
+//! graph) serializes for real, offline. Call sites are written against
+//! the real `serde_json` surface (`to_string`, `from_str`,
+//! `Error: Debug + Display`), so repointing the workspace manifest at
+//! crates.io swaps the real stack back in with no source changes — the
+//! same types also derive the (marker) serde traits.
 
 use std::fmt;
 
 /// Error type matching the shape of `serde_json::Error` at the call sites
 /// used in this workspace (`Debug`/`Display` only).
 pub struct Error {
-    msg: &'static str,
+    inner: og_json::Error,
 }
 
 impl fmt::Debug for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "serde_json compat stub: {}", self.msg)
+        write!(f, "serde_json compat: {}", self.inner)
     }
 }
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "serde_json compat stub: {}", self.msg)
+        fmt::Display::fmt(&self.inner, f)
     }
 }
 
 impl std::error::Error for Error {}
 
-pub type Result<T> = std::result::Result<T, Error>;
-
-/// Always fails: the compat stub cannot reconstruct values from JSON.
-pub fn from_str<T: serde::Deserialize>(_s: &str) -> Result<T> {
-    Err(Error { msg: "deserialization unavailable offline" })
+impl From<og_json::Error> for Error {
+    fn from(inner: og_json::Error) -> Error {
+        Error { inner }
+    }
 }
 
-/// Always fails: the compat stub cannot serialize values to JSON.
-pub fn to_string<T: serde::Serialize>(_value: &T) -> Result<String> {
-    Err(Error { msg: "serialization unavailable offline" })
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Parse JSON text via the og-json recursive-descent parser.
+pub fn from_str<T: og_json::FromJson>(s: &str) -> Result<T> {
+    og_json::from_str(s).map_err(Error::from)
+}
+
+/// Serialize to compact JSON text via the og-json writer.
+pub fn to_string<T: og_json::ToJson + ?Sized>(value: &T) -> Result<String> {
+    og_json::to_string(value).map_err(Error::from)
 }

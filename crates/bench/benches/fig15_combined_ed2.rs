@@ -3,6 +3,6 @@
 //! Run with `cargo bench -p og-bench --bench fig15_combined_ed2`.
 
 fn main() {
-    let study = og_lab::run_study();
-    println!("{}", og_lab::figures::fig15(&study));
+    let study = og_lab::shared_study();
+    println!("{}", og_lab::figures::fig15(study));
 }

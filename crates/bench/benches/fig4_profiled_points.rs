@@ -3,6 +3,6 @@
 //! Run with `cargo bench -p og-bench --bench fig4_profiled_points`.
 
 fn main() {
-    let study = og_lab::run_study();
-    println!("{}", og_lab::figures::fig4(&study));
+    let study = og_lab::shared_study();
+    println!("{}", og_lab::figures::fig4(study));
 }

@@ -3,6 +3,6 @@
 //! Run with `cargo bench -p og-bench --bench fig8_energy_savings`.
 
 fn main() {
-    let study = og_lab::run_study();
-    println!("{}", og_lab::figures::fig8(&study));
+    let study = og_lab::shared_study();
+    println!("{}", og_lab::figures::fig8(study));
 }

@@ -3,6 +3,6 @@
 //! Run with `cargo bench -p og-bench --bench fig9_structure_savings`.
 
 fn main() {
-    let study = og_lab::run_study();
-    println!("{}", og_lab::figures::fig9(&study));
+    let study = og_lab::shared_study();
+    println!("{}", og_lab::figures::fig9(study));
 }

@@ -8,7 +8,6 @@ use crate::{avg_sig_fracs, avg_width_fracs, combined_scheme, table3_rows, Mech, 
 use og_core::AluEnergyTable;
 use og_power::{EnergyModel, GatingScheme};
 use og_sim::Structure;
-use og_workloads::NAMES;
 use std::fmt::Write;
 
 fn bar(frac: f64, scale: f64) -> String {
@@ -122,13 +121,14 @@ fn structure_table(study: &Study, mechs: &[(String, Mech, GatingScheme)]) -> Str
         s.push('\n');
     }
     // whole-processor row
+    let benches = study.benches();
     let _ = write!(s, "{:>18} |", "Processor");
     for (_, mech, scheme) in mechs {
         let mut acc = 0.0;
-        for bench in NAMES {
+        for bench in &benches {
             acc += study.energy_savings(&model, bench, *mech, *scheme);
         }
-        let _ = write!(s, " {:>16}", pct(acc / NAMES.len() as f64));
+        let _ = write!(s, " {:>16}", pct(acc / benches.len().max(1) as f64));
     }
     s.push('\n');
     s
@@ -155,7 +155,7 @@ pub fn fig4(study: &Study) -> String {
     );
     let _ = writeln!(s, "--------------------+---------------------------------------");
     let mut tot = (0usize, 0usize, 0usize, 0usize);
-    for bench in NAMES {
+    for bench in study.benches() {
         let run = study.get(bench, Mech::Vrs(50));
         let v = run.vrs.as_ref().expect("vrs run has summary");
         let (nb, dep, spec) = v.fates;
@@ -176,7 +176,7 @@ pub fn fig5(study: &Study) -> String {
     );
     let _ = writeln!(s, "{:>10} | {:>12} {:>12}", "bench", "specialized", "eliminated");
     let _ = writeln!(s, "-----------+---------------------------");
-    for bench in NAMES {
+    for bench in study.benches() {
         let v = study.get(bench, Mech::Vrs(50)).vrs.as_ref().expect("vrs summary");
         let _ =
             writeln!(s, "{:>10} | {:>12} {:>12}", bench, v.static_specialized, v.static_eliminated);
@@ -191,8 +191,9 @@ pub fn fig6(study: &Study) -> String {
     let _ = writeln!(s, "Figure 6: distribution of run-time instructions (VRS 50nJ)");
     let _ = writeln!(s, "{:>10} | {:>13} {:>13}", "bench", "specialized", "guard tests");
     let _ = writeln!(s, "-----------+----------------------------");
+    let benches = study.benches();
     let (mut avg_s, mut avg_g) = (0.0, 0.0);
-    for bench in NAMES {
+    for bench in &benches {
         let v = study.get(bench, Mech::Vrs(50)).vrs.as_ref().expect("vrs summary");
         let _ = writeln!(
             s,
@@ -204,7 +205,7 @@ pub fn fig6(study: &Study) -> String {
         avg_s += v.runtime_specialized_frac;
         avg_g += v.runtime_guard_frac;
     }
-    let n = NAMES.len() as f64;
+    let n = benches.len().max(1) as f64;
     let _ = writeln!(s, "{:>10} | {:>13} {:>13}", "AVG", pct(avg_s / n), pct(avg_g / n));
     s
 }
@@ -245,8 +246,9 @@ fn per_bench_metric(
     }
     s.push('\n');
     let _ = writeln!(s, "{}", "-".repeat(12 + 17 * mechs.len()));
+    let benches = study.benches();
     let mut sums = vec![0.0; mechs.len()];
-    for bench in NAMES {
+    for bench in &benches {
         let _ = write!(s, "{bench:>10} |");
         for (i, (_, mech)) in mechs.iter().enumerate() {
             let v = f(study, bench, *mech);
@@ -257,7 +259,7 @@ fn per_bench_metric(
     }
     let _ = write!(s, "{:>10} |", "AVG");
     for sum in sums {
-        let _ = write!(s, " {:>16}", pct(sum / NAMES.len() as f64));
+        let _ = write!(s, " {:>16}", pct(sum / benches.len().max(1) as f64));
     }
     s.push('\n');
     s
@@ -336,15 +338,16 @@ pub fn fig13(study: &Study) -> String {
     }
     s.push('\n');
     let _ = writeln!(s, "{}", "-".repeat(12 + 17 * mechs.len()));
+    let benches = study.benches();
     let (mut sum_sz, mut sum_sig) = (0.0, 0.0);
-    for bench in NAMES {
+    for bench in &benches {
         let sz = study.energy_savings(&model, bench, Mech::Baseline, GatingScheme::HwSize);
         let sg = study.energy_savings(&model, bench, Mech::Baseline, GatingScheme::HwSignificance);
         sum_sz += sz;
         sum_sig += sg;
         let _ = writeln!(s, "{:>10} | {:>16} {:>16}", bench, pct(sz), pct(sg));
     }
-    let n = NAMES.len() as f64;
+    let n = benches.len().max(1) as f64;
     let _ = writeln!(s, "{:>10} | {:>16} {:>16}", "AVG", pct(sum_sz / n), pct(sum_sig / n));
     s
 }
@@ -386,8 +389,9 @@ pub fn fig15(study: &Study) -> String {
     }
     s.push('\n');
     let _ = writeln!(s, "{}", "-".repeat(12 + 15 * configs.len()));
+    let benches = study.benches();
     let mut sums = vec![0.0; configs.len()];
-    for bench in NAMES {
+    for bench in &benches {
         let _ = write!(s, "{bench:>10} |");
         for (i, (_, mech, scheme)) in configs.iter().enumerate() {
             let v = study.ed2_savings(&model, bench, *mech, *scheme);
@@ -398,7 +402,7 @@ pub fn fig15(study: &Study) -> String {
     }
     let _ = write!(s, "{:>10} |", "AVG");
     for sum in &sums {
-        let _ = write!(s, " {:>14}", pct(sum / NAMES.len() as f64));
+        let _ = write!(s, " {:>14}", pct(sum / benches.len().max(1) as f64));
     }
     s.push('\n');
     s

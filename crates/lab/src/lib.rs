@@ -18,14 +18,39 @@
 //! significance, so `og-power` prices all five schemes from the same
 //! activity record.
 //!
-//! Results are cached on disk (`target/og-study-v*.json`) because every
-//! figure's bench target needs the same study; delete the file or set
-//! `OG_STUDY_NOCACHE=1` to force a rerun.
+//! ## The study cache
+//!
+//! The full study is expensive (8 benchmarks × 9 mechanisms, each a
+//! complete transform → emulate → simulate pipeline) and all 19 bench
+//! targets consume the same one, so [`run_study`] caches it on disk as
+//! JSON (via the in-tree `og-json` layer) and in the process behind
+//! [`shared_study`]'s `OnceLock`:
+//!
+//! * **Path** — `og-study-v{`[`STUDY_VERSION`]`}.json` under
+//!   `$CARGO_TARGET_DIR` (default: the workspace `target/`), or under
+//!   `$OG_STUDY_DIR` when set.
+//! * **Versioning** — [`STUDY_VERSION`] is stamped both into the file
+//!   name and the JSON body; bump it when pipeline semantics change. A
+//!   cache whose body version disagrees, or that fails to parse, is
+//!   removed together with any other stale `og-study-v*.json` files, one
+//!   explanatory line goes to stderr, and the study is recomputed.
+//! * **Atomicity** — writes go to `og-study-v*.json.tmp.<pid>.<seq>` in
+//!   the same directory and are `rename`d into place, so concurrent
+//!   writers (bench processes or threads) never leave a torn file for a
+//!   reader to observe; write failures are reported on stderr (the
+//!   study is still returned). Crash-orphaned tmp files are swept by
+//!   the next recompute once they are old enough to be provably dead.
+//! * **`OG_STUDY_NOCACHE=1`** — bypass the cache entirely: neither read
+//!   nor written. Delete the file instead to force one recompute that
+//!   refreshes the cache.
+//! * **`OG_STUDY_REQUIRE_CACHE=1`** — panic instead of recomputing on a
+//!   cache miss. CI uses this to fail loudly if the warm path regresses.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod figures;
+mod serialize;
 
 use og_core::{UsefulPolicy, VrpConfig, VrpPass, VrsConfig, VrsPass};
 use og_isa::OpClass;
@@ -35,7 +60,9 @@ use og_vm::{RunConfig, Vm};
 use og_workloads::{by_name, InputSet, NAMES};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 /// Bump when pipeline semantics change to invalidate cached studies.
 pub const STUDY_VERSION: u32 = 7;
@@ -154,9 +181,21 @@ impl Study {
             .unwrap_or_else(|| panic!("missing run {bench}/{mech:?}"))
     }
 
-    /// Benchmark names in suite order.
+    /// Benchmark names actually present in [`Study::runs`], in suite
+    /// order (names unknown to the suite sort last, in first-seen
+    /// order). Derived from the runs — not the global suite list — so a
+    /// partial or hand-edited study is detectable here instead of
+    /// panicking later in [`Study::get`] with a misleading
+    /// "missing run".
     pub fn benches(&self) -> Vec<&str> {
-        NAMES.to_vec()
+        let mut names: Vec<&str> = Vec::new();
+        for run in &self.runs {
+            if !names.contains(&run.bench.as_str()) {
+                names.push(&run.bench);
+            }
+        }
+        names.sort_by_key(|n| NAMES.iter().position(|m| m == n).unwrap_or(usize::MAX));
+        names
     }
 
     /// Energy savings of `mech` (priced under `scheme`) vs the baseline
@@ -173,7 +212,8 @@ impl Study {
         run.total_savings_vs(&base)
     }
 
-    /// Per-structure energy savings averaged over the suite.
+    /// Per-structure energy savings averaged over the benchmarks present
+    /// in the study.
     pub fn structure_savings(
         &self,
         model: &EnergyModel,
@@ -181,13 +221,14 @@ impl Study {
         scheme: GatingScheme,
         s: Structure,
     ) -> f64 {
+        let benches = self.benches();
         let mut acc = 0.0;
-        for bench in NAMES {
+        for bench in &benches {
             let base = self.get(bench, Mech::Baseline).energy(model, GatingScheme::None);
             let run = self.get(bench, mech).energy(model, scheme);
             acc += run.savings_vs(&base, s);
         }
-        acc / NAMES.len() as f64
+        acc / benches.len().max(1) as f64
     }
 
     /// ED² improvement of (`mech`, `scheme`) vs the ungated baseline.
@@ -300,37 +341,166 @@ pub fn run_pipeline(bench: &str, mech: Mech, expected_digest: Option<u64>) -> Ru
     }
 }
 
-fn cache_path() -> PathBuf {
+/// The directory study caches live in: `$OG_STUDY_DIR` if set, else
+/// `$CARGO_TARGET_DIR`, else the workspace `target/`.
+fn cache_dir() -> PathBuf {
+    if let Some(dir) = std::env::var_os("OG_STUDY_DIR") {
+        return PathBuf::from(dir);
+    }
     let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| {
         // Walk up from the crate dir to the workspace target dir.
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../target").to_string()
     });
-    PathBuf::from(target).join(format!("og-study-v{STUDY_VERSION}.json"))
+    PathBuf::from(target)
 }
 
-/// Run (or load from cache) the full study.
-pub fn run_study() -> Study {
-    let path = cache_path();
-    let nocache = std::env::var_os("OG_STUDY_NOCACHE").is_some();
-    if !nocache {
-        if let Ok(text) = std::fs::read_to_string(&path) {
-            if let Ok(study) = serde_json::from_str::<Study>(&text) {
-                if study.version == STUDY_VERSION {
-                    return study;
-                }
+/// Where [`run_study`] caches the current-version study.
+pub fn study_cache_path() -> PathBuf {
+    cache_dir().join(format!("og-study-v{STUDY_VERSION}.json"))
+}
+
+/// Why the cache could not serve a study.
+enum CacheMiss {
+    /// No cache file for the current version exists.
+    Absent,
+    /// A file exists but is unreadable, unparsable, or version-mismatched.
+    Invalid(String),
+}
+
+fn load_cache(path: &Path) -> Result<Study, CacheMiss> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Err(CacheMiss::Absent),
+        Err(e) => return Err(CacheMiss::Invalid(format!("unreadable: {e}"))),
+    };
+    let study: Study =
+        serde_json::from_str(&text).map_err(|e| CacheMiss::Invalid(format!("unparsable: {e}")))?;
+    if study.version != STUDY_VERSION {
+        return Err(CacheMiss::Invalid(format!(
+            "body version {} != current {STUDY_VERSION}",
+            study.version
+        )));
+    }
+    Ok(study)
+}
+
+/// How old a `*.json.tmp.*` file must be before the stale sweep may
+/// delete it. A live writer finishes in well under a minute (the full
+/// study serializes to ~160 KB); anything older is crash debris.
+const TMP_DEBRIS_AGE: std::time::Duration = std::time::Duration::from_secs(15 * 60);
+
+/// Remove every `og-study-v*.json` in `dir` — old pipeline versions and
+/// corrupt current-version files alike — plus any `*.json.tmp.*` debris
+/// a crashed writer left behind. Tmp files younger than
+/// [`TMP_DEBRIS_AGE`] are spared: they may belong to a live
+/// [`save_cache`] in another process, whose rename would fail if the
+/// sweep deleted them mid-write. Returns the removed file names.
+fn remove_stale_caches(dir: &Path) -> Vec<String> {
+    let Ok(entries) = std::fs::read_dir(dir) else { return Vec::new() };
+    let mut removed = Vec::new();
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let stale = name.starts_with("og-study-v")
+            && (name.ends_with(".json")
+                || (name.contains(".json.tmp.")
+                    && entry
+                        .metadata()
+                        .and_then(|m| m.modified())
+                        .ok()
+                        .and_then(|t| t.elapsed().ok())
+                        .is_some_and(|age| age > TMP_DEBRIS_AGE)));
+        if stale {
+            match std::fs::remove_file(entry.path()) {
+                Ok(()) => removed.push(name),
+                Err(e) => eprintln!("og-lab: failed to remove stale cache {name}: {e}"),
             }
         }
     }
-    let study = compute_study();
-    if let Ok(text) = serde_json::to_string(&study) {
-        let _ = std::fs::create_dir_all(path.parent().expect("cache path has parent"));
-        let _ = std::fs::write(&path, text);
+    removed
+}
+
+/// Serialize `study` and move it into place atomically: write to
+/// `<path>.tmp.<pid>.<seq>` in the same directory, then `rename`.
+/// Writers racing — across processes (pid) or threads within one
+/// (seq) — each own a distinct tmp file, and each rename is
+/// all-or-nothing, so readers never observe a torn file.
+fn save_cache(path: &Path, study: &Study) -> Result<(), String> {
+    static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+    let text = serde_json::to_string(study).map_err(|e| format!("serialize failed: {e}"))?;
+    let dir = path.parent().expect("cache path has a parent");
+    std::fs::create_dir_all(dir).map_err(|e| format!("create_dir {}: {e}", dir.display()))?;
+    let file_name = path.file_name().expect("cache path has a file name").to_string_lossy();
+    let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    let tmp = dir.join(format!("{file_name}.tmp.{}.{seq}", std::process::id()));
+    std::fs::write(&tmp, text).map_err(|e| format!("write {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path).map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        format!("rename {} -> {}: {e}", tmp.display(), path.display())
+    })
+}
+
+/// Times this process fell through to a full study computation. The
+/// cold→warm tests (and CI's cache-regression check) assert on this.
+static STUDY_RECOMPUTES: AtomicU64 = AtomicU64::new(0);
+
+/// How many times this process recomputed the study instead of loading
+/// it from cache.
+pub fn study_recomputes() -> u64 {
+    STUDY_RECOMPUTES.load(Ordering::Relaxed)
+}
+
+/// Run (or load from cache) the full study. See the module docs for the
+/// cache semantics (`OG_STUDY_DIR`, `OG_STUDY_NOCACHE`,
+/// `OG_STUDY_REQUIRE_CACHE`, versioning, atomicity).
+pub fn run_study() -> Study {
+    run_study_with(compute_study)
+}
+
+/// [`run_study`] with the computation injectable, so tests can drive the
+/// cache machinery with a cheap study. Not part of the stable API.
+#[doc(hidden)]
+pub fn run_study_with(compute: impl FnOnce() -> Study) -> Study {
+    if std::env::var_os("OG_STUDY_NOCACHE").is_some() {
+        return compute();
+    }
+    let path = study_cache_path();
+    match load_cache(&path) {
+        Ok(study) => return study,
+        Err(CacheMiss::Absent) => {
+            eprintln!("og-lab: no study cache at {}; computing", path.display());
+        }
+        Err(CacheMiss::Invalid(why)) => {
+            eprintln!("og-lab: study cache {} is stale ({why}); recomputing", path.display());
+        }
+    }
+    let removed = remove_stale_caches(&cache_dir());
+    if !removed.is_empty() {
+        eprintln!("og-lab: removed stale study cache file(s): {}", removed.join(", "));
+    }
+    assert!(
+        std::env::var_os("OG_STUDY_REQUIRE_CACHE").is_none(),
+        "OG_STUDY_REQUIRE_CACHE is set but the study cache at {} missed",
+        path.display()
+    );
+    let study = compute();
+    match save_cache(&path, &study) {
+        Ok(()) => eprintln!("og-lab: study cached at {}", path.display()),
+        Err(e) => eprintln!("og-lab: failed to write study cache: {e}"),
     }
     study
 }
 
+/// The study shared by every consumer in this process: computed (or
+/// loaded) once behind a `OnceLock`, so `exp_all` and multi-figure runs
+/// pay for at most one [`run_study`] however many figures they render.
+pub fn shared_study() -> &'static Study {
+    static SHARED: OnceLock<Study> = OnceLock::new();
+    SHARED.get_or_init(run_study)
+}
+
 /// Run the full study without touching the cache.
 pub fn compute_study() -> Study {
+    STUDY_RECOMPUTES.fetch_add(1, Ordering::Relaxed);
     let mut runs: Vec<RunSummary> = Vec::new();
     let results: Vec<Vec<RunSummary>> = std::thread::scope(|scope| {
         let handles: Vec<_> = NAMES
@@ -356,11 +526,12 @@ pub fn compute_study() -> Study {
 }
 
 /// Dynamic Table 3 rows: per-class percentage of instructions and width
-/// distribution within each class, averaged over the suite (VRP runs).
+/// distribution within each class, averaged over the study's benchmarks
+/// (VRP runs).
 pub fn table3_rows(study: &Study) -> Vec<(OpClass, f64, [f64; 4])> {
     let mut per_class = [[0u64; 4]; 13];
     let mut total = 0u64;
-    for bench in NAMES {
+    for bench in study.benches() {
         let run = study.get(bench, Mech::Vrp);
         for (c, row) in run.class_width.iter().enumerate() {
             for (w, &n) in row.iter().enumerate() {
@@ -389,30 +560,32 @@ pub fn table3_rows(study: &Study) -> Vec<(OpClass, f64, [f64; 4])> {
 
 /// Suite-average width fractions for a mechanism.
 pub fn avg_width_fracs(study: &Study, mech: Mech) -> [f64; 4] {
+    let benches = study.benches();
     let mut acc = [0.0; 4];
-    for bench in NAMES {
+    for bench in &benches {
         let f = study.get(bench, mech).width_fracs;
         for i in 0..4 {
             acc[i] += f[i];
         }
     }
     for v in &mut acc {
-        *v /= NAMES.len() as f64;
+        *v /= benches.len().max(1) as f64;
     }
     acc
 }
 
 /// Suite-average dynamic value-size distribution (Figure 12).
 pub fn avg_sig_fracs(study: &Study) -> [f64; 8] {
+    let benches = study.benches();
     let mut acc = [0.0; 8];
-    for bench in NAMES {
+    for bench in &benches {
         let f = study.get(bench, Mech::Baseline).sig_fracs;
         for i in 0..8 {
             acc[i] += f[i];
         }
     }
     for v in &mut acc {
-        *v /= NAMES.len() as f64;
+        *v /= benches.len().max(1) as f64;
     }
     acc
 }
@@ -428,7 +601,11 @@ pub fn combined_scheme(hw: GatingScheme) -> GatingScheme {
 
 /// Convenience: map of benchmark → baseline cycles (used by tests).
 pub fn baseline_cycles(study: &Study) -> HashMap<String, u64> {
-    NAMES.iter().map(|&b| (b.to_string(), study.get(b, Mech::Baseline).sim.cycles)).collect()
+    study
+        .benches()
+        .iter()
+        .map(|&b| (b.to_string(), study.get(b, Mech::Baseline).sim.cycles))
+        .collect()
 }
 
 #[cfg(test)]

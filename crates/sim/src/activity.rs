@@ -5,6 +5,7 @@
 //! active byte lanes under each gating scheme are accumulated so the
 //! power model can price any scheme from one simulation run.
 
+use og_json::{FromJson, Json, ToJson};
 use serde::{Deserialize, Serialize};
 
 /// The data-path structures the paper reports energy for (Figures 3, 9
@@ -197,6 +198,64 @@ impl ActivityCounts {
             a.bytes.hw_size += b.bytes.hw_size;
             a.bytes.cooperative += b.bytes.cooperative;
         }
+    }
+}
+
+impl ToJson for SchemeBytes {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("none".into(), self.none.to_json()),
+            ("software".into(), self.software.to_json()),
+            ("hw_significance".into(), self.hw_significance.to_json()),
+            ("hw_size".into(), self.hw_size.to_json()),
+            ("cooperative".into(), self.cooperative.to_json()),
+        ])
+    }
+}
+
+impl FromJson for SchemeBytes {
+    fn from_json(json: &Json) -> Result<SchemeBytes, og_json::Error> {
+        Ok(SchemeBytes {
+            none: json.field("none")?,
+            software: json.field("software")?,
+            hw_significance: json.field("hw_significance")?,
+            hw_size: json.field("hw_size")?,
+            cooperative: json.field("cooperative")?,
+        })
+    }
+}
+
+impl ToJson for StructActivity {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("accesses".into(), self.accesses.to_json()),
+            ("value_accesses".into(), self.value_accesses.to_json()),
+            ("bytes".into(), self.bytes.to_json()),
+        ])
+    }
+}
+
+impl FromJson for StructActivity {
+    fn from_json(json: &Json) -> Result<StructActivity, og_json::Error> {
+        Ok(StructActivity {
+            accesses: json.field("accesses")?,
+            value_accesses: json.field("value_accesses")?,
+            bytes: json.field("bytes")?,
+        })
+    }
+}
+
+/// Encoded as the bare 12-element array, indexed in [`Structure::ALL`]
+/// order.
+impl ToJson for ActivityCounts {
+    fn to_json(&self) -> Json {
+        self.structs.to_json()
+    }
+}
+
+impl FromJson for ActivityCounts {
+    fn from_json(json: &Json) -> Result<ActivityCounts, og_json::Error> {
+        Ok(ActivityCounts { structs: FromJson::from_json(json)? })
     }
 }
 

@@ -16,6 +16,7 @@ use crate::bpred::BranchPredictor;
 use crate::cache::Cache;
 use crate::config::MachineConfig;
 use og_isa::{FuKind, Op};
+use og_json::{FromJson, Json, ToJson};
 use og_vm::TraceRecord;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -79,6 +80,38 @@ impl CycleStats {
         } else {
             self.insts as f64 / self.cycles as f64
         }
+    }
+}
+
+impl ToJson for CycleStats {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("cycles".into(), self.cycles.to_json()),
+            ("insts".into(), self.insts.to_json()),
+            ("cond_branches".into(), self.cond_branches.to_json()),
+            ("mispredicts".into(), self.mispredicts.to_json()),
+            ("icache".into(), self.icache.to_json()),
+            ("dcache".into(), self.dcache.to_json()),
+            ("l2".into(), self.l2.to_json()),
+            ("loads".into(), self.loads.to_json()),
+            ("stores".into(), self.stores.to_json()),
+        ])
+    }
+}
+
+impl FromJson for CycleStats {
+    fn from_json(json: &Json) -> Result<CycleStats, og_json::Error> {
+        Ok(CycleStats {
+            cycles: json.field("cycles")?,
+            insts: json.field("insts")?,
+            cond_branches: json.field("cond_branches")?,
+            mispredicts: json.field("mispredicts")?,
+            icache: json.field("icache")?,
+            dcache: json.field("dcache")?,
+            l2: json.field("l2")?,
+            loads: json.field("loads")?,
+            stores: json.field("stores")?,
+        })
     }
 }
 
