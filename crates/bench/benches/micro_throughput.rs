@@ -2,15 +2,28 @@
 //!
 //! These measure the *tooling* (how fast VRP analyzes, the emulator
 //! executes and the timing model simulates), complementing the figure
-//! benches that measure the *reproduced system*.
+//! benches that measure the *reproduced system*. The headline series is
+//! the **fused vs materialized** pipeline comparison: one streamed
+//! emulate+simulate pass (`Vm::run_streamed` into the `Simulator` sink,
+//! O(1) trace memory) against capture-then-replay through a `VecSink`
+//! (O(steps) memory).
 //!
 //! Run with `cargo bench -p og-bench --bench micro_throughput`.
+//!
+//! With `OG_BENCH_SMOKE=1` the Criterion groups are skipped and only a
+//! quick fused-vs-materialized measurement runs; either way the
+//! comparison is written as machine-readable JSON to
+//! `BENCH_throughput.json` in the target directory (override the
+//! directory with `OG_BENCH_OUT`) so CI can track the perf trajectory.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use criterion::{criterion_group, Criterion, Throughput};
 use og_core::{VrpConfig, VrpPass};
-use og_sim::{MachineConfig, Simulator};
-use og_vm::{RunConfig, Vm};
+use og_json::{Json, ToJson};
+use og_sim::{MachineConfig, SimResult, Simulator};
+use og_vm::{RunConfig, VecSink, Vm};
 use og_workloads::{compress, m88ksim, InputSet};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
 
 fn bench_vrp(c: &mut Criterion) {
     let program = m88ksim(InputSet::Train).program;
@@ -43,9 +56,10 @@ fn bench_vm(c: &mut Criterion) {
 
 fn bench_sim(c: &mut Criterion) {
     let program = compress(InputSet::Train).program;
-    let mut vm = Vm::new(&program, RunConfig { collect_trace: true, ..Default::default() });
-    vm.run().expect("runs");
-    let (trace, _, _) = vm.into_parts();
+    let mut vm = Vm::new(&program, RunConfig::default());
+    let mut sink = VecSink::new();
+    vm.run_streamed(&mut sink).expect("runs");
+    let trace = sink.into_records();
     let mut g = c.benchmark_group("sim");
     g.throughput(Throughput::Elements(trace.len() as u64));
     g.bench_function("timing_compress", |b| {
@@ -55,9 +69,109 @@ fn bench_sim(c: &mut Criterion) {
     g.finish();
 }
 
+fn run_fused(program: &og_program::Program) -> SimResult {
+    let mut vm = Vm::new(program, RunConfig::default());
+    let mut sim = Simulator::new(MachineConfig::default());
+    vm.run_streamed(&mut sim).expect("runs");
+    sim.finish()
+}
+
+fn run_materialized(program: &og_program::Program) -> SimResult {
+    let mut vm = Vm::new(program, RunConfig::default());
+    let mut sink = VecSink::new();
+    vm.run_streamed(&mut sink).expect("runs");
+    Simulator::new(MachineConfig::default()).run(&sink.into_records())
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let program = compress(InputSet::Train).program;
+    let mut vm = Vm::new(&program, RunConfig::default());
+    let steps = vm.run().expect("runs").steps;
+    let mut g = c.benchmark_group("pipeline");
+    g.throughput(Throughput::Elements(steps));
+    g.bench_function("fused_compress", |b| b.iter(|| run_fused(&program)));
+    g.bench_function("materialized_compress", |b| b.iter(|| run_materialized(&program)));
+    g.finish();
+}
+
+/// Median wall-clock of `samples` runs of `f` (one untimed warm-up).
+fn median_secs<R>(samples: usize, mut f: impl FnMut() -> R) -> f64 {
+    f();
+    let mut times: Vec<Duration> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            criterion::black_box(f());
+            start.elapsed()
+        })
+        .collect();
+    times.sort();
+    times[times.len() / 2].as_secs_f64()
+}
+
+/// Where `BENCH_throughput.json` goes: `$OG_BENCH_OUT` if set, else
+/// `$CARGO_TARGET_DIR`, else the workspace `target/`.
+fn out_dir() -> PathBuf {
+    if let Some(dir) = std::env::var_os("OG_BENCH_OUT") {
+        return PathBuf::from(dir);
+    }
+    let target = std::env::var("CARGO_TARGET_DIR")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../target").to_string());
+    PathBuf::from(target)
+}
+
+/// Measure fused vs materialized records/sec and write the JSON report.
+fn throughput_report(smoke: bool) {
+    let (input, samples) = if smoke { (InputSet::Train, 3) } else { (InputSet::Ref, 10) };
+    let program = compress(input).program;
+    let records = {
+        let mut vm = Vm::new(&program, RunConfig::default());
+        vm.run().expect("runs").steps
+    };
+
+    // The two paths must agree bit-for-bit before their speeds mean
+    // anything.
+    assert_eq!(run_fused(&program), run_materialized(&program), "fused != materialized");
+
+    let fused = median_secs(samples, || run_fused(&program));
+    let materialized = median_secs(samples, || run_materialized(&program));
+    let fused_rps = records as f64 / fused;
+    let materialized_rps = records as f64 / materialized;
+    println!(
+        "pipeline/fused_vs_materialized   {:>12.0} rec/s fused, {:>12.0} rec/s materialized \
+         (x{:.2}, {records} records, {} input)",
+        fused_rps,
+        materialized_rps,
+        fused_rps / materialized_rps,
+        if smoke { "train" } else { "ref" },
+    );
+
+    let report = Json::Obj(vec![
+        ("bench".into(), Json::Str("compress".into())),
+        ("input".into(), Json::Str(if smoke { "train" } else { "ref" }.into())),
+        ("mode".into(), Json::Str(if smoke { "smoke" } else { "full" }.into())),
+        ("records".into(), records.to_json()),
+        ("samples".into(), (samples as u64).to_json()),
+        ("fused_records_per_sec".into(), fused_rps.to_json()),
+        ("materialized_records_per_sec".into(), materialized_rps.to_json()),
+    ]);
+    let path = out_dir().join("BENCH_throughput.json");
+    let text = og_json::render(&report).expect("report is finite");
+    match std::fs::write(&path, text) {
+        Ok(()) => println!("throughput report written to {}", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_vrp, bench_vm, bench_sim
+    targets = bench_vrp, bench_vm, bench_sim, bench_pipeline
 }
-criterion_main!(benches);
+
+fn main() {
+    let smoke = std::env::var_os("OG_BENCH_SMOKE").is_some();
+    if !smoke {
+        benches();
+    }
+    throughput_report(smoke);
+}

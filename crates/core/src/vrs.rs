@@ -179,10 +179,12 @@ impl VrsPass {
         let profiled_points = candidates.len();
 
         // ---- step 2: value profiling ----------------------------------
+        // The profiler rides the VM's streaming trace-sink interface
+        // (the same one the timing simulator consumes).
         let mut profiler = ValueProfiler::new(cfg.profile.clone(), candidates.iter().map(|c| c.at));
         let mut train_vm =
             Vm::new(train, RunConfig { max_steps: cfg.train_fuel, ..Default::default() });
-        train_vm.run_watched(&mut profiler).expect("profiling run failed");
+        train_vm.run_streamed(&mut profiler.sink(&train.layout())).expect("profiling run failed");
 
         // ---- step 3: selection ----------------------------------------
         let mut scored: Vec<(Candidate, RangeEstimate, f64)> = Vec::new();

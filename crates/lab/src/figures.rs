@@ -8,7 +8,12 @@ use crate::{avg_sig_fracs, avg_width_fracs, combined_scheme, table3_rows, Mech, 
 use og_core::AluEnergyTable;
 use og_power::{EnergyModel, GatingScheme};
 use og_sim::Structure;
+use std::borrow::Cow;
 use std::fmt::Write;
+
+/// A figure column: display label (borrowed for fixed mechanisms) plus
+/// the mechanism it prices.
+type LabeledMech = (Cow<'static, str>, Mech);
 
 fn bar(frac: f64, scale: f64) -> String {
     let n = (frac.max(0.0) * scale).round() as usize;
@@ -101,7 +106,7 @@ pub fn fig2(study: &Study) -> String {
     s
 }
 
-fn structure_table(study: &Study, mechs: &[(String, Mech, GatingScheme)]) -> String {
+fn structure_table(study: &Study, mechs: &[(Cow<'static, str>, Mech, GatingScheme)]) -> String {
     let model = EnergyModel::new();
     let mut s = String::new();
     let _ = write!(s, "{:>18} |", "structure");
@@ -235,7 +240,7 @@ pub fn fig7(study: &Study) -> String {
 fn per_bench_metric(
     study: &Study,
     title: &str,
-    mechs: &[(String, Mech)],
+    mechs: &[LabeledMech],
     f: impl Fn(&Study, &str, Mech) -> f64,
 ) -> String {
     let mut s = String::new();
@@ -265,8 +270,8 @@ fn per_bench_metric(
     s
 }
 
-fn sw_mechs() -> Vec<(String, Mech)> {
-    let mut v = vec![("VRP".to_string(), Mech::Vrp)];
+fn sw_mechs() -> Vec<LabeledMech> {
+    let mut v: Vec<LabeledMech> = vec![(Mech::Vrp.label(), Mech::Vrp)];
     v.extend(VRS_SWEEP.iter().map(|m| (m.label(), *m)));
     v
 }
@@ -281,7 +286,7 @@ pub fn fig8(study: &Study) -> String {
 
 /// Figure 9: per-structure energy benefits for VRP and the VRS sweep.
 pub fn fig9(study: &Study) -> String {
-    let mut mechs = vec![("VRP".to_string(), Mech::Vrp, GatingScheme::Software)];
+    let mut mechs = vec![(Mech::Vrp.label(), Mech::Vrp, GatingScheme::Software)];
     mechs.extend(VRS_SWEEP.iter().map(|m| (m.label(), *m, GatingScheme::Software)));
     let mut s = String::from(
         "Figure 9: energy benefits for the different parts of the processor (SpecInt avg)\n",
@@ -292,7 +297,7 @@ pub fn fig9(study: &Study) -> String {
 
 /// Figure 10: execution time savings for the VRS sweep.
 pub fn fig10(study: &Study) -> String {
-    let mechs: Vec<(String, Mech)> = VRS_SWEEP.iter().map(|m| (m.label(), *m)).collect();
+    let mechs: Vec<LabeledMech> = VRS_SWEEP.iter().map(|m| (m.label(), *m)).collect();
     per_bench_metric(study, "Figure 10: execution time savings", &mechs, |st, b, m| {
         st.time_savings(b, m)
     })
@@ -326,10 +331,8 @@ pub fn fig12(study: &Study) -> String {
 /// Figure 13: energy savings of the two hardware approaches.
 pub fn fig13(study: &Study) -> String {
     let model = EnergyModel::new();
-    let mechs = vec![
-        ("size compr.".to_string(), Mech::Baseline),
-        ("signif. compr.".to_string(), Mech::Baseline),
-    ];
+    let mechs: Vec<LabeledMech> =
+        vec![("size compr.".into(), Mech::Baseline), ("signif. compr.".into(), Mech::Baseline)];
     let mut s = String::new();
     let _ = writeln!(s, "Figure 13: energy savings for the hardware approaches");
     let _ = write!(s, "{:>10} |", "bench");
@@ -370,7 +373,7 @@ pub fn fig14(study: &Study) -> String {
 /// configurations.
 pub fn fig15(study: &Study) -> String {
     let model = EnergyModel::new();
-    let configs: Vec<(String, Mech, GatingScheme)> = vec![
+    let configs: Vec<(Cow<'static, str>, Mech, GatingScheme)> = vec![
         ("VRP".into(), Mech::Vrp, GatingScheme::Software),
         ("VRS 50".into(), Mech::Vrs(50), GatingScheme::Software),
         ("hdw size".into(), Mech::Baseline, GatingScheme::HwSize),
@@ -411,10 +414,10 @@ pub fn fig15(study: &Study) -> String {
 /// Ablation: the three useful-propagation policies.
 pub fn ablation_useful(study: &Study) -> String {
     let model = EnergyModel::new();
-    let mechs = vec![
-        ("conventional".to_string(), Mech::ConvVrp),
-        ("paper".to_string(), Mech::Vrp),
-        ("aggressive".to_string(), Mech::VrpAggressive),
+    let mechs: Vec<LabeledMech> = vec![
+        ("conventional".into(), Mech::ConvVrp),
+        ("paper".into(), Mech::Vrp),
+        ("aggressive".into(), Mech::VrpAggressive),
     ];
     per_bench_metric(
         study,

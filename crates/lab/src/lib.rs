@@ -8,15 +8,25 @@
 //!
 //! 1. build the workload (reference input; training input for VRS),
 //! 2. apply the program transformation,
-//! 3. check observational equivalence against the baseline output,
-//! 4. emulate to produce the committed-path trace and dynamic statistics,
-//! 5. run the cycle-level simulator for timing + width-annotated activity,
-//! 6. summarize into a serializable [`RunSummary`].
+//! 3. emulate **and** simulate in one fused pass: the VM streams each
+//!    committed instruction straight into the cycle-level simulator
+//!    (`og_vm::TraceSink`), so no trace is ever materialized — O(1)
+//!    trace memory instead of ~56 B × steps,
+//! 4. check observational equivalence against the baseline output,
+//! 5. summarize timing + width-annotated activity into a serializable
+//!    [`RunSummary`].
 //!
 //! Hardware and cooperative gating schemes need no extra runs: every
 //! access was recorded with both its opcode width and its dynamic
 //! significance, so `og-power` prices all five schemes from the same
 //! activity record.
+//!
+//! The full study fans out across a worker pool: the 8 baselines run
+//! first (their digests are the equivalence oracle for everything else),
+//! then the remaining 64 (benchmark, mechanism) runs are drained from a
+//! shared queue — work-stealing granularity of one run, instead of the
+//! old one-thread-per-benchmark shape whose wall-clock was bounded by
+//! the slowest benchmark's nine serial mechanisms.
 //!
 //! ## The study cache
 //!
@@ -59,9 +69,10 @@ use og_sim::{ActivityCounts, CycleStats, MachineConfig, Simulator, Structure};
 use og_vm::{RunConfig, Vm};
 use og_workloads::{by_name, InputSet, NAMES};
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 /// Bump when pipeline semantics change to invalidate cached studies.
@@ -98,14 +109,17 @@ impl Mech {
         Mech::Vrs(30),
     ];
 
-    /// Display label (matches the paper's legends).
-    pub fn label(self) -> String {
+    /// Display label (matches the paper's legends). Borrowed for every
+    /// fixed mechanism; only the parameterized `Vrs` arm allocates, so
+    /// the figure-rendering loops calling this stay allocation-free on
+    /// the common arms.
+    pub fn label(self) -> Cow<'static, str> {
         match self {
-            Mech::Baseline => "baseline".into(),
-            Mech::ConvVrp => "conventional VRP".into(),
-            Mech::Vrp => "VRP".into(),
-            Mech::VrpAggressive => "VRP (aggressive)".into(),
-            Mech::Vrs(c) => format!("VRS {c}nJ"),
+            Mech::Baseline => Cow::Borrowed("baseline"),
+            Mech::ConvVrp => Cow::Borrowed("conventional VRP"),
+            Mech::Vrp => Cow::Borrowed("VRP"),
+            Mech::VrpAggressive => Cow::Borrowed("VRP (aggressive)"),
+            Mech::Vrs(c) => Cow::Owned(format!("VRS {c}nJ")),
         }
     }
 }
@@ -160,28 +174,74 @@ impl RunSummary {
 }
 
 /// The full study: all benchmarks × mechanisms.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct Study {
     /// Version stamp of the pipeline that produced this study.
     pub version: u32,
-    /// All runs.
-    pub runs: Vec<RunSummary>,
+    /// All runs; read via [`Study::runs`], mutate via
+    /// [`Study::runs_mut`] (which invalidates the lookup index).
+    runs: Vec<RunSummary>,
+    /// Lazily built `(mechanism → benchmark → index into runs)` lookup,
+    /// so the figure renderers' nested loops over 72 runs do O(1) hash
+    /// probes instead of an O(runs) linear scan per cell.
+    index: OnceLock<HashMap<Mech, HashMap<String, usize>>>,
+}
+
+impl Clone for Study {
+    fn clone(&self) -> Study {
+        // The clone rebuilds its index on first use.
+        Study::new(self.version, self.runs.clone())
+    }
+}
+
+impl PartialEq for Study {
+    fn eq(&self, other: &Study) -> bool {
+        self.version == other.version && self.runs == other.runs
+    }
 }
 
 impl Study {
+    /// Assemble a study from its runs.
+    pub fn new(version: u32, runs: Vec<RunSummary>) -> Study {
+        Study { version, runs, index: OnceLock::new() }
+    }
+
+    /// All runs, in benchmark-major, [`Mech::ALL`] order for a full
+    /// study.
+    pub fn runs(&self) -> &[RunSummary] {
+        &self.runs
+    }
+
+    /// Mutable access to the runs. Drops the lazily built lookup index,
+    /// so a later [`Study::get`] rebuilds it against the edited runs —
+    /// mutation can never leave stale lookups behind.
+    pub fn runs_mut(&mut self) -> &mut Vec<RunSummary> {
+        self.index = OnceLock::new();
+        &mut self.runs
+    }
+
     /// The run of (benchmark, mechanism).
     ///
     /// # Panics
     ///
     /// Panics if the combination is missing.
     pub fn get(&self, bench: &str, mech: Mech) -> &RunSummary {
-        self.runs
-            .iter()
-            .find(|r| r.bench == bench && r.mech == mech)
+        let index = self.index.get_or_init(|| {
+            let mut map: HashMap<Mech, HashMap<String, usize>> = HashMap::new();
+            for (i, run) in self.runs.iter().enumerate() {
+                // First entry wins, matching the old linear scan.
+                map.entry(run.mech).or_default().entry(run.bench.clone()).or_insert(i);
+            }
+            map
+        });
+        index
+            .get(&mech)
+            .and_then(|per_bench| per_bench.get(bench))
+            .map(|&i| &self.runs[i])
             .unwrap_or_else(|| panic!("missing run {bench}/{mech:?}"))
     }
 
-    /// Benchmark names actually present in [`Study::runs`], in suite
+    /// Benchmark names actually present in the runs, in suite
     /// order (names unknown to the suite sort last, in first-seen
     /// order). Derived from the runs — not the global suite list — so a
     /// partial or hand-edited study is detectable here instead of
@@ -296,13 +356,17 @@ pub fn run_pipeline(bench: &str, mech: Mech, expected_digest: Option<u64>) -> Ru
         }
     }
 
-    let mut vm = Vm::new(&program, RunConfig { collect_trace: true, ..Default::default() });
-    let outcome = vm.run().unwrap_or_else(|e| panic!("{bench}/{mech:?}: {e}"));
+    // One fused pass: the VM streams each committed instruction straight
+    // into the simulator's state machine — no Vec<TraceRecord> anywhere.
+    let mut vm = Vm::new(&program, RunConfig::default());
+    let mut sim = Simulator::new(MachineConfig::default());
+    let outcome = vm.run_streamed(&mut sim).unwrap_or_else(|e| panic!("{bench}/{mech:?}: {e}"));
     if let Some(d) = expected_digest {
         assert_eq!(outcome.output_digest, d, "{bench}/{mech:?}: output diverged from baseline");
     }
-    let (trace, stats, _) = vm.into_parts();
-    let sim = Simulator::new(MachineConfig::default()).run(&trace);
+    debug_assert!(vm.trace().is_empty(), "fused path must not materialize the trace");
+    let (_, stats, _) = vm.into_parts();
+    let sim = sim.finish();
 
     let vrs_summary =
         vrs.map(|(profiled, fates, static_specialized, static_eliminated, blocks, guards)| {
@@ -499,30 +563,57 @@ pub fn shared_study() -> &'static Study {
 }
 
 /// Run the full study without touching the cache.
+///
+/// Parallelized at (benchmark, mechanism) granularity: the 8 baselines
+/// run concurrently first (their digests gate everything else), then the
+/// remaining 64 runs drain from a shared queue onto a pool of one worker
+/// per available core. The assembled run order (benchmark-major, in
+/// [`Mech::ALL`] order) is identical to the old serial implementation,
+/// so cached studies and serialized layouts are unaffected.
 pub fn compute_study() -> Study {
     STUDY_RECOMPUTES.fetch_add(1, Ordering::Relaxed);
-    let mut runs: Vec<RunSummary> = Vec::new();
-    let results: Vec<Vec<RunSummary>> = std::thread::scope(|scope| {
+
+    // Phase 1: baselines, one thread each (8 tasks, all independent).
+    let baselines: Vec<RunSummary> = std::thread::scope(|scope| {
         let handles: Vec<_> = NAMES
             .iter()
-            .map(|&bench| {
-                scope.spawn(move || {
-                    let base = run_pipeline(bench, Mech::Baseline, None);
-                    let digest = base.digest;
-                    let mut out = vec![base];
-                    for mech in Mech::ALL.into_iter().skip(1) {
-                        out.push(run_pipeline(bench, mech, Some(digest)));
-                    }
-                    out
-                })
-            })
+            .map(|&bench| scope.spawn(move || run_pipeline(bench, Mech::Baseline, None)))
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles.into_iter().map(|h| h.join().expect("baseline worker panicked")).collect()
     });
-    for r in results {
-        runs.extend(r);
+    let digests: Vec<u64> = baselines.iter().map(|r| r.digest).collect();
+
+    // Phase 2: every remaining (benchmark, mechanism) pair on a worker
+    // pool, so no thread is ever stuck behind one benchmark's queue.
+    let pairs: Vec<(usize, Mech)> = (0..NAMES.len())
+        .flat_map(|bi| Mech::ALL.into_iter().skip(1).map(move |mech| (bi, mech)))
+        .collect();
+    let slots: Vec<OnceLock<RunSummary>> = pairs.iter().map(|_| OnceLock::new()).collect();
+    let next = AtomicUsize::new(0);
+    let workers = std::thread::available_parallelism()
+        .map_or(4, std::num::NonZeroUsize::get)
+        .min(pairs.len());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&(bi, mech)) = pairs.get(idx) else { break };
+                let summary = run_pipeline(NAMES[bi], mech, Some(digests[bi]));
+                slots[idx].set(summary).map_err(|_| "slot already filled").unwrap();
+            });
+        }
+    });
+
+    // Assemble benchmark-major, Mech::ALL order.
+    let mut extras = slots.into_iter().map(|s| s.into_inner().expect("worker completed the run"));
+    let mut runs = Vec::with_capacity(NAMES.len() * Mech::ALL.len());
+    for base in baselines {
+        runs.push(base);
+        for _ in 1..Mech::ALL.len() {
+            runs.push(extras.next().expect("one summary per pair"));
+        }
     }
-    Study { version: STUDY_VERSION, runs }
+    Study::new(STUDY_VERSION, runs)
 }
 
 /// Dynamic Table 3 rows: per-class percentage of instructions and width
@@ -628,8 +719,70 @@ mod tests {
 
     #[test]
     fn mech_labels_are_unique() {
-        let labels: std::collections::HashSet<String> =
+        let labels: std::collections::HashSet<Cow<'static, str>> =
             Mech::ALL.iter().map(|m| m.label()).collect();
         assert_eq!(labels.len(), Mech::ALL.len());
+    }
+
+    #[test]
+    fn fixed_mech_labels_do_not_allocate() {
+        for mech in [Mech::Baseline, Mech::ConvVrp, Mech::Vrp, Mech::VrpAggressive] {
+            assert!(matches!(mech.label(), Cow::Borrowed(_)), "{mech:?}");
+        }
+        assert!(matches!(Mech::Vrs(50).label(), Cow::Owned(_)));
+    }
+
+    #[test]
+    fn study_get_indexes_by_bench_and_mech() {
+        let mk = |bench: &str, mech: Mech, insts: u64| {
+            let base = run_pipeline_stub();
+            RunSummary { bench: bench.into(), mech, insts, ..base }
+        };
+        let study = Study::new(
+            STUDY_VERSION,
+            vec![
+                mk("compress", Mech::Baseline, 1),
+                mk("compress", Mech::Vrp, 2),
+                mk("gcc", Mech::Baseline, 3),
+                mk("gcc", Mech::Vrs(50), 4),
+            ],
+        );
+        assert_eq!(study.get("compress", Mech::Vrp).insts, 2);
+        assert_eq!(study.get("gcc", Mech::Vrs(50)).insts, 4);
+        assert_eq!(study.get("gcc", Mech::Baseline).insts, 3);
+        // clones rebuild the index and agree
+        let clone = study.clone();
+        assert_eq!(clone.get("compress", Mech::Baseline).insts, 1);
+        assert_eq!(clone, study);
+        // mutation goes through runs_mut, which drops the index, so a
+        // later get() sees the edit instead of a stale lookup
+        let mut study = study;
+        study.runs_mut().push(mk("go", Mech::Baseline, 9));
+        study.runs_mut().retain(|r| r.bench != "compress");
+        assert_eq!(study.get("go", Mech::Baseline).insts, 9);
+        assert_eq!(study.get("gcc", Mech::Baseline).insts, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing run")]
+    fn study_get_panics_on_missing_combination() {
+        let study = Study::new(STUDY_VERSION, vec![]);
+        study.get("compress", Mech::Baseline);
+    }
+
+    /// A minimal summary to clone from in index tests.
+    fn run_pipeline_stub() -> RunSummary {
+        RunSummary {
+            bench: String::new(),
+            mech: Mech::Baseline,
+            digest: 0,
+            insts: 0,
+            sim: CycleStats::default(),
+            activity: ActivityCounts::new(),
+            width_fracs: [0.0; 4],
+            sig_fracs: [0.0; 8],
+            class_width: [[0; 4]; 13],
+            vrs: None,
+        }
     }
 }

@@ -117,6 +117,6 @@ impl ToJson for Study {
 
 impl FromJson for Study {
     fn from_json(json: &Json) -> Result<Study, og_json::Error> {
-        Ok(Study { version: json.field("version")?, runs: json.field("runs")? })
+        Ok(Study::new(json.field("version")?, json.field("runs")?))
     }
 }

@@ -72,7 +72,7 @@ fn synthetic_study(digest: u64, cost: u32, frac: f64) -> Study {
             runtime_guard_frac: 0.015625,
         }),
     };
-    Study { version: STUDY_VERSION, runs: vec![baseline, vrs] }
+    Study::new(STUDY_VERSION, vec![baseline, vrs])
 }
 
 #[test]
@@ -115,13 +115,13 @@ fn benches_derived_from_runs_in_suite_order() {
     let mut study = synthetic_study(5, 70, 0.25);
     // Runs arrive in (go, compress) order plus an off-suite name; suite
     // order must win, unknown names sort last.
-    study.runs.reverse();
-    let mut extra = study.runs[0].clone();
+    study.runs_mut().reverse();
+    let mut extra = study.runs()[0].clone();
     extra.bench = "mystery".into();
-    study.runs.push(extra);
+    study.runs_mut().push(extra);
     assert_eq!(study.benches(), vec!["compress", "go", "mystery"]);
 
-    let empty = Study { version: STUDY_VERSION, runs: vec![] };
+    let empty = Study::new(STUDY_VERSION, vec![]);
     assert_eq!(empty.benches(), Vec::<&str>::new(), "partial study is detectable, not a panic");
 }
 

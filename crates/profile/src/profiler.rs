@@ -1,8 +1,8 @@
 //! The emulator-attached value profiler.
 
 use crate::{ProfileConfig, RangeEstimate, ValueTable};
-use og_program::InstRef;
-use og_vm::Watcher;
+use og_program::{InstRef, Layout};
+use og_vm::{TraceRecord, TraceSink, Watcher};
 use std::collections::{HashMap, HashSet};
 
 /// The profile gathered at one watched instruction.
@@ -71,6 +71,32 @@ impl ValueProfiler {
         self.watched.len()
     }
 
+    /// Record one observation of `value` at `at` (ignored unless the
+    /// site is watched). Both observation channels — the in-VM
+    /// [`Watcher`] and the streaming [`ProfileSink`] — funnel here, so
+    /// they produce identical profiles for identical runs.
+    pub fn observe(&mut self, at: InstRef, value: i64) {
+        if !self.watched.contains(&at) {
+            return;
+        }
+        let config = &self.config;
+        self.sites
+            .entry(at)
+            .or_insert_with(|| SiteProfile { table: ValueTable::new(config) })
+            .table
+            .record(value);
+    }
+
+    /// Adapt this profiler to the VM's streaming [`TraceSink`]
+    /// interface: the returned sink resolves each record's `pc` back to
+    /// the watched site and feeds its `dst_value` into the profile.
+    /// `layout` must be the layout of the program being emulated (the
+    /// one `Vm::new` computes internally via `Program::layout`).
+    pub fn sink(&mut self, layout: &Layout) -> ProfileSink<'_> {
+        let site_of_pc = self.watched.iter().map(|&at| (layout.addr_of(at), at)).collect();
+        ProfileSink { site_of_pc, profiler: self }
+    }
+
     /// The profile gathered at `site`, if it executed at least once.
     pub fn site(&self, site: InstRef) -> Option<&SiteProfile> {
         self.sites.get(&site)
@@ -84,15 +110,46 @@ impl ValueProfiler {
 
 impl Watcher for ValueProfiler {
     fn record(&mut self, at: InstRef, value: i64) {
-        if !self.watched.contains(&at) {
-            return;
+        self.observe(at, value);
+    }
+}
+
+/// A [`TraceSink`] adapter over a [`ValueProfiler`], produced by
+/// [`ValueProfiler::sink`]. It lets the profiler ride the same streamed
+/// committed-path interface the timing simulator consumes, so a training
+/// run drives profiling without the VM materializing anything:
+///
+/// ```
+/// use og_profile::{ProfileConfig, ValueProfiler};
+/// use og_program::{ProgramBuilder, InstRef, FuncId, BlockId};
+/// use og_isa::Reg;
+/// use og_vm::{Vm, RunConfig};
+///
+/// let mut pb = ProgramBuilder::new();
+/// let mut f = pb.function("main", 0);
+/// f.block("entry");
+/// f.ldi(Reg::T0, 7);
+/// f.halt();
+/// pb.finish(f);
+/// let p = pb.build().unwrap();
+///
+/// let site = InstRef::new(FuncId(0), BlockId(0), 0);
+/// let mut profiler = ValueProfiler::new(ProfileConfig::default(), [site]);
+/// let mut vm = Vm::new(&p, RunConfig::default());
+/// vm.run_streamed(&mut profiler.sink(&p.layout())).unwrap();
+/// assert_eq!(profiler.site(site).unwrap().total(), 1);
+/// ```
+pub struct ProfileSink<'a> {
+    profiler: &'a mut ValueProfiler,
+    site_of_pc: HashMap<u64, InstRef>,
+}
+
+impl TraceSink for ProfileSink<'_> {
+    fn record(&mut self, rec: &TraceRecord) {
+        let Some(value) = rec.dst_value else { return };
+        if let Some(&at) = self.site_of_pc.get(&rec.pc) {
+            self.profiler.observe(at, value);
         }
-        let config = &self.config;
-        self.sites
-            .entry(at)
-            .or_insert_with(|| SiteProfile { table: ValueTable::new(config) })
-            .table
-            .record(value);
     }
 }
 
@@ -146,6 +203,33 @@ mod tests {
         assert_eq!(ranges.len(), 1);
         assert_eq!((ranges[0].min, ranges[0].max), (7, 7));
         assert!((ranges[0].freq - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sink_profiling_matches_watcher_profiling() {
+        let p = profiled_program();
+        let and_site = InstRef::new(FuncId(0), BlockId(1), 0);
+        let ldi_site = InstRef::new(FuncId(0), BlockId(1), 1);
+        // Watcher channel.
+        let mut watched = ValueProfiler::new(ProfileConfig::default(), [and_site, ldi_site]);
+        let mut vm = Vm::new(&p, RunConfig::default());
+        vm.run_watched(&mut watched).unwrap();
+        // Streaming channel.
+        let mut streamed = ValueProfiler::new(ProfileConfig::default(), [and_site, ldi_site]);
+        let mut vm = Vm::new(&p, RunConfig::default());
+        vm.run_streamed(&mut streamed.sink(&p.layout())).unwrap();
+        for site in [and_site, ldi_site] {
+            let w = watched.site(site).unwrap();
+            let s = streamed.site(site).unwrap();
+            assert_eq!(w.total(), s.total());
+            let wr = w.candidate_ranges(16);
+            let sr = s.candidate_ranges(16);
+            assert_eq!(wr.len(), sr.len());
+            for (a, b) in wr.iter().zip(&sr) {
+                assert_eq!((a.min, a.max), (b.min, b.max));
+                assert!((a.freq - b.freq).abs() < 1e-12);
+            }
+        }
     }
 
     #[test]

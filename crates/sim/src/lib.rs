@@ -6,8 +6,12 @@
 //! units integer workloads leave idle), a combined gshare/bimodal branch
 //! predictor, 64 KB split L1 caches and a 256 KB L2.
 //!
-//! The simulator consumes the committed-path trace produced by `og-vm`
-//! and produces:
+//! The simulator consumes the committed-path stream produced by `og-vm`
+//! **incrementally**: it implements `og_vm::TraceSink`, so
+//! `Vm::run_streamed(&mut simulator)` fuses emulation and timing
+//! simulation into a single pass — no materialized trace, O(1) trace
+//! memory however long the run. [`Simulator::feed`] consumes one
+//! committed instruction; [`Simulator::finish`] produces:
 //!
 //! * [`CycleStats`] — cycles, IPC, branch/cache behaviour (the *delay*
 //!   part of the paper's energy-delay² metric), and
@@ -16,6 +20,15 @@
 //!   scheme (none / software / hardware-significance / hardware-size /
 //!   cooperative). The `og-power` energy model turns these into the
 //!   paper's per-structure energy numbers.
+//!
+//! All per-instruction history is bounded by the machine's own window
+//! sizes (ROB, issue queue, LSQ, physical registers), so the state
+//! machine's footprint is independent of trace *length*: it is a few
+//! megabytes of fixed structures plus a store-forwarding map that grows
+//! with the program's *data footprint* (one entry per distinct 8-byte
+//! word stored — the same cost the slice-consuming model always paid).
+//! [`Simulator::run`] remains as a slice-consuming convenience over
+//! `feed`/`finish` for traces captured with `og_vm::VecSink`.
 //!
 //! Being trace-driven, wrong-path activity is approximated as front-end
 //! bubbles after a mispredicted branch (the standard trace-driven

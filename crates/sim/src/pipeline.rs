@@ -10,6 +10,15 @@
 //! a structural cycle loop (dependences, window stalls, mispredict
 //! redirects, memory latency) at a fraction of the implementation
 //! complexity, and is deterministic.
+//!
+//! The model is an **incremental state machine**: [`Simulator::feed`]
+//! consumes one committed instruction at a time and
+//! [`Simulator::finish`] closes the books. All per-instruction history
+//! it keeps (commit/issue/memory-commit timestamps) is bounded by the
+//! machine's own window sizes (ROB, issue queue, LSQ, physical register
+//! file), so simulating a trace of any length takes O(1) memory. The
+//! [`Simulator::run`] convenience preserves the old slice-consuming
+//! interface on top of the same state machine.
 
 use crate::activity::{ActivityCounts, Structure};
 use crate::bpred::BranchPredictor;
@@ -17,7 +26,7 @@ use crate::cache::Cache;
 use crate::config::MachineConfig;
 use og_isa::{FuKind, Op};
 use og_json::{FromJson, Json, ToJson};
-use og_vm::TraceRecord;
+use og_vm::{TraceRecord, TraceSink};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -124,267 +133,375 @@ pub struct SimResult {
     pub activity: ActivityCounts,
 }
 
-/// The simulator. Construct with a [`MachineConfig`], run on a committed
-/// trace from `og-vm`.
+/// A bounded history of per-instruction timestamps: retains the youngest
+/// `cap` values pushed, addressable by the global push index. This is
+/// what makes the simulator's memory footprint independent of trace
+/// length — the pipeline only ever looks back one machine window.
+#[derive(Debug, Clone)]
+struct History {
+    buf: Vec<u64>,
+    len: u64,
+}
+
+impl History {
+    fn new(cap: usize) -> History {
+        History { buf: vec![0; cap.max(1)], len: 0 }
+    }
+
+    fn push(&mut self, v: u64) {
+        let cap = self.buf.len() as u64;
+        self.buf[(self.len % cap) as usize] = v;
+        self.len += 1;
+    }
+
+    fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// The `idx`-th value ever pushed; `idx` must be within the retained
+    /// window (the youngest `cap` pushes).
+    fn get(&self, idx: u64) -> u64 {
+        let cap = self.buf.len() as u64;
+        debug_assert!(idx < self.len && self.len - idx <= cap, "history window exceeded");
+        self.buf[(idx % cap) as usize]
+    }
+}
+
+/// The simulator: an incremental state machine over the committed-path
+/// stream. Construct with a [`MachineConfig`], [`feed`](Simulator::feed)
+/// records as the emulator commits them (it implements
+/// [`og_vm::TraceSink`], so it can be handed to `Vm::run_streamed`
+/// directly), then [`finish`](Simulator::finish). For a materialized
+/// trace, [`run`](Simulator::run) does all three steps.
 #[derive(Debug)]
 pub struct Simulator {
     config: MachineConfig,
+    // Derived constants.
+    l2_total_lat: u64,
+    mem_fill: u64,
+    line_mask: u64,
+    // Accumulated results.
+    stats: CycleStats,
+    act: ActivityCounts,
+    // Machine structures.
+    icache: Cache,
+    dcache: Cache,
+    l2: Cache,
+    bpred: BranchPredictor,
+    fetch_ring: Ring,
+    decode_ring: Ring,
+    issue_ring: Ring,
+    retire_ring: Ring,
+    alu_ring: Ring,
+    mul_ring: Ring,
+    mem_ring: Ring,
+    bus_ring: Ring,
+    /// The 16-byte memory bus serializes line fills (Table 2).
+    mem_bus_free: u64,
+    reg_ready: [u64; 32],
+    /// Commit timestamps of the youngest ROB/phys-reg window.
+    commit_hist: History,
+    /// Issue timestamps of the youngest issue-queue window.
+    issue_hist: History,
+    /// Commit timestamps of the youngest LSQ window of memory ops.
+    mem_hist: History,
+    /// word address → cycle the latest store's data is available. Grows
+    /// with the number of distinct 8-byte words the program stores (its
+    /// data footprint) — not with trace length; forwarding deliberately
+    /// has no age horizon, matching the original slice-consuming model.
+    store_ready: HashMap<u64, u64>,
+    /// Earliest possible next fetch.
+    fetch_base: u64,
+    last_fetch: u64,
+    last_commit: u64,
+    cur_line: u64,
 }
 
 impl Simulator {
-    /// Create a simulator.
+    /// Create a simulator ready to be fed a committed-path stream.
     pub fn new(config: MachineConfig) -> Simulator {
-        Simulator { config }
+        let commit_window = config.rob_size.max(config.phys_regs - 32) as usize;
+        Simulator {
+            l2_total_lat: (config.l2.3 + config.dcache.3) as u64,
+            mem_fill: config.memory_latency(config.l2.2) as u64,
+            line_mask: !(config.icache.2 as u64 - 1),
+            stats: CycleStats::default(),
+            act: ActivityCounts::new(),
+            icache: Cache::new(config.icache.0, config.icache.1, config.icache.2),
+            dcache: Cache::new(config.dcache.0, config.dcache.1, config.dcache.2),
+            l2: Cache::new(config.l2.0, config.l2.1, config.l2.2),
+            bpred: BranchPredictor::new(config.ras_depth as usize),
+            fetch_ring: Ring::new(),
+            decode_ring: Ring::new(),
+            issue_ring: Ring::new(),
+            retire_ring: Ring::new(),
+            alu_ring: Ring::new(),
+            mul_ring: Ring::new(),
+            mem_ring: Ring::new(),
+            bus_ring: Ring::new(),
+            mem_bus_free: 0,
+            reg_ready: [0; 32],
+            commit_hist: History::new(commit_window),
+            issue_hist: History::new(config.iq_size as usize),
+            mem_hist: History::new(config.lsq_size as usize),
+            store_ready: HashMap::new(),
+            fetch_base: 0,
+            last_fetch: 0,
+            last_commit: 0,
+            cur_line: u64::MAX,
+            config,
+        }
     }
 
-    /// Simulate a committed-path trace.
+    /// Feed one committed instruction through the pipeline model.
     #[allow(clippy::too_many_lines)]
-    pub fn run(&self, trace: &[TraceRecord]) -> SimResult {
+    pub fn feed(&mut self, rec: &TraceRecord) {
         let cfg = &self.config;
-        let mut act = ActivityCounts::new();
-        let mut stats = CycleStats { insts: trace.len() as u64, ..Default::default() };
+        let i = self.stats.insts;
+        self.stats.insts += 1;
 
-        let mut icache = Cache::new(cfg.icache.0, cfg.icache.1, cfg.icache.2);
-        let mut dcache = Cache::new(cfg.dcache.0, cfg.dcache.1, cfg.dcache.2);
-        let mut l2 = Cache::new(cfg.l2.0, cfg.l2.1, cfg.l2.2);
-        let mut bpred = BranchPredictor::new(cfg.ras_depth as usize);
-
-        let mut fetch_ring = Ring::new();
-        let mut decode_ring = Ring::new();
-        let mut issue_ring = Ring::new();
-        let mut retire_ring = Ring::new();
-        let mut alu_ring = Ring::new();
-        let mut mul_ring = Ring::new();
-        let mut mem_ring = Ring::new();
-        let mut bus_ring = Ring::new();
-
-        let l2_total_lat = cfg.l2.3 + cfg.dcache.3;
-        let mem_fill = cfg.memory_latency(cfg.l2.2) as u64;
-        // The 16-byte memory bus serializes line fills (Table 2).
-        let mut mem_bus_free = 0u64;
-
-        let mut reg_ready = [0u64; 32];
-        let mut commit_cycles: Vec<u64> = Vec::with_capacity(trace.len());
-        let mut issue_cycles: Vec<u64> = Vec::with_capacity(trace.len());
-        let mut mem_commits: Vec<u64> = Vec::new();
-        // word address → cycle the latest store's data is available.
-        let mut store_ready: HashMap<u64, u64> = HashMap::new();
-
-        let mut fetch_base = 0u64; // earliest possible next fetch
-        let mut last_fetch = 0u64;
-        let mut last_commit = 0u64;
-        let mut cur_line = u64::MAX;
-        let line_mask = !(cfg.icache.2 as u64 - 1);
-
-        for (i, rec) in trace.iter().enumerate() {
-            // ---- fetch --------------------------------------------------
-            let mut f_cyc = fetch_base.max(last_fetch);
-            if rec.pc & line_mask != cur_line {
-                cur_line = rec.pc & line_mask;
-                act.record_plain(Structure::ICache);
-                if !icache.access(rec.pc) {
-                    act.record_plain(Structure::DCacheL2);
-                    if l2.access(rec.pc) {
-                        f_cyc += l2_total_lat as u64;
-                    } else {
-                        let start = (f_cyc + l2_total_lat as u64).max(mem_bus_free);
-                        mem_bus_free = start + mem_fill;
-                        f_cyc = start + mem_fill;
-                    }
-                    fetch_base = fetch_base.max(f_cyc);
-                }
-            }
-            let f_cyc = fetch_ring.reserve(f_cyc, cfg.fetch_width as u8);
-            last_fetch = f_cyc;
-
-            // ---- decode / rename / dispatch -----------------------------
-            let mut disp =
-                decode_ring.reserve(f_cyc + cfg.frontend_depth as u64, cfg.decode_width as u8);
-            let rob = cfg.rob_size as usize;
-            if i >= rob {
-                disp = disp.max(commit_cycles[i - rob] + 1);
-            }
-            // Physical registers: freed at commit of the displaced def.
-            let phys_window = (cfg.phys_regs - 32) as usize;
-            if i >= phys_window {
-                disp = disp.max(commit_cycles[i - phys_window]);
-            }
-            let iqs = cfg.iq_size as usize;
-            if i >= iqs {
-                disp = disp.max(issue_cycles[i - iqs]);
-            }
-            let is_mem = rec.op.is_mem();
-            if is_mem {
-                let lsq = cfg.lsq_size as usize;
-                if mem_commits.len() >= lsq {
-                    disp = disp.max(mem_commits[mem_commits.len() - lsq]);
-                }
-            }
-            act.record_plain(Structure::Rename);
-            act.record_plain(Structure::Rob);
-            let sw = rec.width.bytes() as u8;
-            let sig = rec.max_sig();
-            act.record_value(Structure::InstQueue, sw, sig);
-
-            // ---- operand readiness --------------------------------------
-            let mut ready = disp + 1;
-            for (s, src) in rec.srcs.iter().enumerate() {
-                if let Some(r) = src {
-                    if !r.is_zero() {
-                        ready = ready.max(reg_ready[r.index() as usize]);
-                    }
-                    act.record_value(
-                        Structure::RegFile,
-                        sw,
-                        if rec.src_sigs[s] == 0 { 1 } else { rec.src_sigs[s] },
-                    );
-                    act.record_plain(Structure::InstQueue); // wakeup tag match
-                }
-            }
-
-            // ---- issue + execute ----------------------------------------
-            let (mut iss, mut lat) = match rec.op.fu() {
-                FuKind::IntAlu | FuKind::Branch => {
-                    let c = issue_ring.reserve(ready, cfg.issue_width as u8);
-                    (alu_ring.reserve(c, cfg.int_alus as u8), 1u64)
-                }
-                FuKind::IntMul => {
-                    let c = issue_ring.reserve(ready, cfg.issue_width as u8);
-                    (mul_ring.reserve(c, cfg.int_muls as u8), cfg.mul_latency as u64)
-                }
-                FuKind::Mem => {
-                    let c = issue_ring.reserve(ready, cfg.issue_width as u8);
-                    (mem_ring.reserve(c, cfg.dcache_ports as u8), 1u64)
-                }
-                FuKind::None => (ready, 0),
-            };
-            if matches!(rec.op, Op::Ld { .. }) {
-                stats.loads += 1;
-                act.record_value(Structure::Lsq, sw, rec.dst_sig.max(1));
-                act.record_value(Structure::DCacheL1, sw, rec.dst_sig.max(1));
-                let access_start = iss + 1;
-                let data_ready = if dcache.access(rec.mem_addr) {
-                    access_start + cfg.dcache.3 as u64
+        // ---- fetch --------------------------------------------------
+        let mut f_cyc = self.fetch_base.max(self.last_fetch);
+        if rec.pc & self.line_mask != self.cur_line {
+            self.cur_line = rec.pc & self.line_mask;
+            self.act.record_plain(Structure::ICache);
+            if !self.icache.access(rec.pc) {
+                self.act.record_plain(Structure::DCacheL2);
+                if self.l2.access(rec.pc) {
+                    f_cyc += self.l2_total_lat;
                 } else {
-                    act.record_plain(Structure::DCacheL2);
-                    if l2.access(rec.mem_addr) {
-                        access_start + l2_total_lat as u64
-                    } else {
-                        let start = (access_start + l2_total_lat as u64).max(mem_bus_free);
-                        mem_bus_free = start + mem_fill;
-                        start + mem_fill
-                    }
-                };
-                lat = data_ready.saturating_sub(iss).max(1);
-                // Store-to-load forwarding: data becomes available when
-                // the youngest older store to the word completes.
-                if let Some(&avail) = store_ready.get(&(rec.mem_addr >> 3)) {
-                    let forwarded = avail.max(iss + 1);
-                    lat = lat.min(forwarded.saturating_sub(iss)).max(1);
-                    iss = iss.max(avail.saturating_sub(lat).max(iss));
+                    let start = (f_cyc + self.l2_total_lat).max(self.mem_bus_free);
+                    self.mem_bus_free = start + self.mem_fill;
+                    f_cyc = start + self.mem_fill;
                 }
-            } else if rec.op == Op::St {
-                stats.stores += 1;
-                act.record_value(Structure::Lsq, sw, rec.src_sigs[0].max(1));
+                self.fetch_base = self.fetch_base.max(f_cyc);
             }
-            if rec.op.fu() != FuKind::None && !rec.op.is_mem() {
-                act.record_value(Structure::Fu, sw, sig);
-            } else if rec.op.is_mem() {
-                // address generation occupies an ALU lane's adder
-                act.record_value(Structure::Fu, 8, 8);
-            }
-            issue_cycles.push(iss);
-            let mut complete = iss + lat.max(1);
+        }
+        let f_cyc = self.fetch_ring.reserve(f_cyc, cfg.fetch_width as u8);
+        self.last_fetch = f_cyc;
 
-            // ---- writeback ----------------------------------------------
-            if let Some(d) = rec.dst {
-                complete = bus_ring.reserve(complete, 4);
-                act.record_value(Structure::ResultBus, sw, rec.dst_sig.max(1));
-                act.record_value(Structure::RenameBufs, sw, rec.dst_sig.max(1));
-                if !d.is_zero() {
-                    reg_ready[d.index() as usize] = complete;
-                }
+        // ---- decode / rename / dispatch -----------------------------
+        let mut disp =
+            self.decode_ring.reserve(f_cyc + cfg.frontend_depth as u64, cfg.decode_width as u8);
+        let rob = cfg.rob_size as u64;
+        if i >= rob {
+            disp = disp.max(self.commit_hist.get(i - rob) + 1);
+        }
+        // Physical registers: freed at commit of the displaced def.
+        let phys_window = (cfg.phys_regs - 32) as u64;
+        if i >= phys_window {
+            disp = disp.max(self.commit_hist.get(i - phys_window));
+        }
+        let iqs = cfg.iq_size as u64;
+        if i >= iqs {
+            disp = disp.max(self.issue_hist.get(i - iqs));
+        }
+        let is_mem = rec.op.is_mem();
+        if is_mem {
+            let lsq = cfg.lsq_size as u64;
+            if self.mem_hist.len() >= lsq {
+                disp = disp.max(self.mem_hist.get(self.mem_hist.len() - lsq));
             }
+        }
+        self.act.record_plain(Structure::Rename);
+        self.act.record_plain(Structure::Rob);
+        let sw = rec.width.bytes() as u8;
+        let sig = rec.max_sig();
+        self.act.record_value(Structure::InstQueue, sw, sig);
 
-            // ---- control resolution -------------------------------------
-            if rec.is_control() {
-                act.record_plain(Structure::BranchPred);
-                let mut redirect_at_resolve = false;
-                let mut redirect_at_decode = false;
-                match rec.op {
-                    Op::Bc(_) => {
-                        stats.cond_branches += 1;
-                        let miss = bpred.predict_and_update(rec.pc, rec.taken);
-                        if miss {
-                            stats.mispredicts += 1;
-                            redirect_at_resolve = true;
-                        } else if rec.taken && rec.next_pc != u64::MAX {
-                            redirect_at_decode = !bpred.btb_lookup_update(rec.pc, rec.next_pc);
-                        }
-                    }
-                    Op::Br | Op::Jsr => {
-                        if rec.next_pc != u64::MAX {
-                            redirect_at_decode = !bpred.btb_lookup_update(rec.pc, rec.next_pc);
-                        }
-                        if rec.op == Op::Jsr {
-                            bpred.ras_push(rec.pc + 8);
-                        }
-                    }
-                    Op::Ret => {
-                        // ras_pop_matches pops the return-address stack;
-                        // keep the call in the arm body (not a match guard)
-                        // so the side effect stays tied to handling Ret.
-                        let predicted =
-                            rec.next_pc == u64::MAX || bpred.ras_pop_matches(rec.next_pc);
-                        if !predicted {
-                            redirect_at_resolve = true;
-                        }
-                    }
-                    _ => {}
+        // ---- operand readiness --------------------------------------
+        let mut ready = disp + 1;
+        for (s, src) in rec.srcs.iter().enumerate() {
+            if let Some(r) = src {
+                if !r.is_zero() {
+                    ready = ready.max(self.reg_ready[r.index() as usize]);
                 }
-                if redirect_at_resolve {
-                    fetch_base = fetch_base.max(complete + cfg.mispredict_penalty as u64);
-                } else if redirect_at_decode {
-                    // Direct-branch target computed in decode: small bubble.
-                    fetch_base = fetch_base.max(f_cyc + 2);
-                }
-                if rec.taken {
-                    // Taken control breaks the fetch group.
-                    last_fetch = last_fetch.max(f_cyc + 1);
-                    cur_line = u64::MAX;
-                }
-            }
-
-            // ---- commit -------------------------------------------------
-            let c = retire_ring.reserve(complete.max(last_commit), cfg.retire_width as u8);
-            last_commit = c;
-            commit_cycles.push(c);
-            act.record_plain(Structure::Rob);
-            if let Some(_d) = rec.dst {
-                // architectural writeback
-                act.record_value(Structure::RegFile, sw, rec.dst_sig.max(1));
-            }
-            if rec.op == Op::St {
-                // the store writes the cache at commit
-                act.record_value(Structure::DCacheL1, sw, rec.src_sigs[0].max(1));
-                let hit = dcache.access(rec.mem_addr);
-                if !hit {
-                    act.record_plain(Structure::DCacheL2);
-                    l2.access(rec.mem_addr);
-                }
-                store_ready.insert(rec.mem_addr >> 3, complete);
-                mem_commits.push(c);
-            } else if is_mem {
-                mem_commits.push(c);
+                self.act.record_value(
+                    Structure::RegFile,
+                    sw,
+                    if rec.src_sigs[s] == 0 { 1 } else { rec.src_sigs[s] },
+                );
+                self.act.record_plain(Structure::InstQueue); // wakeup tag match
             }
         }
 
-        stats.cycles = last_commit + 1;
-        stats.icache = (icache.accesses, icache.misses);
-        stats.dcache = (dcache.accesses, dcache.misses);
-        stats.l2 = (l2.accesses, l2.misses);
+        // ---- issue + execute ----------------------------------------
+        let (mut iss, mut lat) = match rec.op.fu() {
+            FuKind::IntAlu | FuKind::Branch => {
+                let c = self.issue_ring.reserve(ready, cfg.issue_width as u8);
+                (self.alu_ring.reserve(c, cfg.int_alus as u8), 1u64)
+            }
+            FuKind::IntMul => {
+                let c = self.issue_ring.reserve(ready, cfg.issue_width as u8);
+                (self.mul_ring.reserve(c, cfg.int_muls as u8), cfg.mul_latency as u64)
+            }
+            FuKind::Mem => {
+                let c = self.issue_ring.reserve(ready, cfg.issue_width as u8);
+                (self.mem_ring.reserve(c, cfg.dcache_ports as u8), 1u64)
+            }
+            FuKind::None => (ready, 0),
+        };
+        if matches!(rec.op, Op::Ld { .. }) {
+            self.stats.loads += 1;
+            self.act.record_value(Structure::Lsq, sw, rec.dst_sig.max(1));
+            self.act.record_value(Structure::DCacheL1, sw, rec.dst_sig.max(1));
+            let access_start = iss + 1;
+            let data_ready = if self.dcache.access(rec.mem_addr) {
+                access_start + cfg.dcache.3 as u64
+            } else {
+                self.act.record_plain(Structure::DCacheL2);
+                if self.l2.access(rec.mem_addr) {
+                    access_start + self.l2_total_lat
+                } else {
+                    let start = (access_start + self.l2_total_lat).max(self.mem_bus_free);
+                    self.mem_bus_free = start + self.mem_fill;
+                    start + self.mem_fill
+                }
+            };
+            lat = data_ready.saturating_sub(iss).max(1);
+            // Store-to-load forwarding: data becomes available when
+            // the youngest older store to the word completes.
+            if let Some(&avail) = self.store_ready.get(&(rec.mem_addr >> 3)) {
+                let forwarded = avail.max(iss + 1);
+                lat = lat.min(forwarded.saturating_sub(iss)).max(1);
+                iss = iss.max(avail.saturating_sub(lat).max(iss));
+            }
+        } else if rec.op == Op::St {
+            self.stats.stores += 1;
+            self.act.record_value(Structure::Lsq, sw, rec.src_sigs[0].max(1));
+        }
+        if rec.op.fu() != FuKind::None && !rec.op.is_mem() {
+            self.act.record_value(Structure::Fu, sw, sig);
+        } else if rec.op.is_mem() {
+            // address generation occupies an ALU lane's adder
+            self.act.record_value(Structure::Fu, 8, 8);
+        }
+        self.issue_hist.push(iss);
+        let mut complete = iss + lat.max(1);
+
+        // ---- writeback ----------------------------------------------
+        if let Some(d) = rec.dst {
+            complete = self.bus_ring.reserve(complete, 4);
+            self.act.record_value(Structure::ResultBus, sw, rec.dst_sig.max(1));
+            self.act.record_value(Structure::RenameBufs, sw, rec.dst_sig.max(1));
+            if !d.is_zero() {
+                self.reg_ready[d.index() as usize] = complete;
+            }
+        }
+
+        // ---- control resolution -------------------------------------
+        if rec.is_control() {
+            self.act.record_plain(Structure::BranchPred);
+            let mut redirect_at_resolve = false;
+            let mut redirect_at_decode = false;
+            match rec.op {
+                Op::Bc(_) => {
+                    self.stats.cond_branches += 1;
+                    let miss = self.bpred.predict_and_update(rec.pc, rec.taken);
+                    if miss {
+                        self.stats.mispredicts += 1;
+                        redirect_at_resolve = true;
+                    } else if rec.taken && rec.next_pc != u64::MAX {
+                        redirect_at_decode = !self.bpred.btb_lookup_update(rec.pc, rec.next_pc);
+                    }
+                }
+                Op::Br | Op::Jsr => {
+                    if rec.next_pc != u64::MAX {
+                        redirect_at_decode = !self.bpred.btb_lookup_update(rec.pc, rec.next_pc);
+                    }
+                    if rec.op == Op::Jsr {
+                        self.bpred.ras_push(rec.pc + 8);
+                    }
+                }
+                Op::Ret => {
+                    // ras_pop_matches pops the return-address stack;
+                    // keep the call in the arm body (not a match guard)
+                    // so the side effect stays tied to handling Ret.
+                    let predicted =
+                        rec.next_pc == u64::MAX || self.bpred.ras_pop_matches(rec.next_pc);
+                    if !predicted {
+                        redirect_at_resolve = true;
+                    }
+                }
+                _ => {}
+            }
+            if redirect_at_resolve {
+                self.fetch_base = self.fetch_base.max(complete + cfg.mispredict_penalty as u64);
+            } else if redirect_at_decode {
+                // Direct-branch target computed in decode: small bubble.
+                self.fetch_base = self.fetch_base.max(f_cyc + 2);
+            }
+            if rec.taken {
+                // Taken control breaks the fetch group.
+                self.last_fetch = self.last_fetch.max(f_cyc + 1);
+                self.cur_line = u64::MAX;
+            }
+        }
+
+        // ---- commit -------------------------------------------------
+        let c = self.retire_ring.reserve(complete.max(self.last_commit), cfg.retire_width as u8);
+        self.last_commit = c;
+        self.commit_hist.push(c);
+        self.act.record_plain(Structure::Rob);
+        if rec.dst.is_some() {
+            // architectural writeback
+            self.act.record_value(Structure::RegFile, sw, rec.dst_sig.max(1));
+        }
+        if rec.op == Op::St {
+            // the store writes the cache at commit
+            self.act.record_value(Structure::DCacheL1, sw, rec.src_sigs[0].max(1));
+            let hit = self.dcache.access(rec.mem_addr);
+            if !hit {
+                self.act.record_plain(Structure::DCacheL2);
+                self.l2.access(rec.mem_addr);
+            }
+            self.store_ready.insert(rec.mem_addr >> 3, complete);
+            self.mem_hist.push(c);
+        } else if is_mem {
+            self.mem_hist.push(c);
+        }
+    }
+
+    /// Close the books: total cycle count and cache tallies. Consumes
+    /// the simulator (a finished machine cannot be fed more work).
+    pub fn finish(self) -> SimResult {
+        let mut stats = self.stats;
+        stats.cycles = self.last_commit + 1;
+        stats.icache = (self.icache.accesses, self.icache.misses);
+        stats.dcache = (self.dcache.accesses, self.dcache.misses);
+        stats.l2 = (self.l2.accesses, self.l2.misses);
         // cond_branches/mispredicts recorded inline.
-        SimResult { stats, activity: act }
+        SimResult { stats, activity: self.act }
+    }
+
+    /// Simulate a materialized committed-path trace on a **fresh**
+    /// machine (this simulator's state is not consulted). Convenience
+    /// for tests and consumers that captured a trace with
+    /// `og_vm::VecSink`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this simulator has already been fed records — that
+    /// almost certainly means the caller wanted
+    /// [`feed`](Simulator::feed)/[`finish`](Simulator::finish) to
+    /// continue the stream, not a cold restart.
+    pub fn run(&self, trace: &[TraceRecord]) -> SimResult {
+        assert_eq!(
+            self.stats.insts, 0,
+            "Simulator::run simulates from a cold machine, but this simulator has already \
+             been fed; use feed()/finish() to continue the stream"
+        );
+        let mut sim = Simulator::new(self.config.clone());
+        for rec in trace {
+            sim.feed(rec);
+        }
+        sim.finish()
+    }
+}
+
+impl TraceSink for Simulator {
+    fn record(&mut self, rec: &TraceRecord) {
+        self.feed(rec);
     }
 }
 
@@ -393,7 +510,7 @@ mod tests {
     use super::*;
     use og_isa::{Reg, Width};
     use og_program::{imm, ProgramBuilder};
-    use og_vm::{RunConfig, Vm};
+    use og_vm::{RunConfig, VecSink, Vm};
 
     fn trace_of(build: impl FnOnce(&mut og_program::FunctionBuilder)) -> Vec<TraceRecord> {
         let mut pb = ProgramBuilder::new();
@@ -402,9 +519,10 @@ mod tests {
         build(&mut f);
         pb.finish(f);
         let p = pb.build().unwrap();
-        let mut vm = Vm::new(&p, RunConfig { collect_trace: true, ..Default::default() });
-        vm.run().unwrap();
-        vm.trace().to_vec()
+        let mut vm = Vm::new(&p, RunConfig::default());
+        let mut sink = VecSink::new();
+        vm.run_streamed(&mut sink).unwrap();
+        sink.into_records()
     }
 
     fn counted_loop(n: i64) -> Vec<TraceRecord> {
@@ -470,6 +588,45 @@ mod tests {
     }
 
     #[test]
+    fn feed_finish_matches_slice_run() {
+        let t = counted_loop(500);
+        let via_run = Simulator::new(MachineConfig::default()).run(&t);
+        let mut sim = Simulator::new(MachineConfig::default());
+        for rec in &t {
+            sim.feed(rec);
+        }
+        assert_eq!(sim.finish(), via_run);
+    }
+
+    #[test]
+    fn simulator_is_a_trace_sink_fusable_with_the_vm() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        f.block("entry");
+        f.ldi(Reg::T0, 0);
+        f.block("loop");
+        f.add(Width::D, Reg::T0, Reg::T0, imm(1));
+        f.cmp(og_isa::CmpKind::Lt, Width::D, Reg::T1, Reg::T0, imm(300));
+        f.bne(Reg::T1, "loop");
+        f.block("exit");
+        f.halt();
+        pb.finish(f);
+        let p = pb.build().unwrap();
+        // Fused: one pass, the simulator consumes records as they commit.
+        let mut vm = Vm::new(&p, RunConfig::default());
+        let mut sim = Simulator::new(MachineConfig::default());
+        vm.run_streamed(&mut sim).unwrap();
+        let fused = sim.finish();
+        // Materialized: capture, then simulate the slice.
+        let mut vm = Vm::new(&p, RunConfig::default());
+        let mut sink = VecSink::new();
+        vm.run_streamed(&mut sink).unwrap();
+        let materialized = Simulator::new(MachineConfig::default()).run(sink.records());
+        assert_eq!(fused, materialized);
+        assert_eq!(fused.stats.insts, sink.records().len() as u64);
+    }
+
+    #[test]
     fn memory_latency_visible() {
         let mut pb = ProgramBuilder::new();
         pb.data_zeroed("buf", 1 << 20);
@@ -487,9 +644,10 @@ mod tests {
         f.halt();
         pb.finish(f);
         let p = pb.build().unwrap();
-        let mut vm = Vm::new(&p, RunConfig { collect_trace: true, ..Default::default() });
-        vm.run().unwrap();
-        let strided = Simulator::new(MachineConfig::default()).run(vm.trace());
+        let mut vm = Vm::new(&p, RunConfig::default());
+        let mut strided_sim = Simulator::new(MachineConfig::default());
+        vm.run_streamed(&mut strided_sim).unwrap();
+        let strided = strided_sim.finish();
         assert!(strided.stats.dcache.1 >= 199, "strided loads must miss");
         // Same loop hitting a single address:
         let hot = trace_of(|f| {

@@ -9,10 +9,24 @@
 //!   (the basic-block profiles VRS builds on), operation-class × width
 //!   histograms (Table 3, Figures 2 and 7), and the dynamic
 //!   significant-byte distribution of operand values (Figure 12);
-//! * an optional **committed-path trace** ([`TraceRecord`]) that drives
-//!   the cycle-level timing model in `og-sim`;
-//! * **value watch points** ([`Watcher`]) used by the Calder-style value
-//!   profiler in `og-profile`.
+//! * a **streamed committed-path trace**: [`Vm::run_streamed`] pushes one
+//!   [`TraceRecord`] per committed instruction into a caller-supplied
+//!   [`TraceSink`] — this is how the cycle-level timing model in `og-sim`
+//!   and the value profiler in `og-profile` are driven;
+//! * **value watch points** ([`Watcher`]) — the in-VM callback the value
+//!   profiler can also attach to directly.
+//!
+//! ## Streaming dataflow (VM → TraceSink → Simulator/Profiler)
+//!
+//! The VM never materializes the trace. It holds exactly **one** record
+//! back (a delay buffer, so the successor's address can be patched into
+//! `next_pc`) and hands every finalized record to the sink, giving the
+//! fused emulate+simulate pipeline **O(1) trace memory** regardless of
+//! run length. Materializing is opt-in via [`VecSink`] — which costs
+//! O(steps) memory (~64 B/record; a 100M-step run would need ~6.4 GB) —
+//! and is reserved for tests and offline analysis. The pre-streaming
+//! `RunConfig::collect_trace` flag survives as a deprecated shim that
+//! routes through the same code path into an internal `VecSink`.
 //!
 //! ```
 //! use og_program::{ProgramBuilder, imm};
@@ -47,7 +61,7 @@ mod trace;
 pub use machine::{HaltReason, RunConfig, RunOutcome, Vm, VmError, Watcher};
 pub use memory::Memory;
 pub use stats::DynStats;
-pub use trace::TraceRecord;
+pub use trace::{FnSink, NullSink, TraceRecord, TraceSink, VecSink};
 
 /// 64-bit FNV-1a digest, used to fingerprint program output.
 pub fn fnv1a(bytes: &[u8]) -> u64 {

@@ -1,7 +1,7 @@
 //! The emulator core.
 
 use crate::eval::{alu_eval, cmov_eval};
-use crate::{fnv1a, DynStats, Memory, TraceRecord};
+use crate::{fnv1a, DynStats, Memory, TraceRecord, TraceSink, VecSink};
 use og_isa::{Op, Operand, Reg, Target, Width};
 use og_program::{BlockId, FuncId, InstRef, Layout, Program, STACK_BASE};
 use std::fmt;
@@ -12,8 +12,17 @@ pub struct RunConfig {
     /// Abort with [`VmError::OutOfFuel`] after this many committed
     /// instructions.
     pub max_steps: u64,
-    /// Collect a [`TraceRecord`] per committed instruction (needed to feed
-    /// the timing model; costs memory proportional to the run length).
+    /// Legacy shim: materialize a [`TraceRecord`] per committed
+    /// instruction into an internal `Vec` readable via [`Vm::trace`] /
+    /// [`Vm::into_parts`]. This costs O(steps) memory; stream the trace
+    /// into a [`TraceSink`] with [`Vm::run_streamed`] instead (use a
+    /// [`VecSink`] where a materialized trace is genuinely needed).
+    /// Ignored by the sink-taking run methods.
+    #[deprecated(
+        since = "0.2.0",
+        note = "stream the trace with `Vm::run_streamed` and a \
+                                          `TraceSink` (e.g. `VecSink`) instead"
+    )]
     pub collect_trace: bool,
     /// Maximum call depth before [`VmError::CallDepthExceeded`].
     pub max_call_depth: usize,
@@ -21,6 +30,7 @@ pub struct RunConfig {
 
 impl Default for RunConfig {
     fn default() -> Self {
+        #[allow(deprecated)] // the shim field still needs a default
         RunConfig { max_steps: 100_000_000, collect_trace: false, max_call_depth: 1024 }
     }
 }
@@ -105,6 +115,11 @@ pub struct Vm<'p> {
     call_stack: Vec<InstRef>,
     output: Vec<u8>,
     stats: DynStats,
+    /// One-record delay buffer: the youngest committed record is held
+    /// back until the next commit patches its `next_pc`, so sinks only
+    /// ever observe finalized records.
+    pending: Option<TraceRecord>,
+    /// Legacy materialized trace (the `collect_trace` shim).
     trace: Vec<TraceRecord>,
 }
 
@@ -128,6 +143,7 @@ impl<'p> Vm<'p> {
             call_stack: Vec::new(),
             output: Vec::new(),
             stats: DynStats::default(),
+            pending: None,
             trace: Vec::new(),
         }
     }
@@ -157,13 +173,14 @@ impl<'p> Vm<'p> {
         &self.stats
     }
 
-    /// The committed-path trace (empty unless
-    /// [`RunConfig::collect_trace`]).
+    /// The materialized committed-path trace (empty unless the
+    /// deprecated [`RunConfig::collect_trace`] shim is enabled; the
+    /// sink-taking run methods never populate it).
     pub fn trace(&self) -> &[TraceRecord] {
         &self.trace
     }
 
-    /// Consume the emulator, returning its trace and statistics.
+    /// Consume the emulator, returning its (shim) trace and statistics.
     pub fn into_parts(self) -> (Vec<TraceRecord>, DynStats, Vec<u8>) {
         (self.trace, self.stats, self.output)
     }
@@ -183,17 +200,67 @@ impl<'p> Vm<'p> {
     ///
     /// See [`VmError`].
     pub fn run_watched(&mut self, watcher: &mut dyn Watcher) -> Result<RunOutcome, VmError> {
+        #[allow(deprecated)] // the shim is serviced here, nowhere else
+        let legacy_collect = self.config.collect_trace;
+        if legacy_collect {
+            let mut sink = VecSink::with_records(std::mem::take(&mut self.trace));
+            let outcome = self.run_core(watcher, Some(&mut sink));
+            self.trace = sink.into_records();
+            outcome
+        } else {
+            self.run_core(watcher, None)
+        }
+    }
+
+    /// Run to completion, streaming each committed instruction's
+    /// [`TraceRecord`] into `sink`. This is the fused, O(1)-trace-memory
+    /// path: nothing is materialized inside the VM.
+    ///
+    /// # Errors
+    ///
+    /// See [`VmError`].
+    pub fn run_streamed(&mut self, sink: &mut dyn TraceSink) -> Result<RunOutcome, VmError> {
+        self.run_core(&mut NoWatcher, Some(sink))
+    }
+
+    /// Run to completion with both a value watcher and a trace sink.
+    ///
+    /// # Errors
+    ///
+    /// See [`VmError`].
+    pub fn run_full(
+        &mut self,
+        watcher: &mut dyn Watcher,
+        sink: &mut dyn TraceSink,
+    ) -> Result<RunOutcome, VmError> {
+        self.run_core(watcher, Some(sink))
+    }
+
+    fn run_core<'s>(
+        &mut self,
+        watcher: &mut dyn Watcher,
+        mut sink: Option<&mut (dyn TraceSink + 's)>,
+    ) -> Result<RunOutcome, VmError> {
+        self.pending = None;
         let entry = self.program.entry;
         let mut pc = InstRef::new(entry, self.program.func(entry).entry, 0);
-        let reason = loop {
+        let result = loop {
             if self.stats.steps >= self.config.max_steps {
-                return Err(VmError::OutOfFuel { steps: self.stats.steps });
+                break Err(VmError::OutOfFuel { steps: self.stats.steps });
             }
-            match self.step(pc, watcher)? {
-                Next::At(next) => pc = next,
-                Next::Done(r) => break r,
+            match self.step(pc, watcher, sink.as_deref_mut()) {
+                Ok(Next::At(next)) => pc = next,
+                Ok(Next::Done(r)) => break Ok(r),
+                Err(e) => break Err(e),
             }
         };
+        // Flush the delay buffer; the final record keeps `next_pc` at
+        // `u64::MAX` (also on error paths, where the last committed
+        // instruction is final by definition).
+        if let (Some(sink), Some(last)) = (sink, self.pending.take()) {
+            sink.record(&last);
+        }
+        let reason = result?;
         Ok(RunOutcome { steps: self.stats.steps, reason, output_digest: fnv1a(&self.output) })
     }
 
@@ -206,7 +273,12 @@ impl<'p> Vm<'p> {
     }
 
     #[allow(clippy::too_many_lines)]
-    fn step(&mut self, at: InstRef, watcher: &mut dyn Watcher) -> Result<Next, VmError> {
+    fn step<'s>(
+        &mut self,
+        at: InstRef,
+        watcher: &mut dyn Watcher,
+        sink: Option<&mut (dyn TraceSink + 's)>,
+    ) -> Result<Next, VmError> {
         let func = self.program.func(at.func);
         let block = func.block(at.block);
         if at.idx == 0 {
@@ -326,29 +398,26 @@ impl<'p> Vm<'p> {
         }
 
         // ---- trace -----------------------------------------------------
-        if self.config.collect_trace {
+        if let Some(sink) = sink {
             let pc_addr = self.layout.addr_of(at);
-            if let Some(prev) = self.trace.last_mut() {
+            // Patch and release the delayed predecessor: its `next_pc`
+            // is this instruction's address.
+            if let Some(mut prev) = self.pending.take() {
                 prev.next_pc = pc_addr;
+                sink.record(&prev);
             }
-            let srcs = [
-                inst.src1,
-                match inst.op {
-                    Op::St => inst.src2.reg(),
-                    _ => inst.src2.reg(),
-                },
-            ];
-            self.trace.push(TraceRecord {
+            self.pending = Some(TraceRecord {
                 pc: pc_addr,
                 next_pc: u64::MAX,
                 op: inst.op,
                 width: w,
                 dst: inst.def(),
-                srcs,
+                srcs: [inst.src1, inst.src2.reg()],
                 mem_addr,
                 taken,
                 dst_sig: dst_value.map_or(0, Width::sig_bytes),
                 src_sigs,
+                dst_value,
             });
         }
         Ok(next)
@@ -493,8 +562,7 @@ mod tests {
         assert_eq!(out, vec![0x11, 0x22]);
     }
 
-    #[test]
-    fn trace_records_chain_pcs() {
+    fn branchy_program() -> Program {
         let mut pb = ProgramBuilder::new();
         let mut f = pb.function("main", 0);
         f.block("entry");
@@ -506,10 +574,17 @@ mod tests {
         f.out(Width::B, Reg::T0);
         f.halt();
         pb.finish(f);
-        let p = pb.build().unwrap();
-        let mut vm = Vm::new(&p, RunConfig { collect_trace: true, ..Default::default() });
-        vm.run().unwrap();
-        let t = vm.trace();
+        pb.build().unwrap()
+    }
+
+    #[test]
+    fn trace_records_chain_pcs() {
+        let p = branchy_program();
+        let mut vm = Vm::new(&p, RunConfig::default());
+        let mut sink = crate::VecSink::new();
+        vm.run_streamed(&mut sink).unwrap();
+        assert!(vm.trace().is_empty(), "streaming must not materialize inside the VM");
+        let t = sink.into_records();
         assert_eq!(t.len(), 4); // ldi, beq, out, halt
         assert!(t[1].is_cond_branch());
         assert!(t[1].taken);
@@ -517,6 +592,66 @@ mod tests {
         assert_eq!(t[1].next_pc, t[2].pc);
         assert_eq!(t[0].next_pc, t[1].pc);
         assert_eq!(t[3].next_pc, u64::MAX);
+        // defined values ride the stream (the `out` and `halt` define none)
+        assert_eq!(t[0].dst_value, Some(1));
+        assert_eq!(t[2].dst_value, None);
+    }
+
+    #[test]
+    fn legacy_collect_trace_shim_matches_streaming() {
+        let p = branchy_program();
+        #[allow(deprecated)]
+        let legacy_cfg = RunConfig { collect_trace: true, ..Default::default() };
+        let mut legacy_vm = Vm::new(&p, legacy_cfg);
+        legacy_vm.run().unwrap();
+        let mut vm = Vm::new(&p, RunConfig::default());
+        let mut sink = crate::VecSink::new();
+        vm.run_streamed(&mut sink).unwrap();
+        assert_eq!(legacy_vm.trace(), sink.records());
+    }
+
+    #[test]
+    fn streaming_flushes_final_record_on_out_of_fuel() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        f.block("spin");
+        f.br("spin");
+        f.block("unreach");
+        f.halt();
+        pb.finish(f);
+        let p = pb.build().unwrap();
+        let mut vm = Vm::new(&p, RunConfig { max_steps: 10, ..Default::default() });
+        let mut sink = crate::VecSink::new();
+        assert_eq!(vm.run_streamed(&mut sink), Err(VmError::OutOfFuel { steps: 10 }));
+        let t = sink.records();
+        assert_eq!(t.len(), 10, "every committed instruction reaches the sink");
+        assert_eq!(t.last().unwrap().next_pc, u64::MAX);
+    }
+
+    #[test]
+    fn run_full_feeds_watcher_and_sink_together() {
+        struct Collect(Vec<i64>);
+        impl Watcher for Collect {
+            fn record(&mut self, _at: InstRef, value: i64) {
+                self.0.push(value);
+            }
+        }
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        f.block("entry");
+        f.ldi(Reg::T0, 7);
+        f.add(Width::D, Reg::T1, Reg::T0, imm(1));
+        f.halt();
+        pb.finish(f);
+        let p = pb.build().unwrap();
+        let mut vm = Vm::new(&p, RunConfig::default());
+        let mut watcher = Collect(Vec::new());
+        let mut sink = crate::VecSink::new();
+        vm.run_full(&mut watcher, &mut sink).unwrap();
+        assert_eq!(watcher.0, vec![7, 8]);
+        // the sink sees the same values via `dst_value`
+        let streamed: Vec<i64> = sink.records().iter().filter_map(|r| r.dst_value).collect();
+        assert_eq!(streamed, watcher.0);
     }
 
     #[test]

@@ -1,4 +1,6 @@
-//! Committed-path trace records consumed by the timing model.
+//! Committed-path trace records and the streaming sink interface that
+//! delivers them to consumers (the timing model, the value profiler,
+//! tests) without materializing the trace.
 
 use og_isa::{Op, Reg, Width};
 use serde::{Deserialize, Serialize};
@@ -11,7 +13,9 @@ use serde::{Deserialize, Serialize};
 /// * the memory address for data-cache behaviour,
 /// * the *software* width (the opcode's width after VRP/VRS) and the
 ///   *dynamic* significance of the values (for the hardware
-///   significance/size-compression schemes of §4.6).
+///   significance/size-compression schemes of §4.6),
+/// * the defined value itself, so value profilers can ride the same
+///   stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TraceRecord {
     /// Address of this instruction.
@@ -37,6 +41,11 @@ pub struct TraceRecord {
     pub dst_sig: u8,
     /// Significant bytes of each source value; 0 when absent.
     pub src_sigs: [u8; 2],
+    /// The value this instruction defined, if any (what a [`Watcher`]
+    /// would observe). Present even for writes to the zero register.
+    ///
+    /// [`Watcher`]: crate::Watcher
+    pub dst_value: Option<i64>,
 }
 
 impl TraceRecord {
@@ -58,6 +67,101 @@ impl TraceRecord {
     }
 }
 
+/// Consumes committed-path [`TraceRecord`]s as the emulator produces
+/// them, one per committed instruction in commit order.
+///
+/// This is the streaming interface between the emulator and everything
+/// downstream of it: `og-sim`'s `Simulator` implements it to fuse
+/// emulation and timing simulation into one pass with O(1) trace memory,
+/// `og-profile` adapts its value profiler to it, and [`VecSink`]
+/// materializes the stream for tests and offline analysis.
+///
+/// The emulator delays each record by one instruction so `next_pc` is
+/// already patched by the time the record reaches the sink: every record
+/// a sink observes is final.
+pub trait TraceSink {
+    /// Called once per committed instruction.
+    fn record(&mut self, rec: &TraceRecord);
+}
+
+/// A [`TraceSink`] that discards every record. Useful as a placeholder
+/// where a sink is required but the trace is irrelevant.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _rec: &TraceRecord) {}
+}
+
+/// A [`TraceSink`] that materializes the trace in memory.
+///
+/// This costs O(steps) memory (~64 B per committed instruction) — the
+/// exact cost the streaming interface exists to avoid — so reserve it
+/// for tests, short runs, and consumers that genuinely need random
+/// access to the whole trace.
+#[derive(Debug, Clone, Default)]
+pub struct VecSink {
+    records: Vec<TraceRecord>,
+}
+
+impl VecSink {
+    /// An empty sink.
+    pub fn new() -> VecSink {
+        VecSink::default()
+    }
+
+    /// A sink that appends to `records` (used by the legacy
+    /// `collect_trace` shim).
+    pub fn with_records(records: Vec<TraceRecord>) -> VecSink {
+        VecSink { records }
+    }
+
+    /// The records captured so far.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Consume the sink, returning the captured trace.
+    pub fn into_records(self) -> Vec<TraceRecord> {
+        self.records
+    }
+}
+
+impl TraceSink for VecSink {
+    fn record(&mut self, rec: &TraceRecord) {
+        self.records.push(*rec);
+    }
+}
+
+/// A [`TraceSink`] that forwards each record to a [`Watcher`]-style
+/// callback together with its commit index. Handy for ad-hoc streaming
+/// consumers in tests and tools.
+///
+/// [`Watcher`]: crate::Watcher
+pub struct FnSink<F: FnMut(u64, &TraceRecord)> {
+    seen: u64,
+    f: F,
+}
+
+impl<F: FnMut(u64, &TraceRecord)> FnSink<F> {
+    /// Wrap a closure; it receives `(commit_index, record)`.
+    pub fn new(f: F) -> FnSink<F> {
+        FnSink { seen: 0, f }
+    }
+
+    /// How many records have passed through.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+}
+
+impl<F: FnMut(u64, &TraceRecord)> TraceSink for FnSink<F> {
+    fn record(&mut self, rec: &TraceRecord) {
+        (self.f)(self.seen, rec);
+        self.seen += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -75,6 +179,7 @@ mod tests {
             taken: false,
             dst_sig: 3,
             src_sigs: [1, 0],
+            dst_value: Some(0x03_0201),
         }
     }
 
@@ -98,5 +203,28 @@ mod tests {
         r.dst_sig = 0;
         r.src_sigs = [0, 0];
         assert_eq!(r.max_sig(), 1, "never below one byte");
+    }
+
+    #[test]
+    fn vec_sink_materializes_in_order() {
+        let mut sink = VecSink::new();
+        let a = rec(Op::Add);
+        let b = rec(Op::Br);
+        sink.record(&a);
+        sink.record(&b);
+        assert_eq!(sink.records(), &[a, b]);
+        assert_eq!(sink.into_records().len(), 2);
+    }
+
+    #[test]
+    fn fn_sink_counts_and_forwards() {
+        let mut indices = Vec::new();
+        {
+            let mut sink = FnSink::new(|i, r: &TraceRecord| indices.push((i, r.pc)));
+            sink.record(&rec(Op::Add));
+            sink.record(&rec(Op::Br));
+            assert_eq!(sink.seen(), 2);
+        }
+        assert_eq!(indices, vec![(0, 0x400000), (1, 0x400000)]);
     }
 }

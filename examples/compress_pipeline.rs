@@ -12,10 +12,12 @@ use og_workloads::compress;
 use operand_gating::prelude::*;
 
 fn measure(program: &og_program::Program) -> (og_sim::SimResult, u64) {
-    let mut vm = Vm::new(program, RunConfig { collect_trace: true, ..Default::default() });
-    let outcome = vm.run().expect("workload runs");
-    let (trace, _, _) = vm.into_parts();
-    (Simulator::new(MachineConfig::default()).run(&trace), outcome.output_digest)
+    // Fused single pass: the simulator consumes the committed-path
+    // stream as the VM produces it — no materialized trace.
+    let mut vm = Vm::new(program, RunConfig::default());
+    let mut sim = Simulator::new(MachineConfig::default());
+    let outcome = vm.run_streamed(&mut sim).expect("workload runs");
+    (sim.finish(), outcome.output_digest)
 }
 
 fn main() {

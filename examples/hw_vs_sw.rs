@@ -19,10 +19,11 @@ fn main() {
     VrpPass::new(VrpConfig::default()).run(&mut vrp_prog);
 
     let run = |p: &og_program::Program| {
-        let mut vm = Vm::new(p, RunConfig { collect_trace: true, ..Default::default() });
-        vm.run().expect("workload runs");
-        let (trace, _, _) = vm.into_parts();
-        Simulator::new(MachineConfig::default()).run(&trace)
+        // One fused emulate+simulate pass (VM → TraceSink → Simulator).
+        let mut vm = Vm::new(p, RunConfig::default());
+        let mut sim = Simulator::new(MachineConfig::default());
+        vm.run_streamed(&mut sim).expect("workload runs");
+        sim.finish()
     };
     let base_sim = run(&baseline);
     let vrp_sim = run(&vrp_prog);

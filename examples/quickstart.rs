@@ -45,6 +45,19 @@ fn main() {
     let transformed_output = run(&program);
     assert_eq!(baseline_output, transformed_output);
     println!("\noutput unchanged: {baseline_output:?} — observational equivalence holds");
+
+    // Timing, in one fused pass: the cycle simulator implements the
+    // VM's TraceSink, so emulation streams straight into it with no
+    // materialized trace.
+    let mut vm = Vm::new(&program, RunConfig::default());
+    let mut sim = Simulator::new(MachineConfig::default());
+    vm.run_streamed(&mut sim).expect("program runs");
+    let result = sim.finish();
+    println!(
+        "timing (fused emulate+simulate): {} cycles, ipc {:.2}",
+        result.stats.cycles,
+        result.stats.ipc()
+    );
 }
 
 fn print_widths(program: &og_program::Program) {

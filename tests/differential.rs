@@ -1,12 +1,18 @@
 //! The repository's central correctness property: every program
 //! transformation preserves observational equivalence — the transformed
 //! program's output stream is byte-identical to the original's.
+//!
+//! Also differential in a second dimension: the *fused* streaming
+//! pipeline (VM → TraceSink → Simulator in one pass, O(1) trace memory)
+//! must be bit-identical — timing statistics and activity counts — to
+//! the materialized two-pass pipeline it replaced.
 
 use og_core::{UsefulPolicy, VrpConfig, VrpPass, VrsConfig, VrsPass};
 use og_isa::IsaExtension;
 use og_program::generate::{generate_program, GenConfig};
 use og_program::Program;
-use og_vm::{RunConfig, Vm};
+use og_sim::{MachineConfig, Simulator};
+use og_vm::{RunConfig, VecSink, Vm};
 use og_workloads::{all, by_name, InputSet, NAMES};
 use proptest::prelude::*;
 
@@ -85,6 +91,55 @@ fn vrs_triage_covers_all_profiled_points() {
         let mut refp = by_name(name, InputSet::Ref).program;
         let report = VrsPass::new(VrsConfig::default()).run(&mut refp, &train);
         assert_eq!(report.fates.len(), report.profiled_points, "{name}");
+    }
+}
+
+/// Streaming-vs-materialized equivalence for one program: feeding the
+/// simulator record by record as the VM commits (the fused single pass
+/// with O(1) trace memory) must produce a bit-identical `SimResult`
+/// (timing stats *and* activity counts) to capturing the trace in a
+/// `VecSink` first and replaying the slice.
+fn assert_fused_matches_materialized(name: &str, mech: &str, p: &Program) {
+    // Materialized reference: VM → VecSink, then simulate the slice.
+    let mut vm = Vm::new(p, RunConfig::default());
+    let mut sink = VecSink::new();
+    let ref_outcome = vm.run_streamed(&mut sink).expect("workload runs");
+    let trace = sink.into_records();
+    let materialized = Simulator::new(MachineConfig::default()).run(&trace);
+
+    // Fused single pass: the simulator IS the sink.
+    let mut vm = Vm::new(p, RunConfig::default());
+    let mut sim = Simulator::new(MachineConfig::default());
+    let outcome = vm.run_streamed(&mut sim).expect("workload runs");
+    // Trace-memory assertion: nothing materialized inside the VM, and
+    // every committed instruction reached the sink exactly once.
+    assert!(vm.trace().is_empty(), "{name}/{mech}: fused path materialized a trace");
+    let fused = sim.finish();
+    assert_eq!(fused.stats.insts, outcome.steps, "{name}/{mech}: record count != steps");
+
+    assert_eq!(outcome.output_digest, ref_outcome.output_digest, "{name}/{mech}");
+    assert_eq!(trace.len() as u64, outcome.steps, "{name}/{mech}");
+    assert_eq!(fused.stats, materialized.stats, "{name}/{mech}: timing diverged");
+    assert_eq!(fused.activity, materialized.activity, "{name}/{mech}: activity diverged");
+}
+
+#[test]
+fn fused_simulation_matches_materialized_across_the_suite() {
+    // All 8 workloads under baseline, VRP and VRS(70nJ) — the three
+    // mechanism shapes that exercise distinct trace structure (original
+    // widths, re-encoded widths, cloned+guarded control flow).
+    for name in NAMES {
+        let base = by_name(name, InputSet::Train).program;
+        assert_fused_matches_materialized(name, "baseline", &base);
+
+        let mut vrp = base.clone();
+        VrpPass::new(VrpConfig::default()).run(&mut vrp);
+        assert_fused_matches_materialized(name, "vrp", &vrp);
+
+        let mut vrs = base.clone();
+        VrsPass::new(VrsConfig { specialization_cost_nj: 70.0, ..Default::default() })
+            .run(&mut vrs, &base);
+        assert_fused_matches_materialized(name, "vrs70", &vrs);
     }
 }
 

@@ -8,10 +8,12 @@ use og_workloads::{by_name, InputSet};
 use operand_gating::prelude::*;
 
 fn simulate(p: &og_program::Program) -> og_sim::SimResult {
-    let mut vm = Vm::new(p, RunConfig { collect_trace: true, ..Default::default() });
-    vm.run().expect("workload runs");
-    let (trace, _, _) = vm.into_parts();
-    Simulator::new(MachineConfig::default()).run(&trace)
+    // Fused single pass: the VM streams committed instructions straight
+    // into the simulator's state machine (no materialized trace).
+    let mut vm = Vm::new(p, RunConfig::default());
+    let mut sim = Simulator::new(MachineConfig::default());
+    vm.run_streamed(&mut sim).expect("workload runs");
+    sim.finish()
 }
 
 #[test]
