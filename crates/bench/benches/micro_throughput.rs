@@ -22,7 +22,6 @@ use og_json::{Json, ToJson};
 use og_sim::{MachineConfig, SimResult, Simulator};
 use og_vm::{RunConfig, VecSink, Vm};
 use og_workloads::{compress, m88ksim, InputSet};
-use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 fn bench_vrp(c: &mut Criterion) {
@@ -108,17 +107,6 @@ fn median_secs<R>(samples: usize, mut f: impl FnMut() -> R) -> f64 {
     times[times.len() / 2].as_secs_f64()
 }
 
-/// Where `BENCH_throughput.json` goes: `$OG_BENCH_OUT` if set, else
-/// `$CARGO_TARGET_DIR`, else the workspace `target/`.
-fn out_dir() -> PathBuf {
-    if let Some(dir) = std::env::var_os("OG_BENCH_OUT") {
-        return PathBuf::from(dir);
-    }
-    let target = std::env::var("CARGO_TARGET_DIR")
-        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../target").to_string());
-    PathBuf::from(target)
-}
-
 /// Measure fused vs materialized records/sec and write the JSON report.
 fn throughput_report(smoke: bool) {
     let (input, samples) = if smoke { (InputSet::Train, 3) } else { (InputSet::Ref, 10) };
@@ -154,11 +142,9 @@ fn throughput_report(smoke: bool) {
         ("fused_records_per_sec".into(), fused_rps.to_json()),
         ("materialized_records_per_sec".into(), materialized_rps.to_json()),
     ]);
-    let path = out_dir().join("BENCH_throughput.json");
-    let text = og_json::render(&report).expect("report is finite");
-    match std::fs::write(&path, text) {
-        Ok(()) => println!("throughput report written to {}", path.display()),
-        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    match og_lab::report::write_bench_report("throughput", &report) {
+        Ok(path) => println!("throughput report written to {}", path.display()),
+        Err(e) => eprintln!("{e}"),
     }
 }
 

@@ -24,6 +24,7 @@ mod analysis;
 mod assign;
 mod energy;
 mod loops;
+pub mod oracle;
 mod pass;
 mod range;
 mod useful;

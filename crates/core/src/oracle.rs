@@ -1,0 +1,432 @@
+//! Differential oracle entry points.
+//!
+//! The repository's transformations claim to be *semantics-preserving*:
+//! a program after VRP (any policy, any ISA extension level) or VRS (any
+//! specialization cost) must emit a byte-identical output stream. This
+//! module packages that claim as a callable check so the hand-written
+//! test suites and the `og-fuzz` random campaign share one oracle.
+//!
+//! The oracle also cross-checks the two execution paths PR 3 introduced:
+//! the *fused* run (`Vm::run_streamed` into a sink) and the *plain* run
+//! must agree on output, step count, and trace-chain invariants
+//! (`next_pc` of record *i* equals `pc` of record *i+1*, one record per
+//! committed instruction).
+
+use crate::{UsefulPolicy, VrpConfig, VrpPass, VrsConfig, VrsPass};
+use og_isa::IsaExtension;
+use og_program::Program;
+use og_vm::{RunConfig, RunOutcome, VecSink, Vm, VmError};
+use std::fmt;
+
+/// One semantics-preserving transformation the oracle can apply.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Transform {
+    /// Value Range Propagation with a useful-width policy and ISA level.
+    Vrp {
+        /// The §2.2.5 useful-width policy.
+        policy: UsefulPolicy,
+        /// Which width-annotated opcodes exist (§4.3).
+        isa: IsaExtension,
+    },
+    /// Value Range Specialization, trained on the program itself (a
+    /// synthetic self-profile: for generated programs train and ref
+    /// inputs coincide).
+    Vrs {
+        /// Specialization cost knob in nJ (the paper's 30–110 sweep).
+        cost_nj: f64,
+    },
+}
+
+impl Transform {
+    /// A compact label for failure reports (`vrp:paper:full`, `vrs:50`).
+    pub fn label(&self) -> String {
+        match self {
+            Transform::Vrp { policy, isa } => {
+                let p = match policy {
+                    UsefulPolicy::Off => "off",
+                    UsefulPolicy::Paper => "paper",
+                    UsefulPolicy::Aggressive => "aggressive",
+                };
+                let i = match isa {
+                    IsaExtension::Base => "base",
+                    IsaExtension::PaperAlphaExt => "ext",
+                    IsaExtension::Full => "full",
+                };
+                format!("vrp:{p}:{i}")
+            }
+            Transform::Vrs { cost_nj } => format!("vrs:{cost_nj}"),
+        }
+    }
+
+    /// The default transform battery: every useful policy crossed with
+    /// every ISA extension level, plus VRS at a cheap and an expensive
+    /// specialization cost.
+    pub fn battery() -> Vec<Transform> {
+        let mut out = Vec::new();
+        for policy in [UsefulPolicy::Off, UsefulPolicy::Paper, UsefulPolicy::Aggressive] {
+            for isa in IsaExtension::ALL {
+                out.push(Transform::Vrp { policy, isa });
+            }
+        }
+        out.push(Transform::Vrs { cost_nj: 50.0 });
+        out.push(Transform::Vrs { cost_nj: 10.0 });
+        out
+    }
+
+    /// Apply this transform to `program` in place, returning how many
+    /// instructions were narrowed (VRP) or specializations applied (VRS).
+    pub fn apply(&self, program: &mut Program) -> usize {
+        match *self {
+            Transform::Vrp { policy, isa } => {
+                let cfg = VrpConfig { useful_policy: policy, isa, ..Default::default() };
+                VrpPass::new(cfg).run(program).narrowed_instructions
+            }
+            Transform::Vrs { cost_nj } => {
+                let train = program.clone();
+                let cfg = VrsConfig { specialization_cost_nj: cost_nj, ..Default::default() };
+                VrsPass::new(cfg).run(program, &train).applied.len()
+            }
+        }
+    }
+
+    /// May this transform change the committed-instruction count? VRP
+    /// only re-encodes widths (§4.4); VRS inserts guards and eliminates
+    /// specialized instructions.
+    pub fn may_change_steps(&self) -> bool {
+        matches!(self, Transform::Vrs { .. })
+    }
+}
+
+/// Oracle configuration.
+#[derive(Debug, Clone)]
+pub struct OracleConfig {
+    /// Transforms to check; defaults to [`Transform::battery`].
+    pub transforms: Vec<Transform>,
+    /// Fuel for every run. The baseline must halt within this budget —
+    /// exceeding it is reported as a failure, not tolerated.
+    pub max_steps: u64,
+    /// For step-changing transforms: allowed ratio of transformed to
+    /// baseline steps, as `(num, den)` — transformed must stay within
+    /// `[base*den/num, base*num/den] + slack`.
+    pub step_ratio: (u64, u64),
+    /// Absolute slack added to the step-ratio window.
+    pub step_slack: u64,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        OracleConfig {
+            transforms: Transform::battery(),
+            max_steps: 4_000_000,
+            step_ratio: (4, 1),
+            step_slack: 512,
+        }
+    }
+}
+
+/// What the oracle observed on a passing program.
+#[derive(Debug, Clone, Default)]
+pub struct OracleOutcome {
+    /// Committed instructions of the baseline run.
+    pub base_steps: u64,
+    /// Output bytes of the baseline run.
+    pub output_len: usize,
+    /// Sum of narrowed-instruction counts across VRP transforms.
+    pub narrowed: usize,
+    /// Sum of applied specializations across VRS transforms.
+    pub specializations: usize,
+    /// Number of transforms checked.
+    pub transforms: usize,
+}
+
+/// A differential failure: which check broke and how.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OracleError {
+    /// The baseline program did not run to completion.
+    BaseRun(VmError),
+    /// Fused (sink-streaming) and plain baseline runs disagreed.
+    PathsDiverged {
+        /// What differed (`output`, `steps`, `digest`).
+        what: &'static str,
+    },
+    /// A trace-chain invariant broke (record count, `next_pc` chaining,
+    /// or final-record marker).
+    TraceChain {
+        /// Description of the broken invariant.
+        what: String,
+    },
+    /// The transformed program no longer verifies.
+    Verify {
+        /// Transform label.
+        transform: String,
+        /// Verifier message.
+        error: String,
+    },
+    /// The transformed program failed to run.
+    TransformRun {
+        /// Transform label.
+        transform: String,
+        /// The VM error.
+        error: VmError,
+    },
+    /// Output streams differ.
+    OutputDiverged {
+        /// Transform label.
+        transform: String,
+        /// First differing byte index (or the shorter length).
+        at: usize,
+        /// Baseline output length.
+        base_len: usize,
+        /// Transformed output length.
+        got_len: usize,
+    },
+    /// Step counts differ for a path-preserving transform, or exceed the
+    /// sanity window for a step-changing one.
+    StepsDiverged {
+        /// Transform label.
+        transform: String,
+        /// Baseline steps.
+        base: u64,
+        /// Transformed steps.
+        got: u64,
+    },
+}
+
+impl OracleError {
+    /// A coarse signature of the failure — the variant plus the transform
+    /// label, without volatile details (byte indices, step counts). The
+    /// fuzz shrinker only keeps an edit when the candidate still fails
+    /// with the *same signature*, so a reproducer cannot drift from, say,
+    /// a VRP output divergence to an unrelated fuel exhaustion.
+    pub fn signature(&self) -> String {
+        match self {
+            OracleError::BaseRun(_) => "base-run".to_string(),
+            OracleError::PathsDiverged { what } => format!("paths:{what}"),
+            OracleError::TraceChain { .. } => "trace-chain".to_string(),
+            OracleError::Verify { transform, .. } => format!("verify:{transform}"),
+            OracleError::TransformRun { transform, .. } => format!("run:{transform}"),
+            OracleError::OutputDiverged { transform, .. } => format!("output:{transform}"),
+            OracleError::StepsDiverged { transform, .. } => format!("steps:{transform}"),
+        }
+    }
+}
+
+impl fmt::Display for OracleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OracleError::BaseRun(e) => write!(f, "baseline failed to run: {e}"),
+            OracleError::PathsDiverged { what } => {
+                write!(f, "fused and plain baseline runs disagree on {what}")
+            }
+            OracleError::TraceChain { what } => write!(f, "trace chain invariant broke: {what}"),
+            OracleError::Verify { transform, error } => {
+                write!(f, "[{transform}] transformed program fails verification: {error}")
+            }
+            OracleError::TransformRun { transform, error } => {
+                write!(f, "[{transform}] transformed program failed to run: {error}")
+            }
+            OracleError::OutputDiverged { transform, at, base_len, got_len } => write!(
+                f,
+                "[{transform}] output diverged at byte {at} (baseline {base_len} B, \
+                 transformed {got_len} B)"
+            ),
+            OracleError::StepsDiverged { transform, base, got } => {
+                write!(f, "[{transform}] step count {got} vs baseline {base}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OracleError {}
+
+fn run_plain(p: &Program, max_steps: u64) -> Result<(Vec<u8>, RunOutcome), VmError> {
+    let mut vm = Vm::new(p, RunConfig { max_steps, ..Default::default() });
+    let outcome = vm.run()?;
+    Ok((vm.output().to_vec(), outcome))
+}
+
+/// Check one program against the whole transform battery.
+///
+/// # Errors
+///
+/// Returns the first [`OracleError`] encountered; the caller (the fuzz
+/// campaign) shrinks the program against this same function.
+pub fn check_program(p: &Program, cfg: &OracleConfig) -> Result<OracleOutcome, OracleError> {
+    // ---- baseline: fused (streamed) vs plain -------------------------
+    let mut sink = VecSink::new();
+    let mut vm = Vm::new(p, RunConfig { max_steps: cfg.max_steps, ..Default::default() });
+    let fused = vm.run_streamed(&mut sink).map_err(OracleError::BaseRun)?;
+    let fused_out = vm.output().to_vec();
+    let trace = sink.into_records();
+
+    let (base_out, plain) = run_plain(p, cfg.max_steps).map_err(OracleError::BaseRun)?;
+    if base_out != fused_out {
+        return Err(OracleError::PathsDiverged { what: "output" });
+    }
+    if plain.steps != fused.steps {
+        return Err(OracleError::PathsDiverged { what: "steps" });
+    }
+    if plain.output_digest != fused.output_digest {
+        return Err(OracleError::PathsDiverged { what: "digest" });
+    }
+
+    // ---- trace-chain invariants --------------------------------------
+    if trace.len() as u64 != fused.steps {
+        return Err(OracleError::TraceChain {
+            what: format!("{} records for {} committed instructions", trace.len(), fused.steps),
+        });
+    }
+    for (i, pair) in trace.windows(2).enumerate() {
+        if pair[0].next_pc != pair[1].pc {
+            return Err(OracleError::TraceChain {
+                what: format!(
+                    "record {i} next_pc {:#x} != record {} pc {:#x}",
+                    pair[0].next_pc,
+                    i + 1,
+                    pair[1].pc
+                ),
+            });
+        }
+    }
+    if let Some(last) = trace.last() {
+        if last.next_pc != u64::MAX {
+            return Err(OracleError::TraceChain {
+                what: format!("final record next_pc {:#x}, expected u64::MAX", last.next_pc),
+            });
+        }
+    }
+
+    // ---- the transform battery ---------------------------------------
+    let mut outcome = OracleOutcome {
+        base_steps: plain.steps,
+        output_len: base_out.len(),
+        transforms: cfg.transforms.len(),
+        ..Default::default()
+    };
+    for t in &cfg.transforms {
+        let label = t.label();
+        let mut transformed = p.clone();
+        let changed = t.apply(&mut transformed);
+        match *t {
+            Transform::Vrp { .. } => outcome.narrowed += changed,
+            Transform::Vrs { .. } => outcome.specializations += changed,
+        }
+        if let Err(e) = transformed.verify() {
+            return Err(OracleError::Verify { transform: label, error: e.to_string() });
+        }
+        // VRS grows the dynamic path by at most the guard overhead; give
+        // the budget the same headroom the sanity window allows.
+        let fuel = cfg.max_steps * cfg.step_ratio.0 / cfg.step_ratio.1 + cfg.step_slack;
+        let (out, got) = run_plain(&transformed, fuel)
+            .map_err(|error| OracleError::TransformRun { transform: label.clone(), error })?;
+        if out != base_out {
+            let at = out
+                .iter()
+                .zip(&base_out)
+                .position(|(a, b)| a != b)
+                .unwrap_or_else(|| out.len().min(base_out.len()));
+            return Err(OracleError::OutputDiverged {
+                transform: label,
+                at,
+                base_len: base_out.len(),
+                got_len: out.len(),
+            });
+        }
+        let steps_ok = if t.may_change_steps() {
+            let (num, den) = cfg.step_ratio;
+            let hi = plain.steps * num / den + cfg.step_slack;
+            let lo = plain.steps * den / num;
+            got.steps <= hi && got.steps + cfg.step_slack >= lo
+        } else {
+            got.steps == plain.steps
+        };
+        if !steps_ok {
+            return Err(OracleError::StepsDiverged {
+                transform: label,
+                base: plain.steps,
+                got: got.steps,
+            });
+        }
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use og_isa::{Reg, Width};
+    use og_program::{generate, imm, ProgramBuilder};
+
+    fn small_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        pb.data_quads("tbl", &[100, -3, 77]);
+        let mut f = pb.function("main", 0);
+        f.block("entry");
+        f.la(Reg::T1, "tbl");
+        f.ldi(Reg::T0, 0);
+        f.ldi(Reg::T4, 0);
+        f.block("loop");
+        f.ld(Width::D, Reg::T2, Reg::T1, 0);
+        f.add(Width::W, Reg::T0, Reg::T0, Reg::T2);
+        f.out(Width::B, Reg::T0);
+        f.add(Width::D, Reg::T1, Reg::T1, imm(8));
+        f.add(Width::D, Reg::T4, Reg::T4, imm(1));
+        f.cmp(og_isa::CmpKind::Lt, Width::D, Reg::T5, Reg::T4, imm(3));
+        f.bne(Reg::T5, "loop");
+        f.block("exit");
+        f.out(Width::W, Reg::T0);
+        f.halt();
+        pb.finish(f);
+        pb.build().unwrap()
+    }
+
+    #[test]
+    fn battery_passes_on_a_handwritten_kernel() {
+        let report = check_program(&small_program(), &OracleConfig::default()).unwrap();
+        assert!(report.narrowed > 0, "VRP should narrow something");
+        assert_eq!(report.transforms, Transform::battery().len());
+    }
+
+    #[test]
+    fn battery_passes_on_generated_programs() {
+        for seed in 0..5 {
+            let p = generate::generate_program(&generate::GenConfig { seed, ..Default::default() });
+            check_program(&p, &OracleConfig::default())
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn a_broken_vm_path_is_detected_as_output_divergence() {
+        // Sabotage: a transform that actually changes semantics must be
+        // caught. Simulate one by checking a program against a battery,
+        // after flipping an immediate in a cloned "transformed" program —
+        // done by driving check_program with a custom transform is not
+        // possible (Transform is closed), so instead check the detector
+        // directly: two different programs must not compare equal.
+        let p = small_program();
+        let mut q = p.clone();
+        // flip the ldi 0 to ldi 1: output changes
+        let r = q.insts().find(|(_, i)| i.op == og_isa::Op::Ldi).map(|(r, _)| r).unwrap();
+        q.inst_mut(r).src2 = og_isa::Operand::Imm(1);
+        let (a, _) = run_plain(&p, 1_000_000).unwrap();
+        let (b, _) = run_plain(&q, 1_000_000).unwrap();
+        assert_ne!(a, b, "sabotage must be observable in the output stream");
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_a_base_run_failure() {
+        let p = small_program();
+        let tight = OracleConfig { max_steps: 3, ..Default::default() };
+        assert!(matches!(check_program(&p, &tight), Err(OracleError::BaseRun(_))));
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(
+            Transform::Vrp { policy: UsefulPolicy::Paper, isa: IsaExtension::Full }.label(),
+            "vrp:paper:full"
+        );
+        assert_eq!(Transform::Vrs { cost_nj: 50.0 }.label(), "vrs:50");
+    }
+}

@@ -1,0 +1,392 @@
+//! # og-fuzz: differential fuzzing of the operand-gating passes
+//!
+//! The hand-written kernels exercise a sliver of the program space VRP
+//! and VRS must be sound over. This crate closes the gap with seeded,
+//! deterministic random campaigns:
+//!
+//! 1. **generate** — [`og_program::generate`] builds a random but
+//!    provably terminating program (counted loops, fuel-bounded
+//!    non-affine loops, mixed-width arithmetic, bounded memory, calls)
+//!    together with a step bound;
+//! 2. **check** — [`og_core::oracle::check_program`] runs the program
+//!    untransformed (fused *and* materialized VM paths, trace-chain
+//!    invariants) and after every transform in the battery (VRP across
+//!    useful policies × ISA extensions, VRS with synthetic
+//!    self-profiles), demanding byte-identical output streams and sane
+//!    step counts; periodically the committed-path trace also drives the
+//!    cycle simulator both fused and materialized, and the two
+//!    [`SimResult`]s must match bit-for-bit;
+//! 3. **shrink** — on failure, [`shrink::shrink`] greedily minimizes the
+//!    program against the same oracle;
+//! 4. **persist** — the shrunk reproducer is written to
+//!    `target/og-fuzz-failures/` as an `*.og.json` corpus case (CI
+//!    uploads it as an artifact), ready to be replayed locally and, once
+//!    fixed, committed to `crates/fuzz/corpus/` where the replay test
+//!    guards it forever.
+//!
+//! Campaigns are configured by [`CampaignConfig`]; the standing test
+//! honours `OG_FUZZ_CASES` and `OG_FUZZ_SEED`. Every case is fully
+//! determined by `(base_seed, index)`, so any CI failure reproduces
+//! locally from the numbers in its report alone.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod shrink;
+
+use og_core::oracle::{check_program, OracleConfig, OracleOutcome};
+use og_json::{Json, ToJson};
+use og_program::generate::{generate_with_bound, GenConfig};
+use og_program::rng::SplitMix64;
+use og_program::Program;
+use og_sim::{MachineConfig, SimResult, Simulator};
+use og_vm::{RunConfig, VecSink, Vm};
+
+/// Configuration of one fuzzing campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Seed of the first case; case `i` uses `base_seed + i`.
+    pub base_seed: u64,
+    /// Number of cases.
+    pub cases: u64,
+    /// Run the fused-vs-materialized simulator cross-check on every Nth
+    /// case (0 disables it).
+    pub sim_check_every: u64,
+    /// Shrink-step budget (oracle invocations) when a case fails.
+    pub shrink_budget: usize,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig { base_seed: 0x06_F0_22, cases: 500, sim_check_every: 8, shrink_budget: 800 }
+    }
+}
+
+impl CampaignConfig {
+    /// Read `OG_FUZZ_CASES` / `OG_FUZZ_SEED` over the defaults.
+    pub fn from_env() -> CampaignConfig {
+        let mut cfg = CampaignConfig::default();
+        if let Some(cases) = env_u64("OG_FUZZ_CASES") {
+            cfg.cases = cases;
+        }
+        if let Some(seed) = env_u64("OG_FUZZ_SEED") {
+            cfg.base_seed = seed;
+        }
+        cfg
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    let v = std::env::var(name).ok()?;
+    match v.parse() {
+        Ok(n) => Some(n),
+        Err(_) => panic!("{name} must be an unsigned integer, got `{v}`"),
+    }
+}
+
+/// The generator configuration of case `(base_seed, index)`. Shape knobs
+/// are derived from the seed so a campaign sweeps small/large, loopy/flat,
+/// call-free/call-heavy programs — deterministically.
+pub fn case_gen_config(base_seed: u64, index: u64) -> GenConfig {
+    let seed = base_seed.wrapping_add(index);
+    // Shape knobs come from the seed's first SplitMix64 output (the
+    // generator draws from its own fresh stream; sharing the first word
+    // with it is harmless for diversity).
+    let z = SplitMix64::new(seed).next_u64();
+    GenConfig {
+        seed,
+        regions: 3 + (z & 7) as usize,             // 3..=10
+        max_straight: 4 + ((z >> 3) & 7) as usize, // 4..=11
+        memory: (z >> 6) & 7 != 0,                 // on 7/8 of cases
+        calls: (z >> 9) & 7 != 0,
+        max_loop_depth: 1 + ((z >> 12) & 1) as usize + ((z >> 13) & 1) as usize, // 1..=3
+        non_affine: (z >> 14) & 3 != 0,                                          // on 3/4 of cases
+        fuel: 8 + ((z >> 16) & 31),                                              // 8..=39
+    }
+}
+
+/// The oracle configuration used for a generated case: fuel derived from
+/// the generator's step bound (so the campaign continuously validates the
+/// termination certificate), default transform battery.
+pub fn case_oracle_config(step_bound: u64) -> OracleConfig {
+    OracleConfig { max_steps: step_bound, ..Default::default() }
+}
+
+/// Run the committed-path trace through the cycle simulator twice — fused
+/// (VM streams into the simulator) and materialized (VecSink capture,
+/// then replay) — and compare results bit-for-bit.
+///
+/// # Errors
+///
+/// Returns a description of the first mismatch.
+pub fn sim_cross_check(p: &Program, max_steps: u64) -> Result<(), String> {
+    let cfg = RunConfig { max_steps, ..Default::default() };
+    let mut vm = Vm::new(p, cfg.clone());
+    let mut sim = Simulator::new(MachineConfig::default());
+    vm.run_streamed(&mut sim).map_err(|e| format!("fused run failed: {e}"))?;
+    let fused: SimResult = sim.finish();
+
+    let mut vm = Vm::new(p, cfg);
+    let mut sink = VecSink::new();
+    vm.run_streamed(&mut sink).map_err(|e| format!("capture run failed: {e}"))?;
+    let materialized = Simulator::new(MachineConfig::default()).run(&sink.into_records());
+
+    if fused != materialized {
+        return Err(format!(
+            "fused and materialized SimResults diverge: fused {} cycles, materialized {} cycles",
+            fused.stats.cycles, materialized.stats.cycles
+        ));
+    }
+    Ok(())
+}
+
+/// One failing case, after shrinking.
+#[derive(Debug)]
+pub struct CaseFailure {
+    /// The case's generator seed (`base_seed + index`).
+    pub seed: u64,
+    /// Index within the campaign.
+    pub index: u64,
+    /// The oracle's verdict on the *original* program.
+    pub error: String,
+    /// The shrunk reproducer.
+    pub reproducer: Program,
+    /// Static instructions before and after shrinking.
+    pub insts: (usize, usize),
+    /// Where the reproducer was saved (when saving succeeded).
+    pub saved_to: Option<std::path::PathBuf>,
+}
+
+/// Aggregate results of a campaign.
+#[derive(Debug, Default)]
+pub struct CampaignSummary {
+    /// Cases run.
+    pub cases: u64,
+    /// Committed instructions across all baseline runs.
+    pub total_base_steps: u64,
+    /// Static instructions across all generated programs.
+    pub total_insts: u64,
+    /// Instructions narrowed across all VRP transform runs.
+    pub narrowed: u64,
+    /// Specializations applied across all VRS transform runs.
+    pub specializations: u64,
+    /// Simulator cross-checks performed.
+    pub sim_checks: u64,
+    /// The failure, if the campaign found one (it stops at the first).
+    pub failure: Option<CaseFailure>,
+}
+
+impl CampaignSummary {
+    /// The campaign summary as JSON (the `BENCH_fuzz` report CI collects).
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("cases".to_string(), self.cases.to_json()),
+            ("total_base_steps".to_string(), self.total_base_steps.to_json()),
+            ("total_static_insts".to_string(), self.total_insts.to_json()),
+            ("vrp_narrowed".to_string(), self.narrowed.to_json()),
+            ("vrs_specializations".to_string(), self.specializations.to_json()),
+            ("sim_cross_checks".to_string(), self.sim_checks.to_json()),
+            ("failed".to_string(), Json::Bool(self.failure.is_some())),
+        ];
+        if let Some(f) = &self.failure {
+            fields.push(("failure_seed".into(), f.seed.to_json()));
+            fields.push(("failure_error".into(), f.error.to_json()));
+        }
+        Json::Obj(fields)
+    }
+}
+
+/// Run a campaign. Deterministic: identical configs produce identical
+/// summaries (including any failure and its shrunk reproducer).
+///
+/// The campaign stops at the first failing case, shrinks it against the
+/// same oracle, and saves the reproducer via
+/// [`corpus::save_failure`] so CI can upload it.
+pub fn run_campaign(cfg: &CampaignConfig) -> CampaignSummary {
+    let mut summary = CampaignSummary::default();
+    for index in 0..cfg.cases {
+        let gen_cfg = case_gen_config(cfg.base_seed, index);
+        let (program, bound) = generate_with_bound(&gen_cfg);
+        let oracle_cfg = case_oracle_config(bound);
+        summary.cases += 1;
+        summary.total_insts += program.inst_count() as u64;
+
+        let sim_checked = cfg.sim_check_every != 0 && index % cfg.sim_check_every == 0;
+        let verdict: Result<OracleOutcome, CaseError> =
+            check_program(&program, &oracle_cfg).map_err(CaseError::Oracle).and_then(|outcome| {
+                if sim_checked {
+                    summary.sim_checks += 1;
+                    sim_cross_check(&program, bound).map_err(CaseError::Sim)?;
+                }
+                Ok(outcome)
+            });
+
+        match verdict {
+            Ok(outcome) => {
+                summary.total_base_steps += outcome.base_steps;
+                summary.narrowed += outcome.narrowed as u64;
+                summary.specializations += outcome.specializations as u64;
+            }
+            Err(error) => {
+                summary.failure =
+                    Some(shrink_failure(cfg, &oracle_cfg, index, gen_cfg.seed, program, error));
+                break;
+            }
+        }
+    }
+    summary
+}
+
+/// How a case failed: the differential oracle, or the simulator
+/// fused-vs-materialized cross-check.
+enum CaseError {
+    Oracle(og_core::oracle::OracleError),
+    Sim(String),
+}
+
+impl CaseError {
+    /// A stable signature of the failure mode (variant + transform, no
+    /// volatile detail). Shrinking only keeps edits under which the
+    /// candidate still fails with this exact signature, so a reproducer
+    /// for a VRP miscompile cannot drift into, say, an unrelated
+    /// fuel-exhaustion failure.
+    fn signature(&self) -> String {
+        match self {
+            CaseError::Oracle(e) => format!("oracle:{}", e.signature()),
+            CaseError::Sim(_) => "sim".to_string(),
+        }
+    }
+
+    fn message(&self) -> String {
+        match self {
+            CaseError::Oracle(e) => e.to_string(),
+            CaseError::Sim(m) => m.clone(),
+        }
+    }
+}
+
+/// The failure signature a candidate program exhibits, if any. The
+/// simulator cross-check only runs when the oracle passes — mirroring
+/// the campaign's own order, so original and candidate signatures are
+/// comparable.
+fn candidate_signature(p: &Program, oracle_cfg: &OracleConfig) -> Option<String> {
+    match check_program(p, oracle_cfg) {
+        Err(e) => Some(CaseError::Oracle(e).signature()),
+        Ok(_) => {
+            sim_cross_check(p, oracle_cfg.max_steps).err().map(|m| CaseError::Sim(m).signature())
+        }
+    }
+}
+
+/// Shrink a failing case and persist the reproducer.
+fn shrink_failure(
+    cfg: &CampaignConfig,
+    oracle_cfg: &OracleConfig,
+    index: u64,
+    seed: u64,
+    program: Program,
+    error: CaseError,
+) -> CaseFailure {
+    let before = program.inst_count();
+    let signature = error.signature();
+    let error = error.message();
+    // An edit survives only if the candidate still fails in the same way
+    // as the original: failing *differently* (e.g. an introduced infinite
+    // loop hitting the fuel bound) would shrink toward the wrong bug.
+    let mut still_fails = |candidate: &Program| -> bool {
+        candidate_signature(candidate, oracle_cfg).as_deref() == Some(signature.as_str())
+    };
+    let reproducer = shrink::shrink(&program, &mut still_fails, cfg.shrink_budget);
+    let after = reproducer.inst_count();
+    let case = corpus::CorpusCase {
+        name: format!("shrunk-seed-{seed}"),
+        seed: Some(seed),
+        note: format!("campaign failure at index {index}: {error}"),
+        // Bound-sensitive failures only reproduce under the same fuel.
+        max_steps: Some(oracle_cfg.max_steps),
+        program: reproducer.clone(),
+    };
+    let saved_to = match corpus::save_failure(&case) {
+        Ok(path) => Some(path),
+        Err(e) => {
+            eprintln!("could not save reproducer: {e}");
+            None
+        }
+    };
+    CaseFailure { seed, index, error, reproducer, insts: (before, after), saved_to }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_configs_are_deterministic_and_diverse() {
+        let a = case_gen_config(1, 5);
+        let b = case_gen_config(1, 5);
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.regions, b.regions);
+        // Diversity: across 64 indices the shape knobs must not be const.
+        let mut regions = std::collections::HashSet::new();
+        let mut depths = std::collections::HashSet::new();
+        let mut mem = std::collections::HashSet::new();
+        for i in 0..64 {
+            let c = case_gen_config(1, i);
+            regions.insert(c.regions);
+            depths.insert(c.max_loop_depth);
+            mem.insert(c.memory);
+        }
+        assert!(regions.len() > 3, "{regions:?}");
+        assert_eq!(depths.len(), 3, "{depths:?}");
+        assert_eq!(mem.len(), 2);
+    }
+
+    #[test]
+    fn a_tiny_campaign_is_green_and_counts_work() {
+        let summary =
+            run_campaign(&CampaignConfig { cases: 8, sim_check_every: 4, ..Default::default() });
+        assert!(summary.failure.is_none(), "{:?}", summary.failure);
+        assert_eq!(summary.cases, 8);
+        assert_eq!(summary.sim_checks, 2);
+        assert!(summary.total_base_steps > 0);
+        assert!(summary.narrowed > 0, "VRP narrowed nothing across 8 programs?");
+        let json = og_json::render(&summary.to_json()).unwrap();
+        assert!(json.contains("\"failed\":false"), "{json}");
+    }
+
+    #[test]
+    fn sim_cross_check_passes_on_a_generated_program() {
+        let (p, bound) = generate_with_bound(&case_gen_config(42, 0));
+        sim_cross_check(&p, bound).unwrap();
+    }
+
+    #[test]
+    fn shrinking_preserves_the_original_failure_signature() {
+        // Force a deterministic failure: an absurdly small fuel budget
+        // makes the baseline run fail with `base-run`. Shrinking must
+        // keep that signature — every kept edit still exhausts the fuel —
+        // and be reproducible.
+        let dir = std::env::temp_dir().join(format!("og-fuzz-sig-test-{}", std::process::id()));
+        std::env::set_var("OG_FUZZ_FAIL_DIR", &dir);
+        let gen_cfg = case_gen_config(3, 0);
+        let (program, _) = generate_with_bound(&gen_cfg);
+        let oracle_cfg = case_oracle_config(3);
+        let error = match check_program(&program, &oracle_cfg) {
+            Err(e) => CaseError::Oracle(e),
+            Ok(_) => panic!("expected a base-run failure under 3 steps of fuel"),
+        };
+        assert_eq!(error.signature(), "oracle:base-run");
+        let cfg = CampaignConfig { shrink_budget: 300, ..Default::default() };
+        let f = shrink_failure(&cfg, &oracle_cfg, 0, gen_cfg.seed, program.clone(), error);
+        assert_eq!(
+            candidate_signature(&f.reproducer, &oracle_cfg).as_deref(),
+            Some("oracle:base-run"),
+            "the reproducer must fail exactly like the original"
+        );
+        assert!(f.insts.1 <= f.insts.0);
+        assert!(f.saved_to.as_deref().is_some_and(|p| p.exists()));
+        std::env::remove_var("OG_FUZZ_FAIL_DIR");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,67 @@
+//! The standing differential campaign: ≥500 seeded random programs, each
+//! checked untransformed (fused vs materialized VM paths, trace-chain
+//! invariants) and across the VRP/VRS transform battery, with periodic
+//! fused-vs-materialized simulator cross-checks.
+//!
+//! Knobs: `OG_FUZZ_CASES` (default 500) and `OG_FUZZ_SEED`. A failure
+//! shrinks to a minimal reproducer, is saved under
+//! `target/og-fuzz-failures/` (CI uploads it), and the panic message
+//! carries everything needed to replay locally.
+
+use og_fuzz::{run_campaign, CampaignConfig};
+
+#[test]
+fn seeded_differential_campaign_is_green() {
+    let cfg = CampaignConfig::from_env();
+    let summary = run_campaign(&cfg);
+
+    // The campaign summary rides the same BENCH_* report channel CI
+    // already collects, so the per-PR fuzz footprint is tracked. A
+    // missing report is loud but not fatal — the campaign verdict is.
+    let report = match og_lab::report::write_bench_report("fuzz", &summary.to_json()) {
+        Ok(path) => path.display().to_string(),
+        Err(e) => {
+            eprintln!("{e}");
+            "<not written>".to_string()
+        }
+    };
+    println!(
+        "og-fuzz campaign: {} cases, {} baseline steps, {} narrowed, {} specializations, \
+         {} sim cross-checks (report: {report})",
+        summary.cases,
+        summary.total_base_steps,
+        summary.narrowed,
+        summary.specializations,
+        summary.sim_checks,
+    );
+
+    if let Some(f) = &summary.failure {
+        panic!(
+            "differential failure at case {} (seed {}): {}\n\
+             reproducer: {} insts (shrunk from {}), saved to {}\n\
+             replay: cargo run -p og-fuzz --example corpus_tool -- replay <file>\n\
+             regenerate: OG_FUZZ_SEED={} OG_FUZZ_CASES=1 cargo test -p og-fuzz campaign",
+            f.index,
+            f.seed,
+            f.error,
+            f.insts.1,
+            f.insts.0,
+            f.saved_to.as_deref().map(|p| p.display().to_string()).unwrap_or_default(),
+            f.seed,
+        );
+    }
+
+    // Meaningfulness guards: a campaign that stops exercising the passes
+    // (nothing narrowed, nothing specialized, no work run) is a bug in
+    // the generator or the oracle wiring, not a success.
+    assert!(summary.cases >= 1);
+    assert!(summary.total_base_steps > summary.cases * 20, "programs are degenerate");
+    assert!(summary.narrowed > 0, "VRP narrowed nothing across the whole campaign");
+    if summary.cases >= 100 {
+        assert!(
+            summary.specializations > 0,
+            "VRS specialized nothing across {} cases",
+            summary.cases
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! Corpus replay: every committed `crates/fuzz/corpus/*.og.json` case
+//! must round-trip through the serializer and pass the full differential
+//! oracle, forever. A case that once exposed a bug stays pinned here
+//! after the fix; a case that stops parsing or verifying fails loudly.
+
+use og_core::oracle::check_program;
+use og_fuzz::corpus::{corpus_dir, load_dir, CorpusCase};
+use og_fuzz::sim_cross_check;
+use og_json::{FromJson, ToJson};
+
+#[test]
+fn corpus_is_nonempty_and_loads() {
+    let cases = load_dir(&corpus_dir()).unwrap_or_else(|e| panic!("corpus unreadable: {e}"));
+    assert!(
+        cases.len() >= 3,
+        "committed corpus shrank to {} cases — it only ever grows",
+        cases.len()
+    );
+    for (path, case) in &cases {
+        assert_eq!(
+            path.file_name().unwrap().to_string_lossy(),
+            format!("{}.og.json", case.name),
+            "corpus file name and case name must agree"
+        );
+        assert!(!case.note.is_empty(), "{}: every case documents why it exists", case.name);
+    }
+}
+
+#[test]
+fn corpus_cases_roundtrip_through_json() {
+    for (path, case) in load_dir(&corpus_dir()).unwrap() {
+        let rendered = og_json::render(&case.to_json()).unwrap();
+        let back = CorpusCase::from_json(&og_json::parse(&rendered).unwrap()).unwrap();
+        assert_eq!(back, case, "{}: serialize→parse is not the identity", path.display());
+    }
+}
+
+#[test]
+fn every_corpus_case_passes_the_differential_oracle() {
+    for (path, case) in load_dir(&corpus_dir()).unwrap() {
+        // Replay under the case's recorded step budget (the campaign's
+        // certificate-derived fuel), so bound-sensitive regressions
+        // cannot hide behind the roomier default.
+        let cfg = case.oracle_config();
+        check_program(&case.program, &cfg).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        sim_cross_check(&case.program, cfg.max_steps)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    }
+}

@@ -1,0 +1,245 @@
+//! og-json serialization of the instruction set.
+//!
+//! The encoding is the one the fuzz corpus (`crates/fuzz/corpus/*.og.json`)
+//! is stored in, so it favours a *readable diff* over raw compactness:
+//! operations are mnemonics, registers are conventional names, widths are
+//! their one-letter suffixes. Fields that carry an instruction's default
+//! value (`dst: null`, `disp: 0`, `target: null`) are omitted on write and
+//! default on read, which keeps a typical instruction to one short line.
+
+use crate::{Inst, Op, Operand, Reg, Target, Width};
+use og_json::{Error, FromJson, Json, ToJson};
+
+impl ToJson for Width {
+    fn to_json(&self) -> Json {
+        Json::Str(self.suffix().to_string())
+    }
+}
+
+impl FromJson for Width {
+    fn from_json(json: &Json) -> Result<Width, Error> {
+        let s = json.as_str().ok_or_else(|| Error::new("width must be a string"))?;
+        Width::ALL
+            .into_iter()
+            .find(|w| w.suffix() == s)
+            .ok_or_else(|| Error::new(format!("unknown width `{s}`")))
+    }
+}
+
+impl ToJson for Reg {
+    fn to_json(&self) -> Json {
+        Json::Str(self.name().to_string())
+    }
+}
+
+impl FromJson for Reg {
+    fn from_json(json: &Json) -> Result<Reg, Error> {
+        let s = json.as_str().ok_or_else(|| Error::new("register must be a string"))?;
+        Reg::parse(s).ok_or_else(|| Error::new(format!("unknown register `{s}`")))
+    }
+}
+
+impl ToJson for Op {
+    fn to_json(&self) -> Json {
+        Json::Str(self.mnemonic().to_string())
+    }
+}
+
+impl FromJson for Op {
+    fn from_json(json: &Json) -> Result<Op, Error> {
+        let s = json.as_str().ok_or_else(|| Error::new("op must be a string"))?;
+        // Mnemonics are unique across every Cmp/Cmov/Bc variant (a unit
+        // test in `op.rs` pins that), so a linear scan is a total decoder.
+        Op::all()
+            .into_iter()
+            .find(|op| op.mnemonic() == s)
+            .ok_or_else(|| Error::new(format!("unknown op `{s}`")))
+    }
+}
+
+impl ToJson for Operand {
+    fn to_json(&self) -> Json {
+        match self {
+            Operand::None => Json::Null,
+            Operand::Reg(r) => r.to_json(),
+            Operand::Imm(v) => v.to_json(),
+        }
+    }
+}
+
+impl FromJson for Operand {
+    fn from_json(json: &Json) -> Result<Operand, Error> {
+        match json {
+            Json::Null => Ok(Operand::None),
+            Json::Str(s) if Reg::parse(s).is_some() => Ok(Operand::Reg(Reg::parse(s).unwrap())),
+            // A non-register string is an out-of-f64-range integer.
+            Json::Str(_) | Json::Num(_) => Ok(Operand::Imm(i64::from_json(json)?)),
+            other => Err(Error::new(format!(
+                "operand must be null/register/integer, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl ToJson for Target {
+    fn to_json(&self) -> Json {
+        match *self {
+            Target::None => Json::Null,
+            Target::Block(b) => Json::Obj(vec![("block".into(), b.to_json())]),
+            Target::CondBlocks { taken, fall } => {
+                Json::Obj(vec![("taken".into(), taken.to_json()), ("fall".into(), fall.to_json())])
+            }
+            Target::Func(f) => Json::Obj(vec![("func".into(), f.to_json())]),
+        }
+    }
+}
+
+impl FromJson for Target {
+    fn from_json(json: &Json) -> Result<Target, Error> {
+        match json {
+            Json::Null => Ok(Target::None),
+            Json::Obj(_) => {
+                if json.get("block").is_some() {
+                    Ok(Target::Block(json.field("block")?))
+                } else if json.get("func").is_some() {
+                    Ok(Target::Func(json.field("func")?))
+                } else if json.get("taken").is_some() {
+                    Ok(Target::CondBlocks {
+                        taken: json.field("taken")?,
+                        fall: json.field("fall")?,
+                    })
+                } else {
+                    Err(Error::new("target object needs `block`, `func` or `taken`/`fall`"))
+                }
+            }
+            other => {
+                Err(Error::new(format!("target must be null or object, found {}", other.kind())))
+            }
+        }
+    }
+}
+
+impl ToJson for Inst {
+    fn to_json(&self) -> Json {
+        let mut fields =
+            vec![("op".to_string(), self.op.to_json()), ("w".to_string(), self.width.to_json())];
+        if let Some(d) = self.dst {
+            fields.push(("dst".into(), d.to_json()));
+        }
+        if let Some(s) = self.src1 {
+            fields.push(("src1".into(), s.to_json()));
+        }
+        if self.src2 != Operand::None {
+            fields.push(("src2".into(), self.src2.to_json()));
+        }
+        if self.disp != 0 {
+            fields.push(("disp".into(), i64::from(self.disp).to_json()));
+        }
+        if self.target != Target::None {
+            fields.push(("target".into(), self.target.to_json()));
+        }
+        Json::Obj(fields)
+    }
+}
+
+impl FromJson for Inst {
+    fn from_json(json: &Json) -> Result<Inst, Error> {
+        let disp = match json.get("disp") {
+            Some(d) => {
+                let wide = i64::from_json(d).map_err(|e| e.in_field("disp"))?;
+                i32::try_from(wide)
+                    .map_err(|_| Error::new(format!("disp {wide} out of i32 range")))?
+            }
+            None => 0,
+        };
+        let opt_reg = |key: &str| -> Result<Option<Reg>, Error> {
+            match json.get(key) {
+                None | Some(Json::Null) => Ok(None),
+                Some(v) => Ok(Some(Reg::from_json(v).map_err(|e| e.in_field(key))?)),
+            }
+        };
+        Ok(Inst {
+            op: json.field("op")?,
+            width: json.field("w")?,
+            dst: opt_reg("dst")?,
+            src1: opt_reg("src1")?,
+            src2: match json.get("src2") {
+                Some(v) => Operand::from_json(v).map_err(|e| e.in_field("src2"))?,
+                None => Operand::None,
+            },
+            disp,
+            target: match json.get("target") {
+                Some(v) => Target::from_json(v).map_err(|e| e.in_field("target"))?,
+                None => Target::None,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CmpKind, Cond, MemRef};
+
+    fn roundtrip(i: Inst) {
+        let text = og_json::to_string(&i).unwrap();
+        let back: Inst = og_json::from_str(&text).unwrap();
+        assert_eq!(back, i, "{text}");
+    }
+
+    #[test]
+    fn every_op_roundtrips() {
+        for op in Op::all() {
+            let json = op.to_json();
+            assert_eq!(Op::from_json(&json).unwrap(), op);
+        }
+    }
+
+    #[test]
+    fn widths_and_regs_roundtrip() {
+        for w in Width::ALL {
+            assert_eq!(Width::from_json(&w.to_json()).unwrap(), w);
+        }
+        for r in Reg::all() {
+            assert_eq!(Reg::from_json(&r.to_json()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn representative_instructions_roundtrip() {
+        roundtrip(Inst::alu(Op::Add, Width::W, Reg::T0, Reg::T1, 42i64));
+        roundtrip(Inst::alu(Op::Cmp(CmpKind::Ult), Width::B, Reg::T0, Reg::T1, Reg::T2));
+        roundtrip(Inst::cmov(Cond::Gt, Width::H, Reg::V0, Reg::T3, -7i64));
+        roundtrip(Inst::ldi(Reg::S0, i64::MIN));
+        roundtrip(Inst::ldi(Reg::S0, i64::MAX));
+        roundtrip(Inst::load(Width::H, true, Reg::T4, MemRef { base: Reg::SP, disp: -16 }));
+        roundtrip(Inst::store(Width::D, Reg::A0, MemRef { base: Reg::GP, disp: 8 }));
+        roundtrip(Inst::br(3));
+        roundtrip(Inst::bc(Cond::Le, Reg::T5, 1, 2));
+        roundtrip(Inst::jsr(9));
+        roundtrip(Inst::ret());
+        roundtrip(Inst::halt());
+        roundtrip(Inst::out(Width::B, Reg::V0));
+        roundtrip(Inst::extend(Op::Sext, Width::B, Reg::T1, Reg::T2));
+    }
+
+    #[test]
+    fn big_immediates_survive_the_f64_number_model() {
+        // Beyond 2^53 og-json string-encodes; Operand decoding must accept
+        // that spelling and must not confuse it with a register name.
+        let i = Inst::ldi(Reg::T0, (1 << 60) + 1);
+        let text = og_json::to_string(&i).unwrap();
+        assert!(text.contains("\"1152921504606846977\""), "{text}");
+        roundtrip(i);
+    }
+
+    #[test]
+    fn unknown_names_are_rejected() {
+        assert!(Op::from_json(&Json::Str("frobnicate".into())).is_err());
+        assert!(Reg::from_json(&Json::Str("t99".into())).is_err());
+        assert!(Width::from_json(&Json::Str("q".into())).is_err());
+        assert!(Target::from_json(&Json::Str("x".into())).is_err());
+        assert!(Inst::from_json(&Json::Obj(vec![("op".into(), Json::Str("add".into()))])).is_err());
+    }
+}

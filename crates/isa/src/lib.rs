@@ -46,6 +46,7 @@
 
 mod encode;
 mod inst;
+mod json;
 mod op;
 mod reg;
 mod width;

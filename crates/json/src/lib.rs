@@ -136,7 +136,9 @@ impl Error {
         Error { msg: format!("{msg} at byte {offset}") }
     }
 
-    pub(crate) fn in_field(self, key: &str) -> Error {
+    /// Wrap this error with the object field it occurred in (used by
+    /// [`Json::field`] and downstream [`FromJson`] impls).
+    pub fn in_field(self, key: &str) -> Error {
         Error { msg: format!("in field `{key}`: {}", self.msg) }
     }
 }

@@ -60,6 +60,7 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod report;
 mod serialize;
 
 use og_core::{UsefulPolicy, VrpConfig, VrpPass, VrsConfig, VrsPass};
@@ -76,7 +77,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 /// Bump when pipeline semantics change to invalidate cached studies.
-pub const STUDY_VERSION: u32 = 7;
+pub const STUDY_VERSION: u32 = 8;
 
 /// A software mechanism applied to the program before measurement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]

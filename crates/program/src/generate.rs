@@ -5,12 +5,31 @@
 //! the same output stream as the original. The generator below produces
 //! arbitrary — but always terminating and memory-safe — programs that
 //! stress the analyses: mixed-width arithmetic, byte manipulation,
-//! bounded loops, branches whose conditions carry range information,
-//! memory round-trips through a scratch buffer, and helper-function calls.
+//! nested counted loops with affine induction, non-affine loops whose
+//! exit is value-dependent but fuel-bounded, branches whose conditions
+//! carry range information, memory round-trips through a scratch buffer,
+//! table scans, and helper-function calls.
+//!
+//! ## Termination by construction
+//!
+//! Every generated program provably halts:
+//!
+//! * counted loops use dedicated iterator registers (never touched by
+//!   loop bodies) with constant trip counts;
+//! * non-affine loops decrement a dedicated fuel register every
+//!   iteration and exit unconditionally when it reaches zero, whatever
+//!   the value-dependent continue condition does;
+//! * helpers never recurse.
+//!
+//! [`generate_with_bound`] additionally returns a conservative upper
+//! bound on the number of instructions the program can commit, computed
+//! alongside generation (each emitted instruction contributes the
+//! product of the trip counts of its enclosing loops). The fuzz crate's
+//! termination suite runs every program with exactly that budget.
 
 use crate::rng::SplitMix64;
 use crate::{imm, FunctionBuilder, Program, ProgramBuilder};
-use og_isa::{CmpKind, Cond, Op, Operand, Reg, Width};
+use og_isa::{CmpKind, Cond, Operand, Reg, Width};
 
 /// Tuning knobs for [`generate_program`].
 #[derive(Debug, Clone)]
@@ -22,34 +41,99 @@ pub struct GenConfig {
     pub regions: usize,
     /// Maximum ALU instructions per straight-line stretch.
     pub max_straight: usize,
-    /// Generate loads/stores to a scratch buffer.
+    /// Generate loads/stores to a scratch buffer and table scans.
     pub memory: bool,
     /// Generate helper-function calls.
     pub calls: bool,
+    /// Maximum nesting depth of counted loops (1 = no nesting).
+    pub max_loop_depth: usize,
+    /// Generate non-affine (value-dependent, fuel-bounded) loops.
+    pub non_affine: bool,
+    /// Iteration budget of each non-affine loop's fuel counter.
+    pub fuel: u64,
 }
 
 impl Default for GenConfig {
     fn default() -> Self {
-        GenConfig { seed: 0, regions: 6, max_straight: 8, memory: true, calls: true }
+        GenConfig {
+            seed: 0,
+            regions: 6,
+            max_straight: 8,
+            memory: true,
+            calls: true,
+            max_loop_depth: 2,
+            non_affine: true,
+            fuel: 24,
+        }
     }
 }
 
 /// Registers the generator computes with (caller-saved temporaries).
 const POOL: [Reg; 8] = [Reg::T0, Reg::T1, Reg::T2, Reg::T3, Reg::T4, Reg::T5, Reg::T6, Reg::T7];
 
+/// Per-depth (iterator, compare-scratch) registers for counted loops.
+/// Loop bodies only write [`POOL`], so iterators are never clobbered.
+const LOOP_REGS: [(Reg, Reg); 3] = [(Reg::S1, Reg::S2), (Reg::S3, Reg::S4), (Reg::S5, Reg::FP)];
+
+/// Fuel counter and scratch of non-affine loops (bodies never touch them).
+const FUEL_REG: Reg = Reg::T9;
+const FUEL_SCRATCH: Reg = Reg::T11;
+
 /// Scratch buffer length in 8-byte slots.
 const SCRATCH_SLOTS: i64 = 16;
+
+/// Length of the constant quads table (power of two: indices are masked).
+const TABLE_SLOTS: i64 = 16;
+
+/// Immediates worth feeding a width analysis: every byte-significance
+/// boundary, both signs, plus the neighbours that trigger off-by-one
+/// wraparound bugs.
+const INTERESTING: [i64; 18] = [
+    0,
+    1,
+    -1,
+    2,
+    127,
+    128,
+    -128,
+    -129,
+    255,
+    256,
+    0x7FFF,
+    0x8000,
+    -0x8000,
+    0xFFFF,
+    0x7FFF_FFFF,
+    -0x8000_0000,
+    0xFFFF_FFFF,
+    i64::MAX,
+];
 
 /// Generate a random, terminating, self-contained program.
 ///
 /// The program ends by emitting every pool register with `out.d`, followed
 /// by `halt`, so any semantic divergence introduced by a transformation
-/// shows up in the output stream.
+/// shows up in the output stream. Loop bodies also emit intermediate
+/// values, so divergence inside a loop cannot be masked by later
+/// clobbers.
 pub fn generate_program(cfg: &GenConfig) -> Program {
+    generate_with_bound(cfg).0
+}
+
+/// [`generate_program`] plus a conservative upper bound on committed
+/// instructions — the generator's termination certificate.
+pub fn generate_with_bound(cfg: &GenConfig) -> (Program, u64) {
     let mut rng = SplitMix64::new(cfg.seed);
     let mut pb = ProgramBuilder::new();
     pb.data_zeroed("scratch", (SCRATCH_SLOTS * 8) as usize);
+    let table: Vec<i64> = (0..TABLE_SLOTS)
+        .map(|_| if rng.chance(1, 2) { *rng.pick(&INTERESTING) } else { rng.next_u64() as i64 })
+        .collect();
+    pb.data_quads("table", &table);
 
+    // Static instruction counts of the helpers, for the step bound.
+    let mut helper_insts = 0u64;
+    let mut mixer_insts = 0u64;
     if cfg.calls {
         // A small pure helper: v0 = f(a0, a1).
         let mut h = pb.function("helper", 2);
@@ -59,6 +143,26 @@ pub fn generate_program(cfg: &GenConfig) -> Program {
         h.and(Width::D, Reg::V0, Reg::V0, imm(0xFFFF));
         h.ret();
         pb.finish(h);
+        helper_insts = 4;
+
+        // A helper with an internal counted loop (stresses interprocedural
+        // range propagation across a loop boundary).
+        let mut m = pb.function("mixer", 2);
+        m.block("entry");
+        m.ldi(Reg::V0, 1);
+        m.ldi(Reg::A2, 4);
+        m.block("head");
+        m.mul(Width::H, Reg::V0, Reg::V0, imm(3));
+        m.add(Width::W, Reg::V0, Reg::V0, Reg::A0);
+        m.xor(Width::B, Reg::V0, Reg::V0, Reg::A1);
+        m.sub(Width::D, Reg::A2, Reg::A2, imm(1));
+        m.bgt(Reg::A2, "head");
+        m.block("exit");
+        m.zext(Width::H, Reg::V0, Operand::Reg(Reg::V0));
+        m.ret();
+        pb.finish(m);
+        // 2 ldi + implicit entry→head br, 5 per iteration, zext + ret.
+        mixer_insts = 3 + 5 * 4 + 2;
     }
 
     let mut f = pb.function("main", 0);
@@ -74,161 +178,288 @@ pub fn generate_program(cfg: &GenConfig) -> Program {
         f.ldi(r, v);
     }
     f.la(Reg::S0, "scratch");
+    f.la(Reg::T8, "table");
+    let mut bound = POOL.len() as u64 + 2;
 
-    let mut label = 0u32;
-    let mut fresh = move || {
-        label += 1;
-        format!("g{label}")
+    let mut gen = Gen {
+        f: &mut f,
+        rng: &mut rng,
+        cfg,
+        label: 0,
+        helper_insts,
+        mixer_insts,
+        bound: &mut bound,
     };
-
     for _ in 0..cfg.regions {
-        match rng.below(5) {
-            0 | 1 => straight(&mut f, &mut rng, cfg.max_straight),
-            2 => counted_loop(&mut f, &mut rng, &mut fresh, cfg.max_straight),
-            3 => diamond(&mut f, &mut rng, &mut fresh, cfg.max_straight),
-            _ => {
-                if cfg.memory {
-                    memory_round_trip(&mut f, &mut rng);
-                } else if cfg.calls {
-                    call_helper(&mut f, &mut rng);
-                } else {
-                    straight(&mut f, &mut rng, cfg.max_straight);
-                }
-                if cfg.calls && rng.chance(1, 2) {
-                    call_helper(&mut f, &mut rng);
-                }
-            }
-        }
+        gen.region(0, 1);
     }
 
     for &r in &POOL {
         f.out(Width::D, r);
     }
     f.halt();
+    bound += POOL.len() as u64 + 1;
     pb.finish(f);
-    pb.build().expect("generated program must build")
+    (pb.build().expect("generated program must build"), bound)
 }
 
-fn rand_width(rng: &mut SplitMix64) -> Width {
-    *rng.pick(&Width::ALL)
+/// Generation state for one `main` body. `bound` accumulates the step
+/// bound: every emitted instruction adds the product of the enclosing
+/// loops' trip counts (`mult`).
+struct Gen<'a, 'b> {
+    f: &'a mut FunctionBuilder,
+    rng: &'a mut SplitMix64,
+    cfg: &'b GenConfig,
+    label: u32,
+    helper_insts: u64,
+    mixer_insts: u64,
+    bound: &'a mut u64,
 }
 
-fn rand_src(rng: &mut SplitMix64) -> Reg {
-    *rng.pick(&POOL)
-}
-
-fn rand_operand(rng: &mut SplitMix64) -> Operand {
-    if rng.chance(1, 3) {
-        Operand::Imm(rng.range_i64(-128, 127))
-    } else {
-        Operand::Reg(rand_src(rng))
+impl Gen<'_, '_> {
+    fn fresh(&mut self) -> String {
+        self.label += 1;
+        format!("g{}", self.label)
     }
-}
 
-fn straight(f: &mut FunctionBuilder, rng: &mut SplitMix64, max: usize) {
-    let n = rng.below(max as u64) + 1;
-    for _ in 0..n {
-        let dst = rand_src(rng);
-        let a = rand_src(rng);
-        let w = rand_width(rng);
-        match rng.below(12) {
-            0 => f.add(w, dst, a, rand_operand(rng)),
-            1 => f.sub(w, dst, a, rand_operand(rng)),
-            2 => f.mul(w, dst, a, rand_operand(rng)),
-            3 => f.and(w, dst, a, rand_operand(rng)),
-            4 => f.or(w, dst, a, rand_operand(rng)),
-            5 => f.xor(w, dst, a, rand_operand(rng)),
-            6 => f.sll(w, dst, a, imm(rng.range_i64(0, 7))),
-            7 => f.srl(w, dst, a, imm(rng.range_i64(0, 7))),
-            8 => f.cmp(*rng.pick(&CmpKind::ALL), w, dst, a, rand_operand(rng)),
-            9 => f.cmov(*rng.pick(&Cond::ALL), w, dst, a, rand_operand(rng)),
-            10 => f.zapnot(dst, a, (rng.next_u64() & 0xFF) as u8),
-            _ => {
-                let op = *rng.pick(&[Op::Sext, Op::Zext]);
-                let val = Operand::Reg(a);
-                if op == Op::Sext {
-                    f.sext(w, dst, val)
-                } else {
-                    f.zext(w, dst, val)
+    /// One region at counted-loop nesting level `depth`; every emitted
+    /// instruction can execute at most `mult` times.
+    fn region(&mut self, depth: usize, mult: u64) {
+        match self.rng.below(8) {
+            0 | 1 => self.straight(mult, self.cfg.max_straight),
+            2 => self.counted_loop(depth, mult),
+            3 => self.diamond(depth, mult),
+            4 if self.cfg.non_affine => self.non_affine_loop(mult),
+            5 if self.cfg.memory => {
+                self.memory_round_trip(mult);
+                if self.cfg.calls && self.rng.chance(1, 2) {
+                    self.call(mult);
                 }
             }
+            6 if self.cfg.memory => self.table_read(mult),
+            _ => {
+                if self.cfg.calls {
+                    self.call(mult);
+                } else {
+                    self.straight(mult, self.cfg.max_straight);
+                }
+            }
+        }
+        // Observable checkpoints: emit an intermediate value so later
+        // clobbers cannot hide a divergence inside this region.
+        if self.rng.chance(1, 3) {
+            let r = *self.rng.pick(&POOL);
+            let w = *self.rng.pick(&Width::ALL);
+            self.f.out(w, r);
+            *self.bound += mult;
+        }
+    }
+
+    fn rand_operand(&mut self) -> Operand {
+        match self.rng.below(6) {
+            0 => Operand::Imm(*self.rng.pick(&INTERESTING)),
+            1 => Operand::Imm(self.rng.range_i64(-128, 127)),
+            _ => Operand::Reg(*self.rng.pick(&POOL)),
+        }
+    }
+
+    /// A stretch of 1..=`max` random computational instructions over the
+    /// pool registers, all widths and (almost) all ALU operations.
+    fn straight(&mut self, mult: u64, max: usize) {
+        let n = self.rng.below(max as u64) + 1;
+        for _ in 0..n {
+            let dst = *self.rng.pick(&POOL);
+            let a = *self.rng.pick(&POOL);
+            let w = *self.rng.pick(&Width::ALL);
+            let op2 = self.rand_operand();
+            match self.rng.below(16) {
+                0 => self.f.add(w, dst, a, op2),
+                1 => self.f.sub(w, dst, a, op2),
+                2 => self.f.mul(w, dst, a, op2),
+                3 => self.f.and(w, dst, a, op2),
+                4 => self.f.or(w, dst, a, op2),
+                5 => self.f.xor(w, dst, a, op2),
+                6 => self.f.andc(w, dst, a, op2),
+                7 => self.f.sll(w, dst, a, imm(self.rng.range_i64(0, 7))),
+                8 => self.f.srl(w, dst, a, imm(self.rng.range_i64(0, 7))),
+                9 => self.f.sra(w, dst, a, imm(self.rng.range_i64(0, 7))),
+                10 => self.f.cmp(*self.rng.pick(&CmpKind::ALL), w, dst, a, op2),
+                11 => self.f.cmov(*self.rng.pick(&Cond::ALL), w, dst, a, op2),
+                12 => self.f.zapnot(dst, a, (self.rng.next_u64() & 0xFF) as u8),
+                13 => self.f.ext(w, dst, a, imm(self.rng.range_i64(0, 7))),
+                14 => self.f.msk(w, dst, a, imm(self.rng.range_i64(0, 7))),
+                _ => {
+                    let val = Operand::Reg(a);
+                    if self.rng.chance(1, 2) {
+                        self.f.sext(w, dst, val)
+                    } else {
+                        self.f.zext(w, dst, val)
+                    }
+                }
+            };
+        }
+        *self.bound += n * mult;
+    }
+
+    /// `for iter in (0..trips*stride).step_by(stride)` with a nested body
+    /// region when depth allows. The iterator feeds the body as an affine
+    /// value (scaled into addresses and arithmetic), so the loop analyses
+    /// see genuine induction variables.
+    fn counted_loop(&mut self, depth: usize, mult: u64) {
+        if depth >= self.cfg.max_loop_depth.min(LOOP_REGS.len()) {
+            self.straight(mult, self.cfg.max_straight);
+            return;
+        }
+        let (iter, cmp) = LOOP_REGS[depth];
+        let head = self.fresh();
+        let exit = self.fresh();
+        let trips = self.rng.range_i64(1, 10) as u64;
+        let stride = self.rng.range_i64(1, 4);
+        let limit = trips as i64 * stride;
+        self.f.ldi(iter, 0);
+        self.f.block(&head); // the preceding block falls through: +1 br
+        let inner_mult = mult * trips;
+        // Use the induction variable: fold it into a pool register, and
+        // with memory enabled, index the quads table with it.
+        let dst = *self.rng.pick(&POOL);
+        self.f.add(Width::W, dst, dst, iter);
+        *self.bound += inner_mult;
+        if self.cfg.memory && self.rng.chance(1, 2) {
+            self.table_read_indexed(iter, inner_mult);
+        }
+        let inner_regions = 1 + self.rng.below(2);
+        for _ in 0..inner_regions {
+            self.region(depth + 1, inner_mult);
+        }
+        self.f.add(Width::D, iter, iter, imm(stride));
+        self.f.cmp(CmpKind::Lt, Width::D, cmp, iter, imm(limit));
+        self.f.bne(cmp, &head);
+        self.f.block(&exit);
+        // init ldi + implicit fall-through br into head, step/cmp/bne.
+        *self.bound += 2 * mult + 3 * inner_mult;
+    }
+
+    /// A loop whose continue condition depends on computed values (no
+    /// affine trip count exists) but whose fuel counter guarantees exit
+    /// within `cfg.fuel` iterations.
+    fn non_affine_loop(&mut self, mult: u64) {
+        let head = self.fresh();
+        let check = self.fresh();
+        let exit = self.fresh();
+        let x = *self.rng.pick(&POOL);
+        let fuel = self.cfg.fuel.max(1);
+        self.f.ldi(FUEL_REG, fuel as i64);
+        self.f.block(&head);
+        let inner_mult = mult * fuel;
+        self.straight(inner_mult, self.cfg.max_straight.min(4));
+        // Non-affine induction: x = (x * m + c) masked to a byte-ish range.
+        let m = self.rng.range_i64(3, 9);
+        let c = self.rng.range_i64(1, 63);
+        self.f.mul(Width::W, x, x, imm(m));
+        self.f.add(Width::W, x, x, imm(c));
+        self.f.srl(Width::W, x, x, imm(self.rng.range_i64(0, 3)));
+        // Fuel: unconditional progress towards exit.
+        self.f.sub(Width::D, FUEL_REG, FUEL_REG, imm(1));
+        self.f.ble(FUEL_REG, &exit);
+        self.f.block(&check);
+        // Value-dependent continue: loop while the low bits are non-zero.
+        let mask = [3i64, 7, 15][self.rng.below(3) as usize];
+        self.f.and(Width::D, FUEL_SCRATCH, x, imm(mask));
+        self.f.bne(FUEL_SCRATCH, &head);
+        self.f.block(&exit);
+        // fuel ldi + implicit fall-through br into head, loop machinery.
+        *self.bound += 2 * mult + 7 * inner_mult;
+    }
+
+    /// If/else over a random pool register with independent region bodies.
+    fn diamond(&mut self, depth: usize, mult: u64) {
+        let then_l = self.fresh();
+        let else_l = self.fresh();
+        let join = self.fresh();
+        let test = *self.rng.pick(&POOL);
+        let cond = *self.rng.pick(&Cond::ALL);
+        self.f.bc_to(cond, test, &then_l, &else_l);
+        *self.bound += mult;
+        self.f.block(&else_l);
+        if depth < self.cfg.max_loop_depth && self.rng.chance(1, 4) {
+            self.region(depth + 1, mult);
+        } else {
+            self.straight(mult, self.cfg.max_straight.min(4));
+        }
+        self.f.br(&join);
+        self.f.block(&then_l);
+        self.straight(mult, self.cfg.max_straight.min(4));
+        // the else-side br + the then side's implicit fall-through br.
+        *self.bound += 2 * mult;
+        self.f.block(&join);
+    }
+
+    /// Store a pool register to the scratch buffer and load it back at a
+    /// random width/signedness (may be a different slot: stale data is
+    /// zero-initialized, so still deterministic).
+    fn memory_round_trip(&mut self, mult: u64) {
+        let slot = self.rng.range_i64(0, SCRATCH_SLOTS - 1) as i32 * 8;
+        let w = *self.rng.pick(&Width::ALL);
+        let data = *self.rng.pick(&POOL);
+        let dst = *self.rng.pick(&POOL);
+        self.f.st(w, data, Reg::S0, slot);
+        if self.rng.chance(1, 2) {
+            self.f.ld(w, dst, Reg::S0, slot);
+        } else {
+            self.f.ldu(w, dst, Reg::S0, slot);
+        }
+        *self.bound += 2 * mult;
+    }
+
+    /// Load a constant-table entry at a fixed slot.
+    fn table_read(&mut self, mult: u64) {
+        let slot = self.rng.range_i64(0, TABLE_SLOTS - 1) as i32 * 8;
+        let dst = *self.rng.pick(&POOL);
+        let w = *self.rng.pick(&Width::ALL);
+        if self.rng.chance(1, 2) {
+            self.f.ld(w, dst, Reg::T8, slot);
+        } else {
+            self.f.ldu(w, dst, Reg::T8, slot);
+        }
+        *self.bound += mult;
+    }
+
+    /// Load `table[index & (TABLE_SLOTS-1)]` — a bounded computed address
+    /// driven by a loop induction variable.
+    fn table_read_indexed(&mut self, index: Reg, mult: u64) {
+        let addr = *self.rng.pick(&POOL);
+        let dst = *self.rng.pick(&POOL);
+        self.f.and(Width::D, addr, index, imm(TABLE_SLOTS - 1));
+        self.f.sll(Width::D, addr, addr, imm(3));
+        self.f.add(Width::D, addr, addr, Reg::T8);
+        self.f.ld(Width::D, dst, addr, 0);
+        *self.bound += 4 * mult;
+    }
+
+    /// Call `helper` or `mixer` with pool arguments and fold the result
+    /// back into the pool.
+    fn call(&mut self, mult: u64) {
+        let a = *self.rng.pick(&POOL);
+        let b = *self.rng.pick(&POOL);
+        self.f.mov(Width::D, Reg::A0, a);
+        self.f.mov(Width::D, Reg::A1, b);
+        let callee_insts = if self.rng.chance(1, 3) {
+            self.f.jsr("mixer");
+            self.mixer_insts
+        } else {
+            self.f.jsr("helper");
+            self.helper_insts
         };
+        let dst = *self.rng.pick(&POOL);
+        self.f.mov(Width::D, dst, Reg::V0);
+        *self.bound += (4 + callee_insts) * mult;
     }
-}
-
-fn counted_loop(
-    f: &mut FunctionBuilder,
-    rng: &mut SplitMix64,
-    fresh: &mut impl FnMut() -> String,
-    max: usize,
-) {
-    let head = fresh();
-    let exit = fresh();
-    let iters = rng.range_i64(1, 12);
-    // Use s1 as the iterator and s2 as the comparison scratch so the loop
-    // always terminates regardless of what the body does to the pool.
-    f.ldi(Reg::S1, 0);
-    f.block(&head);
-    straight(f, rng, max.min(4));
-    f.add(Width::D, Reg::S1, Reg::S1, imm(1));
-    f.cmp(CmpKind::Lt, Width::D, Reg::S2, Reg::S1, imm(iters));
-    f.bne(Reg::S2, &head);
-    f.block(&exit);
-}
-
-fn diamond(
-    f: &mut FunctionBuilder,
-    rng: &mut SplitMix64,
-    fresh: &mut impl FnMut() -> String,
-    max: usize,
-) {
-    let then_l = fresh();
-    let else_l = fresh();
-    let join = fresh();
-    let test = rand_src(rng);
-    let cond = *rng.pick(&Cond::ALL);
-    match cond {
-        Cond::Eq => f.beq(test, &then_l),
-        Cond::Ne => f.bne(test, &then_l),
-        Cond::Lt => f.blt(test, &then_l),
-        Cond::Ge => f.bge(test, &then_l),
-        Cond::Le => f.ble(test, &then_l),
-        Cond::Gt => f.bgt(test, &then_l),
-    };
-    f.block(&else_l);
-    straight(f, rng, max.min(4));
-    f.br(&join);
-    f.block(&then_l);
-    straight(f, rng, max.min(4));
-    f.block(&join);
-}
-
-fn memory_round_trip(f: &mut FunctionBuilder, rng: &mut SplitMix64) {
-    let slot = rng.range_i64(0, SCRATCH_SLOTS - 1) as i32 * 8;
-    let w = rand_width(rng);
-    let data = rand_src(rng);
-    let dst = rand_src(rng);
-    f.st(w, data, Reg::S0, slot);
-    if rng.chance(1, 2) {
-        f.ld(w, dst, Reg::S0, slot);
-    } else {
-        f.ldu(w, dst, Reg::S0, slot);
-    }
-}
-
-fn call_helper(f: &mut FunctionBuilder, rng: &mut SplitMix64) {
-    let a = rand_src(rng);
-    let b = rand_src(rng);
-    f.mov(Width::D, Reg::A0, a);
-    f.mov(Width::D, Reg::A1, b);
-    f.jsr("helper");
-    let dst = rand_src(rng);
-    f.mov(Width::D, dst, Reg::V0);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use og_isa::Op;
 
     #[test]
     fn generated_programs_verify() {
@@ -264,6 +495,39 @@ mod tests {
         for (_, i) in p.insts() {
             assert!(!i.op.is_mem(), "memory op generated despite memory=false");
             assert_ne!(i.op, Op::Jsr);
+        }
+    }
+
+    #[test]
+    fn loop_bodies_never_touch_control_registers() {
+        // The termination argument rests on loop iterators and the fuel
+        // counter being written only by the loop machinery itself: exactly
+        // one `ldi` (the init) plus one add/sub (the step) per register
+        // mention as a destination... rather than auditing counts, check
+        // the structural core: POOL instructions never define them.
+        for seed in 0..20u64 {
+            let p = generate_program(&GenConfig { seed, ..Default::default() });
+            let control: Vec<Reg> = LOOP_REGS
+                .iter()
+                .flat_map(|&(a, b)| [a, b])
+                .chain([FUEL_REG, FUEL_SCRATCH, Reg::S0, Reg::T8])
+                .collect();
+            for (_, i) in p.insts() {
+                if let Some(d) = i.def() {
+                    if control.contains(&d) {
+                        // Control registers are only defined by the loop
+                        // machinery ops the generator emits for them.
+                        assert!(
+                            matches!(
+                                i.op,
+                                Op::Ldi | Op::Add | Op::Sub | Op::And | Op::Sll | Op::Cmp(_)
+                            ),
+                            "seed {seed}: unexpected {} defining control reg {d}",
+                            i.op
+                        );
+                    }
+                }
+            }
         }
     }
 }

@@ -1,0 +1,244 @@
+//! og-json serialization of whole programs.
+//!
+//! This is the storage format of the fuzz regression corpus
+//! (`crates/fuzz/corpus/*.og.json`): a decoded program is re-verified, so
+//! a corrupt or hand-mangled corpus file fails loudly at load time rather
+//! than feeding the differential oracle a structurally invalid program.
+//!
+//! Data-segment bytes are hex strings (two digits per byte) — arrays of
+//! numbers would make a 4 KiB segment unreadably long — and every data
+//! item records the address the original layout assigned, which decoding
+//! re-derives and cross-checks so address-dependent programs round-trip
+//! exactly.
+
+use crate::{Block, BlockId, DataSegment, FuncId, Function, Program};
+use og_json::{Error, FromJson, Json, ToJson};
+
+impl ToJson for FuncId {
+    fn to_json(&self) -> Json {
+        self.0.to_json()
+    }
+}
+
+impl FromJson for FuncId {
+    fn from_json(json: &Json) -> Result<FuncId, Error> {
+        Ok(FuncId(u32::from_json(json)?))
+    }
+}
+
+impl ToJson for BlockId {
+    fn to_json(&self) -> Json {
+        self.0.to_json()
+    }
+}
+
+impl FromJson for BlockId {
+    fn from_json(json: &Json) -> Result<BlockId, Error> {
+        Ok(BlockId(u32::from_json(json)?))
+    }
+}
+
+fn bytes_to_hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push(char::from_digit((b >> 4) as u32, 16).unwrap());
+        s.push(char::from_digit((b & 0xF) as u32, 16).unwrap());
+    }
+    s
+}
+
+fn hex_to_bytes(s: &str) -> Result<Vec<u8>, Error> {
+    if !s.len().is_multiple_of(2) {
+        return Err(Error::new("hex string has odd length"));
+    }
+    let digit =
+        |c: char| c.to_digit(16).ok_or_else(|| Error::new(format!("invalid hex digit `{c}`")));
+    let mut out = Vec::with_capacity(s.len() / 2);
+    let mut chars = s.chars();
+    while let (Some(hi), Some(lo)) = (chars.next(), chars.next()) {
+        out.push((digit(hi)? * 16 + digit(lo)?) as u8);
+    }
+    Ok(out)
+}
+
+impl ToJson for DataSegment {
+    fn to_json(&self) -> Json {
+        Json::Arr(
+            self.items()
+                .iter()
+                .map(|item| {
+                    Json::Obj(vec![
+                        ("name".into(), item.name.to_json()),
+                        ("addr".into(), item.addr.to_json()),
+                        ("hex".into(), Json::Str(bytes_to_hex(&item.bytes))),
+                    ])
+                })
+                .collect(),
+        )
+    }
+}
+
+impl FromJson for DataSegment {
+    fn from_json(json: &Json) -> Result<DataSegment, Error> {
+        let items = json.as_arr().ok_or_else(|| {
+            Error::new(format!("data segment must be an array, found {}", json.kind()))
+        })?;
+        let mut seg = DataSegment::new();
+        for item in items {
+            let name: String = item.field("name")?;
+            let addr: u64 = item.field("addr")?;
+            let hex: String = item.field("hex")?;
+            let bytes = hex_to_bytes(&hex).map_err(|e| e.in_field("hex"))?;
+            let assigned = seg.define(&name, bytes);
+            if assigned != addr {
+                return Err(Error::new(format!(
+                    "data item `{name}` re-laid-out at {assigned:#x}, file says {addr:#x} \
+                     (items out of layout order?)"
+                )));
+            }
+        }
+        Ok(seg)
+    }
+}
+
+impl ToJson for Block {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("label".into(), self.label.to_json()),
+            ("insts".into(), self.insts.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Block {
+    fn from_json(json: &Json) -> Result<Block, Error> {
+        Ok(Block { label: json.field("label")?, insts: json.field("insts")? })
+    }
+}
+
+impl ToJson for Function {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("id".into(), self.id.to_json()),
+            ("name".into(), self.name.to_json()),
+            ("n_args".into(), self.n_args.to_json()),
+            ("returns_value".into(), self.returns_value.to_json()),
+            ("entry".into(), self.entry.to_json()),
+            ("blocks".into(), self.blocks.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Function {
+    fn from_json(json: &Json) -> Result<Function, Error> {
+        Ok(Function {
+            id: json.field("id")?,
+            name: json.field("name")?,
+            blocks: json.field("blocks")?,
+            entry: json.field("entry")?,
+            n_args: json.field("n_args")?,
+            returns_value: json.field("returns_value")?,
+        })
+    }
+}
+
+impl ToJson for Program {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("entry".into(), self.entry.to_json()),
+            ("data".into(), self.data.to_json()),
+            ("funcs".into(), self.funcs.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Program {
+    fn from_json(json: &Json) -> Result<Program, Error> {
+        let program = Program {
+            funcs: json.field("funcs")?,
+            entry: json.field("entry")?,
+            data: json.field("data")?,
+        };
+        program
+            .verify()
+            .map_err(|e| Error::new(format!("decoded program fails verification: {e}")))?;
+        Ok(program)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, imm, ProgramBuilder};
+    use og_isa::{Reg, Width};
+
+    fn sample() -> Program {
+        let mut pb = ProgramBuilder::new();
+        pb.data_bytes("raw", vec![0x00, 0x7F, 0x80, 0xFF]);
+        pb.data_quads("tbl", &[1, -1, i64::MAX]);
+        let mut h = pb.function("helper", 1);
+        h.block("entry");
+        h.add(Width::W, Reg::V0, Reg::A0, imm(1));
+        h.ret();
+        pb.finish(h);
+        let mut f = pb.function("main", 0);
+        f.block("entry");
+        f.la(Reg::T0, "tbl");
+        f.ld(Width::D, Reg::T1, Reg::T0, 0);
+        f.mov(Width::D, Reg::A0, Reg::T1);
+        f.jsr("helper");
+        f.out(Width::B, Reg::V0);
+        f.halt();
+        pb.finish(f);
+        pb.build().unwrap()
+    }
+
+    #[test]
+    fn program_roundtrips_exactly() {
+        let p = sample();
+        let text = og_json::to_string(&p).unwrap();
+        let back: Program = og_json::from_str(&text).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn generated_programs_roundtrip() {
+        for seed in 0..10 {
+            let p = generate::generate_program(&generate::GenConfig { seed, ..Default::default() });
+            let text = og_json::to_string(&p).unwrap();
+            let back: Program = og_json::from_str(&text).unwrap();
+            assert_eq!(back, p, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn hex_codec_roundtrips() {
+        let bytes: Vec<u8> = (0..=255).collect();
+        assert_eq!(hex_to_bytes(&bytes_to_hex(&bytes)).unwrap(), bytes);
+        assert!(hex_to_bytes("0").is_err());
+        assert!(hex_to_bytes("zz").is_err());
+    }
+
+    #[test]
+    fn decoding_verifies_the_program() {
+        let p = sample();
+        let mut json = p.to_json();
+        // Break the program: retarget the jsr at a nonexistent function.
+        if let Json::Obj(fields) = &mut json {
+            let funcs = fields.iter_mut().find(|(k, _)| k == "funcs").unwrap();
+            let text = og_json::render(&funcs.1).unwrap().replace("{\"func\":0}", "{\"func\":9}");
+            funcs.1 = og_json::parse(&text).unwrap();
+        }
+        let err = Program::from_json(&json).unwrap_err();
+        assert!(err.to_string().contains("fails verification"), "{err}");
+    }
+
+    #[test]
+    fn data_addresses_are_cross_checked() {
+        let p = sample();
+        let text = og_json::to_string(&p.data).unwrap();
+        let tampered = text.replace("\"addr\":77309411328", "\"addr\":12345");
+        assert_ne!(text, tampered, "expected the GLOBAL_BASE address literal in {text}");
+        assert!(og_json::from_str::<DataSegment>(&tampered).is_err());
+    }
+}

@@ -44,6 +44,7 @@ mod dataflow;
 mod function;
 pub mod generate;
 mod ids;
+mod json;
 mod layout;
 mod program;
 pub mod rng;

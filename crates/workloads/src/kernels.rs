@@ -46,8 +46,8 @@ pub fn compress(input: InputSet) -> Workload {
     let mut rng = SplitMix64::new(input.seed(1));
     let n = 1200 * input.scale();
     let mut pb = ProgramBuilder::new();
-    let mut data = run_structured_bytes(&mut rng, 4096);
-    data.resize(4096, 0);
+    let mut data = run_structured_bytes(&mut rng, 40960);
+    data.resize(40960, 0);
     pb.data_bytes("input", data);
     pb.data_quads("n", &[n as i64]);
 
@@ -100,7 +100,7 @@ pub fn gcc(input: InputSet) -> Workload {
     let mut rng = SplitMix64::new(input.seed(2));
     let n = 1000 * input.scale();
     let mut pb = ProgramBuilder::new();
-    let src: Vec<u8> = (0..4096).map(|_| rng.next_u64() as u8).collect();
+    let src: Vec<u8> = (0..40960).map(|_| rng.next_u64() as u8).collect();
     pb.data_bytes("src", src);
     pb.data_quads("n", &[n as i64]);
     pb.data_quads("counts", &[0; 16]);
@@ -287,10 +287,12 @@ pub fn ijpeg(input: InputSet) -> Workload {
     f.ldi(S2, 0); // block index
     f.ldi(S5, 0); // energy accumulator
     f.block("block");
-    // block base: (block % 8) * 8 + (block / 8) * 512
-    f.and(W, T0, S2, imm(7));
+    // block base: with b = block % 64 (the image holds 8x8 blocks of
+    // 8x8 pixels; larger inputs re-walk it), (b % 8) * 8 + (b / 8) * 512
+    f.and(W, S4, S2, imm(63));
+    f.and(W, T0, S4, imm(7));
     f.sll(W, T0, T0, imm(3));
-    f.srl(W, T1, S2, imm(3));
+    f.srl(W, T1, S4, imm(3));
     f.sll(W, T1, T1, imm(9));
     f.add(W, T0, T0, T1);
     f.add(D, S3, S0, T0); // row pointer
@@ -606,13 +608,13 @@ pub fn perl(input: InputSet) -> Workload {
     let mut rng = SplitMix64::new(input.seed(7));
     let n = 1100 * input.scale() as i64;
     let mut pb = ProgramBuilder::new();
-    let mut text = Vec::with_capacity(4096);
-    while text.len() < 4096 {
+    let mut text = Vec::with_capacity(40960);
+    while text.len() < 40960 {
         let wlen = 1 + rng.below(8) as usize;
-        for _ in 0..wlen.min(4096 - text.len()) {
+        for _ in 0..wlen.min(40960 - text.len()) {
             text.push(b'a' + rng.below(26) as u8);
         }
-        if text.len() < 4096 {
+        if text.len() < 40960 {
             text.push(b' ');
         }
     }
@@ -689,12 +691,12 @@ pub fn perl(input: InputSet) -> Workload {
 /// lookups; 32-bit keys threaded through 64-bit pointers.
 pub fn vortex(input: InputSet) -> Workload {
     let mut rng = SplitMix64::new(input.seed(8));
-    let nrec = 170 * input.scale() as i64; // ≤ 510 < 512
+    let nrec = 170 * input.scale() as i64; // ≤ 5100 < 8192
     let nq = 160 * input.scale() as i64;
     let mut pb = ProgramBuilder::new();
-    let mut records = Vec::with_capacity(512 * 16);
-    let mut keys = Vec::with_capacity(512);
-    for i in 0..512u64 {
+    let mut records = Vec::with_capacity(8192 * 16);
+    let mut keys = Vec::with_capacity(8192);
+    for i in 0..8192u64 {
         let key = rng.below(4096) as u32;
         keys.push(key);
         // Most payloads are empty (deleted / tombstoned objects): the
@@ -706,12 +708,12 @@ pub fn vortex(input: InputSet) -> Workload {
         records.extend_from_slice(&0u32.to_le_bytes());
     }
     pb.data_bytes("records", records);
-    pb.data_bytes("heads", vec![0xFF; 128 * 4]); // -1 sentinels
-    pb.data_bytes("chains", vec![0xFF; 512 * 4]);
+    pb.data_bytes("heads", vec![0xFF; 1024 * 4]); // -1 sentinels
+    pb.data_bytes("chains", vec![0xFF; 8192 * 4]);
     pb.data_quads("nrec", &[nrec]);
     pb.data_quads("nq", &[nq]);
     // Most queries hit (drawn from inserted keys), some miss.
-    let queries: Vec<i64> = (0..512)
+    let queries: Vec<i64> = (0..8192)
         .map(|_| {
             if rng.chance(4, 5) {
                 keys[rng.below(nrec as u64) as usize] as i64
@@ -736,7 +738,7 @@ pub fn vortex(input: InputSet) -> Workload {
     f.sll(D, T0, S4, imm(4));
     f.add(D, T0, S0, T0);
     f.ld(W, T1, T0, 4); // key (LDL)
-    f.and(W, T2, T1, imm(127)); // bucket
+    f.and(W, T2, T1, imm(1023)); // bucket
     f.sll(D, T3, T2, imm(2));
     f.add(D, T3, S1, T3);
     f.ld(W, T4, T3, 0); // old head (sign-extended; -1 = empty)
@@ -758,7 +760,7 @@ pub fn vortex(input: InputSet) -> Workload {
     f.sll(D, T0, S4, imm(3));
     f.add(D, T0, S5, T0);
     f.ld(D, T1, T0, 0); // key
-    f.and(W, T2, T1, imm(127));
+    f.and(W, T2, T1, imm(1023));
     f.sll(D, T3, T2, imm(2));
     f.add(D, T3, S1, T3);
     f.ld(W, T4, T3, 0); // idx = heads[b]

@@ -18,19 +18,19 @@ const GOLDEN: [(&str, InputSet, u64, u64); 16] = [
     ("compress", InputSet::Train, 0xeb1f8a952cfa4894, 15356),
     ("gcc", InputSet::Train, 0x281e714cb301371e, 31132),
     ("go", InputSet::Train, 0x1436f4bc028c4415, 18261),
-    ("ijpeg", InputSet::Train, 0x7046a1a3e6240d4e, 5064),
+    ("ijpeg", InputSet::Train, 0x7046a1a3e6240d4e, 5080),
     ("li", InputSet::Train, 0xbe97f77242f80117, 3810),
     ("m88ksim", InputSet::Train, 0x9f50e84e9a092193, 50454),
     ("perl", InputSet::Train, 0xe1228f5c1b8b9933, 21206),
-    ("vortex", InputSet::Train, 0x9a7bceea31964f67, 7305),
-    ("compress", InputSet::Ref, 0xe4572060ac3c9b4c, 45916),
-    ("gcc", InputSet::Ref, 0x47f3010928b2acac, 93206),
-    ("go", InputSet::Ref, 0x6b19b78ff54ecb99, 54769),
-    ("ijpeg", InputSet::Ref, 0x4071686a5637d660, 15176),
-    ("li", InputSet::Ref, 0x8b3f276e07e1f66a, 11370),
-    ("m88ksim", InputSet::Ref, 0xcdbb76a0a342d15a, 150980),
-    ("perl", InputSet::Ref, 0xd664503712898dfa, 62826),
-    ("vortex", InputSet::Ref, 0xf321d36fb0ec495c, 29570),
+    ("vortex", InputSet::Train, 0xfa89aa765b0a7dba, 6250),
+    ("compress", InputSet::Ref, 0xf059e9e5b6d9c415, 459156),
+    ("gcc", InputSet::Ref, 0x5619f029cd369e01, 931985),
+    ("go", InputSet::Ref, 0x362385ffd854e60d, 547627),
+    ("ijpeg", InputSet::Ref, 0x11f6ddc5997832df, 152168),
+    ("li", InputSet::Ref, 0x49e60aa3be1f70b4, 113430),
+    ("m88ksim", InputSet::Ref, 0xcdbb76a0a342d15a, 1508702),
+    ("perl", InputSet::Ref, 0xecf973923336011f, 622586),
+    ("vortex", InputSet::Ref, 0xd84bcca60ca6b350, 266250),
 ];
 
 #[test]
