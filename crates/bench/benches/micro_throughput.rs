@@ -8,13 +8,19 @@
 //! O(1) trace memory) against capture-then-replay through a `VecSink`
 //! (O(steps) memory).
 //!
+//! The second headline series is the **engine** comparison: the
+//! pre-decoded flat engine (the default behind `Vm::run*`) against the
+//! reference graph-walking interpreter (`Vm::run_reference*`), in
+//! committed steps per second.
+//!
 //! Run with `cargo bench -p og-bench --bench micro_throughput`.
 //!
-//! With `OG_BENCH_SMOKE=1` the Criterion groups are skipped and only a
-//! quick fused-vs-materialized measurement runs; either way the
-//! comparison is written as machine-readable JSON to
-//! `BENCH_throughput.json` in the target directory (override the
-//! directory with `OG_BENCH_OUT`) so CI can track the perf trajectory.
+//! With `OG_BENCH_SMOKE=1` the Criterion groups are skipped and only the
+//! quick fused-vs-materialized and flat-vs-reference measurements run;
+//! either way the comparisons are written as machine-readable JSON to
+//! `BENCH_throughput.json` and `BENCH_vm.json` in the target directory
+//! (override the directory with `OG_BENCH_OUT`) so CI can track the
+//! perf trajectory.
 
 use criterion::{criterion_group, Criterion, Throughput};
 use og_core::{VrpConfig, VrpPass};
@@ -48,6 +54,12 @@ fn bench_vm(c: &mut Criterion) {
         b.iter(|| {
             let mut vm = Vm::new(&program, RunConfig::default());
             vm.run().expect("runs")
+        })
+    });
+    g.bench_function("emulate_compress_reference", |b| {
+        b.iter(|| {
+            let mut vm = Vm::new(&program, RunConfig::default());
+            vm.run_reference().expect("runs")
         })
     });
     g.finish();
@@ -148,6 +160,93 @@ fn throughput_report(smoke: bool) {
     }
 }
 
+/// Measure flat-engine vs reference-engine committed-steps/sec and write
+/// the `BENCH_vm.json` report. The flat engine's pre-decoded hot loop is
+/// the PR 5 tentpole; this is the number its ≥2× acceptance criterion is
+/// judged on.
+fn vm_report(smoke: bool) {
+    // Always the Ref input: the engine comparison measures the hot loop,
+    // and the Train run is short enough (~15k steps against a program of
+    // comparable static size) that per-`Vm::new` setup — layout,
+    // lowering, data-segment load — would dominate what is being
+    // measured. A Ref run is ~5 ms, affordable even in smoke mode.
+    let samples = if smoke { 3 } else { 10 };
+    let program = compress(InputSet::Ref).program;
+
+    // The engines must agree bit-for-bit before their speeds mean
+    // anything (outcome incl. digest, and full dynamic statistics).
+    let (flat_outcome, flat_stats) = {
+        let mut vm = Vm::new(&program, RunConfig::default());
+        let o = vm.run().expect("runs");
+        (o, vm.stats().clone())
+    };
+    let (ref_outcome, ref_stats) = {
+        let mut vm = Vm::new(&program, RunConfig::default());
+        let o = vm.run_reference().expect("runs");
+        (o, vm.stats().clone())
+    };
+    assert_eq!(flat_outcome, ref_outcome, "flat != reference outcome");
+    assert_eq!(flat_stats, ref_stats, "flat != reference stats");
+    let steps = flat_outcome.steps;
+
+    // Plain emulation (no sink): the golden-digest / oracle path.
+    let flat = median_secs(samples, || {
+        let mut vm = Vm::new(&program, RunConfig::default());
+        vm.run().expect("runs")
+    });
+    let reference = median_secs(samples, || {
+        let mut vm = Vm::new(&program, RunConfig::default());
+        vm.run_reference().expect("runs")
+    });
+    // Streamed emulation: the fused pipeline path, with a sink that
+    // forces every record to be produced but does no downstream work.
+    let flat_streamed = median_secs(samples, || {
+        let mut vm = Vm::new(&program, RunConfig::default());
+        vm.run_streamed(&mut og_vm::NullSink).expect("runs")
+    });
+    let reference_streamed = median_secs(samples, || {
+        let mut vm = Vm::new(&program, RunConfig::default());
+        vm.run_reference_streamed(&mut og_vm::NullSink).expect("runs")
+    });
+
+    let flat_sps = steps as f64 / flat;
+    let reference_sps = steps as f64 / reference;
+    let flat_streamed_sps = steps as f64 / flat_streamed;
+    let reference_streamed_sps = steps as f64 / reference_streamed;
+    println!(
+        "vm/flat_vs_reference             {:>12.0} steps/s flat, {:>12.0} steps/s reference \
+         (x{:.2}, plain)",
+        flat_sps,
+        reference_sps,
+        flat_sps / reference_sps,
+    );
+    println!(
+        "vm/flat_vs_reference_streamed    {:>12.0} steps/s flat, {:>12.0} steps/s reference \
+         (x{:.2}, NullSink, {steps} steps, ref input)",
+        flat_streamed_sps,
+        reference_streamed_sps,
+        flat_streamed_sps / reference_streamed_sps,
+    );
+
+    let report = Json::Obj(vec![
+        ("bench".into(), Json::Str("compress".into())),
+        ("input".into(), Json::Str("ref".into())),
+        ("mode".into(), Json::Str(if smoke { "smoke" } else { "full" }.into())),
+        ("steps".into(), steps.to_json()),
+        ("samples".into(), (samples as u64).to_json()),
+        ("flat_steps_per_sec".into(), flat_sps.to_json()),
+        ("reference_steps_per_sec".into(), reference_sps.to_json()),
+        ("speedup".into(), (flat_sps / reference_sps).to_json()),
+        ("flat_streamed_steps_per_sec".into(), flat_streamed_sps.to_json()),
+        ("reference_streamed_steps_per_sec".into(), reference_streamed_sps.to_json()),
+        ("streamed_speedup".into(), (flat_streamed_sps / reference_streamed_sps).to_json()),
+    ]);
+    match og_lab::report::write_bench_report("vm", &report) {
+        Ok(path) => println!("vm engine report written to {}", path.display()),
+        Err(e) => eprintln!("{e}"),
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
@@ -160,4 +259,5 @@ fn main() {
         benches();
     }
     throughput_report(smoke);
+    vm_report(smoke);
 }

@@ -10,7 +10,12 @@
 //! the *fused* run (`Vm::run_streamed` into a sink) and the *plain* run
 //! must agree on output, step count, and trace-chain invariants
 //! (`next_pc` of record *i* equals `pc` of record *i+1*, one record per
-//! committed instruction).
+//! committed instruction). Since the pre-decoded flat engine became the
+//! default, the two paths also sit on **different engines**: the fused
+//! run executes the flat pre-decoded form while the plain run uses the
+//! reference graph-walking interpreter (`Vm::run_reference`), so every
+//! fuzz case and every battery run differentially tests the engines
+//! against each other for free.
 
 use crate::{UsefulPolicy, VrpConfig, VrpPass, VrsConfig, VrsPass};
 use og_isa::IsaExtension;
@@ -144,7 +149,8 @@ pub struct OracleOutcome {
 pub enum OracleError {
     /// The baseline program did not run to completion.
     BaseRun(VmError),
-    /// Fused (sink-streaming) and plain baseline runs disagreed.
+    /// Fused (sink-streaming, flat engine) and plain (reference engine)
+    /// baseline runs disagreed.
     PathsDiverged {
         /// What differed (`output`, `steps`, `digest`).
         what: &'static str,
@@ -239,9 +245,11 @@ impl fmt::Display for OracleError {
 
 impl std::error::Error for OracleError {}
 
+/// Run on the reference (graph-walking) engine: the baseline half of
+/// the flat-vs-reference engine differential every check performs.
 fn run_plain(p: &Program, max_steps: u64) -> Result<(Vec<u8>, RunOutcome), VmError> {
     let mut vm = Vm::new(p, RunConfig { max_steps, ..Default::default() });
-    let outcome = vm.run()?;
+    let outcome = vm.run_reference()?;
     Ok((vm.output().to_vec(), outcome))
 }
 

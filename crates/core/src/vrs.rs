@@ -180,7 +180,10 @@ impl VrsPass {
 
         // ---- step 2: value profiling ----------------------------------
         // The profiler rides the VM's streaming trace-sink interface
-        // (the same one the timing simulator consumes).
+        // (the same one the timing simulator consumes); `run_streamed`
+        // monomorphizes over the concrete `ProfileSink`, so both
+        // training runs execute on the pre-decoded flat engine with the
+        // sink inlined.
         let mut profiler = ValueProfiler::new(cfg.profile.clone(), candidates.iter().map(|c| c.at));
         let mut train_vm =
             Vm::new(train, RunConfig { max_steps: cfg.train_fuel, ..Default::default() });

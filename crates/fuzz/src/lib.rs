@@ -9,13 +9,16 @@
 //!    non-affine loops, mixed-width arithmetic, bounded memory, calls)
 //!    together with a step bound;
 //! 2. **check** — [`og_core::oracle::check_program`] runs the program
-//!    untransformed (fused *and* materialized VM paths, trace-chain
-//!    invariants) and after every transform in the battery (VRP across
-//!    useful policies × ISA extensions, VRS with synthetic
+//!    untransformed (fused *and* materialized VM paths — which since the
+//!    pre-decoded engine landed also means the **flat** and **reference
+//!    graph-walking** engines, cross-checked on every case — plus
+//!    trace-chain invariants) and after every transform in the battery
+//!    (VRP across useful policies × ISA extensions, VRS with synthetic
 //!    self-profiles), demanding byte-identical output streams and sane
 //!    step counts; periodically the committed-path trace also drives the
-//!    cycle simulator both fused and materialized, and the two
-//!    [`SimResult`]s must match bit-for-bit;
+//!    cycle simulator both fused (flat engine) and materialized
+//!    (reference engine), and the two [`SimResult`]s must match
+//!    bit-for-bit;
 //! 3. **shrink** — on failure, [`shrink::shrink`] greedily minimizes the
 //!    program against the same oracle;
 //! 4. **persist** — the shrunk reproducer is written to
@@ -114,8 +117,12 @@ pub fn case_oracle_config(step_bound: u64) -> OracleConfig {
 }
 
 /// Run the committed-path trace through the cycle simulator twice — fused
-/// (VM streams into the simulator) and materialized (VecSink capture,
-/// then replay) — and compare results bit-for-bit.
+/// (the flat engine streams into the simulator) and materialized (the
+/// **reference** graph-walking engine captures into a `VecSink`, then
+/// replays) — and compare results bit-for-bit. Because the two runs sit
+/// on different execution engines, any divergence in the trace streams
+/// the engines produce (pc chaining, operand significances, memory
+/// addresses) surfaces here as a `SimResult` mismatch.
 ///
 /// # Errors
 ///
@@ -129,7 +136,7 @@ pub fn sim_cross_check(p: &Program, max_steps: u64) -> Result<(), String> {
 
     let mut vm = Vm::new(p, cfg);
     let mut sink = VecSink::new();
-    vm.run_streamed(&mut sink).map_err(|e| format!("capture run failed: {e}"))?;
+    vm.run_reference_streamed(&mut sink).map_err(|e| format!("capture run failed: {e}"))?;
     let materialized = Simulator::new(MachineConfig::default()).run(&sink.into_records());
 
     if fused != materialized {

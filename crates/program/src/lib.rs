@@ -60,6 +60,6 @@ pub use data::{DataItem, DataSegment, GLOBAL_BASE, STACK_BASE, STACK_SIZE};
 pub use dataflow::{DefId, DefSite, DefUse, Liveness};
 pub use function::{Block, Function};
 pub use ids::{BlockId, FuncId, InstRef};
-pub use layout::Layout;
+pub use layout::{Layout, INST_BYTES, TEXT_BASE};
 pub use program::{Program, StaticStats};
 pub use verify::VerifyError;

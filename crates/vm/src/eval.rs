@@ -78,15 +78,32 @@ pub fn cmov_eval(cond: og_isa::Cond, w: Width, test: i64, val: i64, old_dst: i64
     }
 }
 
-/// `ZAPNOT`: keep byte *i* of `a` where bit *i* of `mask` is set.
-pub fn zapnot_eval(a: i64, mask: u8) -> i64 {
-    let mut keep = 0u64;
-    for i in 0..8 {
-        if mask & (1 << i) != 0 {
-            keep |= 0xFFu64 << (8 * i);
+/// Byte-keep masks for every 8-bit `ZAPNOT` pattern: entry `m` expands
+/// bit *i* of `m` into byte *i* (bit set → `0xFF`, clear → `0x00`).
+/// Precomputed at compile time so the evaluation is one table load and
+/// one AND instead of an 8-iteration bit loop.
+const ZAPNOT_KEEP: [u64; 256] = {
+    let mut table = [0u64; 256];
+    let mut m = 0usize;
+    while m < 256 {
+        let mut keep = 0u64;
+        let mut i = 0;
+        while i < 8 {
+            if m & (1 << i) != 0 {
+                keep |= 0xFF << (8 * i);
+            }
+            i += 1;
         }
+        table[m] = keep;
+        m += 1;
     }
-    ((a as u64) & keep) as i64
+    table
+};
+
+/// `ZAPNOT`: keep byte *i* of `a` where bit *i* of `mask` is set.
+#[inline]
+pub fn zapnot_eval(a: i64, mask: u8) -> i64 {
+    ((a as u64) & ZAPNOT_KEEP[mask as usize]) as i64
 }
 
 #[cfg(test)]
@@ -157,6 +174,31 @@ mod tests {
         assert_eq!(alu_eval(Op::Sext, Width::B, 0, 0xFF), Some(-1));
         assert_eq!(alu_eval(Op::Zext, Width::B, 0, -1), Some(0xFF));
         assert_eq!(alu_eval(Op::Sext, Width::W, 0, 0x8000_0000), Some(-0x8000_0000));
+    }
+
+    #[test]
+    fn zapnot_table_matches_bit_loop_for_all_masks() {
+        // Reference semantics: keep byte i of `a` where bit i of `mask`
+        // is set, bit by bit.
+        fn reference(a: i64, mask: u8) -> i64 {
+            let mut keep = 0u64;
+            for i in 0..8 {
+                if mask & (1 << i) != 0 {
+                    keep |= 0xFFu64 << (8 * i);
+                }
+            }
+            ((a as u64) & keep) as i64
+        }
+        for mask in 0..=255u8 {
+            for a in [0i64, -1, 0x0123_4567_89AB_CDEF, i64::MIN, i64::MAX, 0x80, -0x80] {
+                assert_eq!(zapnot_eval(a, mask), reference(a, mask), "a={a:#x} mask={mask:#04x}");
+            }
+        }
+        // Spot-check the table endpoints directly.
+        assert_eq!(ZAPNOT_KEEP[0x00], 0);
+        assert_eq!(ZAPNOT_KEEP[0xFF], u64::MAX);
+        assert_eq!(ZAPNOT_KEEP[0x01], 0xFF);
+        assert_eq!(ZAPNOT_KEEP[0x80], 0xFF00_0000_0000_0000);
     }
 
     #[test]

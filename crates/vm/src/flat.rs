@@ -1,0 +1,563 @@
+//! Pre-decoded flat program form: the lowering pass behind the VM's hot
+//! loop.
+//!
+//! [`crate::Vm::step`]'s original shape re-resolved `func → block → inst`
+//! through three levels of `Vec` indirection, hashed a
+//! `(FuncId, BlockId)` key into the block-count map on every block entry,
+//! and recomputed `layout.addr_of(at)` for every committed instruction.
+//! All of that is *static* information: it depends only on the program,
+//! not on execution state. [`FlatProgram::lower`] therefore performs the
+//! whole resolution **once**, producing a single dense `Vec<FlatInst>`
+//! the execution loop indexes directly:
+//!
+//! * **flat indices** — branch, call and fall-through successors are
+//!   absolute indices into the flat vector ([`FlatOp::Br`],
+//!   [`FlatOp::Bc`], [`FlatOp::Jsr`]; straight-line ops implicitly run
+//!   `ip + 1`), so dispatch is one array index instead of a
+//!   `funcs[f].blocks[b].insts[i]` pointer chase;
+//! * **precomputed addresses** — instructions are lowered in exactly the
+//!   order [`og_program::Layout`] assigns addresses (functions in id
+//!   order, blocks in id order), so the pc of flat slot `i` is the affine
+//!   map `TEXT_BASE + i * INST_BYTES` and the per-step `addr_of` lookup
+//!   disappears (the lowering `debug_assert`s this correspondence
+//!   against the real layout);
+//! * **pre-decoded dispatch** — [`FlatOp`] decides *at lower time* how an
+//!   instruction executes (ALU via [`crate::eval::alu_eval`], load,
+//!   store, each control-flow shape, or a malformed-operand error), so
+//!   the hot loop never re-derives executability;
+//! * **dense block indices** — the first instruction of each block
+//!   carries a dense `block_idx`, turning the per-block-entry `HashMap`
+//!   update into a `Vec<u64>` increment (folded back into the public
+//!   [`crate::DynStats::block_counts`] map when a run finishes);
+//! * **precomputed bookkeeping** — the `(class, width)` histogram slot
+//!   and the trace-visible destination register ([`og_isa::Inst::def`])
+//!   are computed once per static instruction.
+//!
+//! The lowering is O(program) — a few hundred nanoseconds for the
+//! workload suite's programs — and is paid once in [`crate::Vm::new`];
+//! every committed instruction afterwards is O(1) with no hashing and no
+//! nested indirection. The original graph-walking interpreter survives
+//! unchanged as `Vm::run_reference*`, kept as the semantic baseline the
+//! engine-equivalence suite and the fuzz oracle differentially test
+//! against.
+//!
+//! Programs that fail [`og_program::Program::verify`] lower without
+//! error: structurally impossible operations (a `br` without a block
+//! target, an empty branch-target block, a non-terminator falling off
+//! the end of its block, a defining op without a destination) become
+//! [`FlatOp::Malformed`] slots that report
+//! [`crate::VmError::Malformed`] **if and when they are reached** —
+//! unreachable garbage never fails, like in the reference interpreter.
+//! For such invalid programs the two engines are *not* bit-identical in
+//! how they fail: the reference interpreter panics (out-of-range index,
+//! missing-destination `expect`) and may first execute a trailing
+//! non-terminator's side effects before fetching past the block's end,
+//! while the flat engine reports a clean `Malformed` error at that
+//! instruction without executing it. The bit-identity contract between
+//! the engines covers programs that pass `verify` (which is what the
+//! equivalence suite, the oracle and every workload run).
+
+use og_isa::{CmpKind, Cond, Op, OpClass, Operand, Reg, Target, Width};
+use og_program::{BlockId, FuncId, InstRef, Layout, Program, INST_BYTES, TEXT_BASE};
+
+/// Number of rows in the engine's scratch class×width histogram: the 13
+/// real operation classes plus one dump row that control-flow
+/// instructions (which the public histogram excludes) increment, making
+/// the per-step update branchless. The dump row is discarded when the
+/// scratch is merged into [`crate::DynStats`].
+pub(crate) const CW_ROWS: usize = 14;
+
+/// `cw` value for control-flow instructions: the dump row.
+pub(crate) const CW_CTRL: u8 = (CW_ROWS as u8 - 1) << 2;
+
+/// `block_idx` value marking "not the first instruction of a block".
+pub(crate) const NOT_BLOCK_ENTRY: u32 = u32::MAX;
+
+/// The register-file slot discarded writes land in: the flat engine runs
+/// on a 33-slot array where slot 32 is a write-only scratch cell, so a
+/// write to the hardwired zero register needs no branch — its
+/// precomputed write slot simply points here. Reads never use this slot
+/// (the zero register reads slot 31, which nothing ever writes).
+pub(crate) const DISCARD_SLOT: u8 = 32;
+
+/// How one pre-decoded instruction executes and where control goes next.
+///
+/// Straight-line variants fall through to `ip + 1`; control-flow variants
+/// carry their successors as absolute flat indices resolved at lower
+/// time. Every ALU operation gets its **own** variant so the engine
+/// dispatches once: each arm calls [`alu_eval`] with a *constant* op,
+/// which inlines to that op's bare evaluation expression — one shared
+/// definition of the arithmetic, zero second-level dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FlatOp {
+    /// `Op::Add` evaluated via [`alu_eval`].
+    Add,
+    /// `Op::Sub` evaluated via [`alu_eval`].
+    Sub,
+    /// `Op::Mul` evaluated via [`alu_eval`].
+    Mul,
+    /// `Op::And` evaluated via [`alu_eval`].
+    And,
+    /// `Op::Or` evaluated via [`alu_eval`].
+    Or,
+    /// `Op::Xor` evaluated via [`alu_eval`].
+    Xor,
+    /// `Op::Andc` evaluated via [`alu_eval`].
+    Andc,
+    /// `Op::Sll` evaluated via [`alu_eval`].
+    Sll,
+    /// `Op::Srl` evaluated via [`alu_eval`].
+    Srl,
+    /// `Op::Sra` evaluated via [`alu_eval`].
+    Sra,
+    /// `Op::Cmp` evaluated via [`alu_eval`].
+    Cmp(CmpKind),
+    /// `Op::Sext` evaluated via [`alu_eval`].
+    Sext,
+    /// `Op::Zext` evaluated via [`alu_eval`].
+    Zext,
+    /// `Op::Ldi` evaluated via [`alu_eval`].
+    Ldi,
+    /// `Op::Zapnot` evaluated via [`alu_eval`].
+    Zapnot,
+    /// `Op::Ext` evaluated via [`alu_eval`].
+    Ext,
+    /// `Op::Msk` evaluated via [`alu_eval`].
+    Msk,
+    /// Memory load; `signed` chooses sign- vs zero-extension.
+    Ld {
+        /// Sign-extend the loaded value.
+        signed: bool,
+    },
+    /// Memory store.
+    St,
+    /// Append bytes to the output stream.
+    Out,
+    /// Conditional move (needs the old destination value).
+    Cmov(Cond),
+    /// No operation.
+    Nop,
+    /// Unconditional branch to a flat index.
+    Br {
+        /// Absolute flat index of the target block's first instruction.
+        t: u32,
+    },
+    /// Conditional branch.
+    Bc {
+        /// The condition, tested against `src1`.
+        cond: Cond,
+        /// Flat index when taken.
+        t: u32,
+        /// Flat index when not taken.
+        fall: u32,
+    },
+    /// Function call; the return address (`ip + 1`) is pushed implicitly.
+    Jsr {
+        /// Flat index of the callee's entry instruction.
+        callee: u32,
+    },
+    /// Return to the caller (or end the program from the entry function).
+    Ret,
+    /// Stop the program.
+    Halt,
+    /// An instruction the emulator cannot execute; reports
+    /// [`crate::VmError::Malformed`] when (and only when) reached.
+    Malformed {
+        /// What is wrong.
+        what: &'static str,
+    },
+}
+
+/// One pre-decoded instruction of a [`FlatProgram`].
+///
+/// Operand shapes are fully decided at lower time: a missing first
+/// source reads the hardwired-zero slot, and the second operand is
+/// decomposed into a read index plus an immediate such that
+/// `regs[src2_r] + imm` yields the operand value branchlessly (exactly
+/// one of the two terms is ever non-zero).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct FlatInst {
+    /// The original operation (carried for the trace record).
+    pub op: Op,
+    /// Operand width.
+    pub width: Width,
+    /// Pre-decoded execution shape and successors.
+    pub kind: FlatOp,
+    /// Precomputed destination **write slot**: the destination's
+    /// register index, redirected to [`DISCARD_SLOT`] for zero-register
+    /// writes so the hot loop writes unconditionally. Only meaningful
+    /// for defining kinds (lowering turns a defining op without a
+    /// destination into [`FlatOp::Malformed`]).
+    pub dst_w: u8,
+    /// Precomputed destination **read index** (the raw register index):
+    /// what a conditional move's merge reads as the old value. Reads of
+    /// the zero register correctly see slot 31, which is never written.
+    pub dst_r: u8,
+    /// First-source read index; the zero slot (31) when absent, so the
+    /// read needs no branch.
+    pub src1_r: u8,
+    /// Second-source read index; the zero slot (31) for immediate or
+    /// absent operands.
+    pub src2_r: u8,
+    /// Second-source immediate payload; 0 for register or absent
+    /// operands (so `regs[src2_r] + imm` is the operand value).
+    pub imm: i64,
+    /// Memory displacement.
+    pub disp: i32,
+    /// The static location, for watcher callbacks and error reports.
+    pub at: InstRef,
+    /// Dense block index if this is the first instruction of its block,
+    /// [`NOT_BLOCK_ENTRY`] otherwise.
+    pub block_idx: u32,
+    /// Packed `(class.index() << 2) | width_index` histogram slot;
+    /// [`CW_CTRL`] (the dump row) for control-flow instructions.
+    pub cw: u8,
+    /// Does a first source register exist (does its significance count)?
+    pub sig1: bool,
+    /// Is the second operand a register (does its significance count)?
+    pub sig2: bool,
+    /// The trace-visible source registers (`[src1, src2.reg()]`),
+    /// precomputed.
+    pub trace_srcs: [Option<Reg>; 2],
+    /// The trace-visible destination ([`og_isa::Inst::def`]: `dst` with
+    /// zero-register writes filtered out), precomputed.
+    pub trace_dst: Option<Reg>,
+}
+
+/// A whole program lowered to one dense instruction vector.
+///
+/// Built once per [`crate::Vm`] (see [`FlatProgram::lower`]); the module
+/// docs describe exactly what is precomputed and why. The type is public
+/// so callers can inspect lowering costs, but its contents are an
+/// implementation detail of the VM hot loop.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FlatProgram {
+    /// All instructions, functions in id order, blocks in id order.
+    pub(crate) insts: Vec<FlatInst>,
+    /// Flat index of the entry function's first instruction; `None` when
+    /// the entry block does not exist or is empty (running such a
+    /// program panics, as the reference interpreter does).
+    pub(crate) entry: Option<u32>,
+    /// Dense block index → `(FuncId, BlockId)`, for folding the dense
+    /// execution counts back into [`crate::DynStats::block_counts`].
+    pub(crate) blocks: Vec<(FuncId, BlockId)>,
+}
+
+/// Width → histogram column, matching `DynStats::record_class_width`.
+fn width_index(w: Width) -> u8 {
+    match w {
+        Width::B => 0,
+        Width::H => 1,
+        Width::W => 2,
+        Width::D => 3,
+    }
+}
+
+impl FlatProgram {
+    /// Lower `program` into its flat pre-decoded form. `layout` must be
+    /// the program's own [`Layout`] (the one [`crate::Vm::new`] computes);
+    /// it pins the flat-index ↔ address correspondence the hot loop's
+    /// arithmetic pc computation relies on.
+    pub fn lower(program: &Program, layout: &Layout) -> FlatProgram {
+        // Pass 1: flat start index of every block, plus the dense block
+        // table in the same func-major, block-major order the layout
+        // uses.
+        let mut block_start: Vec<Vec<u32>> = Vec::with_capacity(program.funcs.len());
+        let mut blocks = Vec::new();
+        let mut next = 0u32;
+        for f in &program.funcs {
+            let mut starts = Vec::with_capacity(f.blocks.len());
+            for (bi, b) in f.blocks.iter().enumerate() {
+                starts.push(next);
+                blocks.push((f.id, BlockId(bi as u32)));
+                next += b.insts.len() as u32;
+            }
+            block_start.push(starts);
+        }
+
+        // Flat index of a (func, block) jump target, `None` when the ids
+        // are out of range or the target block has no instructions (both
+        // panic in the reference interpreter only when executed, so they
+        // lower to `Malformed`, not to a lowering error).
+        let target_of = |fi: usize, bi: usize| -> Option<u32> {
+            let f = program.funcs.get(fi)?;
+            let b = f.blocks.get(bi)?;
+            if b.insts.is_empty() {
+                None
+            } else {
+                Some(block_start[fi][bi])
+            }
+        };
+
+        // Kind of a defining (register-writing) op: demands a
+        // destination. The reference interpreter panics on a defining op
+        // without one (`expect("alu dst")`); the flat engine reports the
+        // same impossibility as a lazily-executed malformed slot.
+        let defining = |kind: FlatOp, dst: Option<Reg>| -> FlatOp {
+            if dst.is_some() {
+                kind
+            } else {
+                FlatOp::Malformed { what: "defining op without destination" }
+            }
+        };
+
+        // Pass 2: pre-decode every instruction.
+        let mut insts = Vec::with_capacity(next as usize);
+        for f in &program.funcs {
+            for (bi, b) in f.blocks.iter().enumerate() {
+                for (ii, inst) in b.insts.iter().enumerate() {
+                    let at = InstRef::new(f.id, BlockId(bi as u32), ii as u32);
+                    let last = ii + 1 == b.insts.len();
+                    let kind = match inst.op {
+                        Op::Add => defining(FlatOp::Add, inst.dst),
+                        Op::Sub => defining(FlatOp::Sub, inst.dst),
+                        Op::Mul => defining(FlatOp::Mul, inst.dst),
+                        Op::And => defining(FlatOp::And, inst.dst),
+                        Op::Or => defining(FlatOp::Or, inst.dst),
+                        Op::Xor => defining(FlatOp::Xor, inst.dst),
+                        Op::Andc => defining(FlatOp::Andc, inst.dst),
+                        Op::Sll => defining(FlatOp::Sll, inst.dst),
+                        Op::Srl => defining(FlatOp::Srl, inst.dst),
+                        Op::Sra => defining(FlatOp::Sra, inst.dst),
+                        Op::Cmp(k) => defining(FlatOp::Cmp(k), inst.dst),
+                        Op::Sext => defining(FlatOp::Sext, inst.dst),
+                        Op::Zext => defining(FlatOp::Zext, inst.dst),
+                        Op::Ldi => defining(FlatOp::Ldi, inst.dst),
+                        Op::Zapnot => defining(FlatOp::Zapnot, inst.dst),
+                        Op::Ext => defining(FlatOp::Ext, inst.dst),
+                        Op::Msk => defining(FlatOp::Msk, inst.dst),
+                        Op::Ld { signed } => defining(FlatOp::Ld { signed }, inst.dst),
+                        Op::Cmov(cond) => defining(FlatOp::Cmov(cond), inst.dst),
+                        Op::St => FlatOp::St,
+                        Op::Out => FlatOp::Out,
+                        Op::Nop => FlatOp::Nop,
+                        Op::Ret => FlatOp::Ret,
+                        Op::Halt => FlatOp::Halt,
+                        Op::Br => match inst.target {
+                            Target::Block(t) => match target_of(f.id.index(), t as usize) {
+                                Some(t) => FlatOp::Br { t },
+                                None => FlatOp::Malformed { what: "br to a missing block" },
+                            },
+                            _ => FlatOp::Malformed { what: "br without target" },
+                        },
+                        Op::Bc(cond) => match inst.target {
+                            Target::CondBlocks { taken, fall } => {
+                                match (
+                                    target_of(f.id.index(), taken as usize),
+                                    target_of(f.id.index(), fall as usize),
+                                ) {
+                                    (Some(t), Some(fall)) => FlatOp::Bc { cond, t, fall },
+                                    _ => FlatOp::Malformed { what: "bc to a missing block" },
+                                }
+                            }
+                            _ => FlatOp::Malformed { what: "bc without targets" },
+                        },
+                        Op::Jsr => match inst.target {
+                            Target::Func(callee) => {
+                                let centry = program
+                                    .funcs
+                                    .get(callee as usize)
+                                    .map(|cf| cf.entry.index())
+                                    .and_then(|bi| target_of(callee as usize, bi));
+                                match centry {
+                                    Some(callee) => FlatOp::Jsr { callee },
+                                    None => FlatOp::Malformed { what: "jsr to a missing entry" },
+                                }
+                            }
+                            _ => FlatOp::Malformed { what: "jsr without target" },
+                        },
+                    };
+                    // A non-terminator at the end of a block would fall
+                    // off into an unrelated instruction; the reference
+                    // interpreter panics on the out-of-range index, the
+                    // flat engine reports it as malformed.
+                    let kind = if last && !inst.op.is_terminator() {
+                        match kind {
+                            FlatOp::Malformed { .. } => kind,
+                            _ => FlatOp::Malformed { what: "block without terminator" },
+                        }
+                    } else {
+                        kind
+                    };
+                    let class = inst.op.class();
+                    let cw = if class == OpClass::Ctrl {
+                        CW_CTRL
+                    } else {
+                        ((class.index() as u8) << 2) | width_index(inst.width)
+                    };
+                    debug_assert_eq!(
+                        layout.addr_of(at),
+                        TEXT_BASE + insts.len() as u64 * INST_BYTES,
+                        "flat index / layout address correspondence broke at {at}"
+                    );
+                    let dst_r = inst.dst.map_or(0, |r| r.index());
+                    let dst_w = match inst.dst {
+                        Some(r) if r.is_zero() => DISCARD_SLOT,
+                        Some(r) => r.index(),
+                        None => DISCARD_SLOT,
+                    };
+                    let src1_r = inst.src1.map_or(Reg::ZERO.index(), |r| r.index());
+                    let (src2_r, imm) = match inst.src2 {
+                        Operand::None => (Reg::ZERO.index(), 0),
+                        Operand::Reg(r) => (r.index(), 0),
+                        Operand::Imm(v) => (Reg::ZERO.index(), v),
+                    };
+                    insts.push(FlatInst {
+                        op: inst.op,
+                        width: inst.width,
+                        kind,
+                        dst_w,
+                        dst_r,
+                        src1_r,
+                        src2_r,
+                        imm,
+                        disp: inst.disp,
+                        at,
+                        block_idx: if ii == 0 {
+                            layout.block_index(f.id, BlockId(bi as u32)) as u32
+                        } else {
+                            NOT_BLOCK_ENTRY
+                        },
+                        cw,
+                        sig1: inst.src1.is_some(),
+                        sig2: matches!(inst.src2, Operand::Reg(_)),
+                        trace_srcs: [inst.src1, inst.src2.reg()],
+                        trace_dst: inst.def(),
+                    });
+                }
+            }
+        }
+
+        let entry = program
+            .funcs
+            .get(program.entry.index())
+            .map(|f| f.entry.index())
+            .and_then(|bi| target_of(program.entry.index(), bi));
+        FlatProgram { insts, entry, blocks }
+    }
+
+    /// Number of lowered instructions (equal to the program's static
+    /// instruction count).
+    pub fn inst_count(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Number of basic blocks (the length of the dense block-count
+    /// vector the engine maintains).
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The pc address of flat slot `i` — the affine map the hot loop
+    /// uses instead of `layout.addr_of`.
+    #[inline]
+    pub(crate) fn pc_of(i: usize) -> u64 {
+        TEXT_BASE + i as u64 * INST_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use og_program::ProgramBuilder;
+
+    fn lowered(p: &Program) -> FlatProgram {
+        FlatProgram::lower(p, &p.layout())
+    }
+
+    #[test]
+    fn lowering_preserves_counts_and_entry() {
+        let mut pb = ProgramBuilder::new();
+        let mut callee = pb.function("sq", 1);
+        callee.block("entry");
+        callee.mul(Width::W, Reg::V0, Reg::A0, Reg::A0);
+        callee.ret();
+        pb.finish(callee);
+        let mut main = pb.function("main", 0);
+        main.block("entry");
+        main.ldi(Reg::A0, 9);
+        main.jsr("sq");
+        main.out(Width::B, Reg::V0);
+        main.halt();
+        pb.finish(main);
+        let p = pb.build().unwrap();
+        let flat = lowered(&p);
+        assert_eq!(flat.inst_count(), p.inst_count());
+        assert_eq!(flat.block_count(), 2);
+        // main is the second function: its entry sits after sq's 2 insts.
+        assert_eq!(flat.entry, Some(2));
+        // the jsr resolved to sq's entry (flat slot 0)
+        assert!(flat.insts.iter().any(|i| i.kind == FlatOp::Jsr { callee: 0 }));
+    }
+
+    #[test]
+    fn targets_resolve_to_absolute_indices() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        f.block("entry");
+        f.ldi(Reg::T0, 1);
+        f.beq(Reg::ZERO, "target");
+        f.block("fall");
+        f.halt();
+        f.block("target");
+        f.out(Width::B, Reg::T0);
+        f.halt();
+        pb.finish(f);
+        let p = pb.build().unwrap();
+        let flat = lowered(&p);
+        // entry: ldi, beq; fall: halt; target: out, halt
+        assert_eq!(flat.insts[1].kind, FlatOp::Bc { cond: og_isa::Cond::Eq, t: 3, fall: 2 });
+        assert_eq!(flat.insts[0].block_idx, 0);
+        assert_eq!(flat.insts[1].block_idx, NOT_BLOCK_ENTRY);
+        assert_eq!(flat.insts[2].block_idx, 1);
+        assert_eq!(flat.insts[3].block_idx, 2);
+    }
+
+    #[test]
+    fn pc_correspondence_matches_layout() {
+        let p = {
+            let mut pb = ProgramBuilder::new();
+            let mut f = pb.function("main", 0);
+            f.block("entry");
+            f.ldi(Reg::T0, 1);
+            f.br("next");
+            f.block("next");
+            f.halt();
+            pb.finish(f);
+            pb.build().unwrap()
+        };
+        let layout = p.layout();
+        let flat = FlatProgram::lower(&p, &layout);
+        for (i, fi) in flat.insts.iter().enumerate() {
+            assert_eq!(FlatProgram::pc_of(i), layout.addr_of(fi.at));
+        }
+    }
+
+    #[test]
+    fn malformed_shapes_lower_lazily() {
+        // A hand-assembled inst with a br but no target must lower (the
+        // reference interpreter only fails if it executes).
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        f.block("entry");
+        f.halt();
+        pb.finish(f);
+        let mut p = pb.build().unwrap();
+        // Append an unreachable malformed block by hand.
+        let func = p.func_mut(FuncId(0));
+        let mut bad = og_program::Block::new("bad");
+        bad.insts.push(og_isa::Inst {
+            op: Op::Br,
+            width: Width::D,
+            dst: None,
+            src1: None,
+            src2: Operand::None,
+            disp: 0,
+            target: Target::None,
+        });
+        func.blocks.push(bad);
+        let flat = lowered(&p);
+        assert_eq!(flat.insts[1].kind, FlatOp::Malformed { what: "br without target" });
+        assert_eq!(flat.entry, Some(0));
+    }
+}

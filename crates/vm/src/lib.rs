@@ -16,6 +16,32 @@
 //! * **value watch points** ([`Watcher`]) — the in-VM callback the value
 //!   profiler can also attach to directly.
 //!
+//! ## Lower-then-run: the pre-decoded flat engine
+//!
+//! [`Vm::new`] lowers the program **once** into a dense pre-decoded form
+//! ([`FlatProgram`], module [`flat`]): one flat `Vec` of instructions
+//! with branch/call targets resolved to absolute indices, per-slot pc
+//! addresses reduced to an affine map (no per-step layout lookup),
+//! operand shapes (register/immediate/absent) decided ahead of time,
+//! dense block indices replacing the hashed block-count map, and the
+//! class×width histogram slot precomputed per instruction. The cost is
+//! O(program) at construction; the win is O(1) *per committed step* with
+//! no hashing and no `func → block → inst` pointer chasing — which is
+//! O(steps) of savings over a run. The run methods are generic over
+//! watcher and sink, so concrete consumers (the timing simulator, the
+//! value profiler's sink adapter, [`VecSink`]) inline straight into the
+//! hot loop instead of paying a virtual call per committed instruction.
+//!
+//! The original graph-walking interpreter is retained, unchanged, as
+//! [`Vm::run_reference`] (and `run_reference_watched` /
+//! `run_reference_streamed` / `run_reference_full`): the semantic
+//! baseline. The workspace-level engine-equivalence suite runs every
+//! workload and every committed fuzz-corpus case on both engines and
+//! asserts identical outcomes, statistics and trace streams, and the
+//! differential oracle in `og-core` runs its plain baseline on the
+//! reference engine so the whole fuzz campaign cross-checks the engines
+//! continuously.
+//!
 //! ## Streaming dataflow (VM → TraceSink → Simulator/Profiler)
 //!
 //! The VM never materializes the trace. It holds exactly **one** record
@@ -53,11 +79,13 @@
 #![warn(missing_docs)]
 
 pub mod eval;
+pub mod flat;
 mod machine;
 mod memory;
 mod stats;
 mod trace;
 
+pub use flat::FlatProgram;
 pub use machine::{HaltReason, RunConfig, RunOutcome, Vm, VmError, Watcher};
 pub use memory::Memory;
 pub use stats::DynStats;

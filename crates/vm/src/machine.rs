@@ -1,7 +1,32 @@
 //! The emulator core.
+//!
+//! Two engines execute the same architectural semantics:
+//!
+//! * the **flat engine** — the default behind [`Vm::run`],
+//!   [`Vm::run_watched`], [`Vm::run_streamed`] and [`Vm::run_full`] —
+//!   interprets the pre-decoded [`FlatProgram`] lowered once in
+//!   [`Vm::new`] (see [`crate::flat`] for what is precomputed), with the
+//!   run methods generic over watcher and sink so both inline into the
+//!   hot loop;
+//! * the **reference engine** — [`Vm::run_reference`] and friends —
+//!   walks the `func → block → inst` graph exactly as the original
+//!   interpreter did, kept as the semantic baseline that the
+//!   engine-equivalence suite and the fuzz oracle differentially check
+//!   the flat engine against.
+//!
+//! Both engines share all architectural state (registers, memory,
+//! output, statistics), produce bit-identical [`RunOutcome`]s,
+//! [`DynStats`] and [`TraceRecord`] streams on every program that
+//! passes [`Program::verify`] (invalid programs fail on both engines,
+//! but not identically — see [`crate::flat`]), and may be freely
+//! interleaved on one [`Vm`]: every run restarts at the entry with a
+//! fresh (empty) call stack — frames a previous run left behind (a halt
+//! inside a callee, a call-depth error) never leak into the next run,
+//! whichever engine it uses.
 
 use crate::eval::{alu_eval, cmov_eval};
-use crate::{fnv1a, DynStats, Memory, TraceRecord, TraceSink, VecSink};
+use crate::flat::{FlatInst, FlatOp, FlatProgram, NOT_BLOCK_ENTRY};
+use crate::{fnv1a, DynStats, Memory, NullSink, TraceRecord, TraceSink, VecSink};
 use og_isa::{Op, Operand, Reg, Target, Width};
 use og_program::{BlockId, FuncId, InstRef, Layout, Program, STACK_BASE};
 use std::fmt;
@@ -132,10 +157,20 @@ impl Watcher for NoWatcher {
 pub struct Vm<'p> {
     program: &'p Program,
     layout: Layout,
+    /// The pre-decoded form the default (flat) engine executes; lowered
+    /// once at construction.
+    flat: FlatProgram,
     config: RunConfig,
     regs: [i64; 32],
     mem: Memory,
+    /// Reference-engine call stack (static return locations).
     call_stack: Vec<InstRef>,
+    /// Flat-engine call stack (absolute flat return indices).
+    flat_call_stack: Vec<u32>,
+    /// Flat-engine per-block execution counts, indexed by the dense
+    /// [`og_program::Layout::block_index`]; folded into
+    /// [`DynStats::block_counts`] (and cleared) when a flat run returns.
+    flat_block_counts: Vec<u64>,
     output: Vec<u8>,
     stats: DynStats,
     /// One-record delay buffer: the youngest committed record is held
@@ -147,8 +182,10 @@ pub struct Vm<'p> {
 }
 
 impl<'p> Vm<'p> {
-    /// Create an emulator: loads the data segment and points `sp` at the
-    /// stack base and `gp` at the global base.
+    /// Create an emulator: loads the data segment, points `sp` at the
+    /// stack base and `gp` at the global base, and lowers the program to
+    /// its pre-decoded flat form (O(program), paid once — see
+    /// [`crate::flat`]).
     pub fn new(program: &'p Program, config: RunConfig) -> Vm<'p> {
         let mut mem = Memory::new();
         for item in program.data.items() {
@@ -157,18 +194,29 @@ impl<'p> Vm<'p> {
         let mut regs = [0i64; 32];
         regs[Reg::SP.index() as usize] = STACK_BASE as i64;
         regs[Reg::GP.index() as usize] = og_program::GLOBAL_BASE as i64;
+        let layout = program.layout();
+        let flat = FlatProgram::lower(program, &layout);
+        let flat_block_counts = vec![0u64; flat.block_count()];
         Vm {
             program,
-            layout: program.layout(),
+            layout,
+            flat,
             config,
             regs,
             mem,
             call_stack: Vec::new(),
+            flat_call_stack: Vec::new(),
+            flat_block_counts,
             output: Vec::new(),
             stats: DynStats::default(),
             pending: None,
             trace: Vec::new(),
         }
+    }
+
+    /// The pre-decoded flat form the default engine executes.
+    pub fn flat_program(&self) -> &FlatProgram {
+        &self.flat
     }
 
     /// Current value of a register (zero register reads as 0).
@@ -219,17 +267,23 @@ impl<'p> Vm<'p> {
 
     /// Run to completion, reporting every defined value to `watcher`.
     ///
+    /// Generic so a concrete watcher inlines into the flat engine's hot
+    /// loop; `&mut dyn Watcher` still works (`W = dyn Watcher`).
+    ///
     /// # Errors
     ///
     /// See [`VmError`].
-    pub fn run_watched(&mut self, watcher: &mut dyn Watcher) -> Result<RunOutcome, VmError> {
+    pub fn run_watched<W: Watcher + ?Sized>(
+        &mut self,
+        watcher: &mut W,
+    ) -> Result<RunOutcome, VmError> {
         if self.legacy_collect_requested() {
             let mut sink = VecSink::with_records(std::mem::take(&mut self.trace));
-            let outcome = self.run_core(watcher, Some(&mut sink));
+            let outcome = self.run_flat(watcher, Some(&mut sink));
             self.trace = sink.into_records();
             outcome
         } else {
-            self.run_core(watcher, None)
+            self.run_flat::<W, NullSink>(watcher, None)
         }
     }
 
@@ -237,11 +291,18 @@ impl<'p> Vm<'p> {
     /// [`TraceRecord`] into `sink`. This is the fused, O(1)-trace-memory
     /// path: nothing is materialized inside the VM.
     ///
+    /// Generic so a concrete sink (the simulator, a profiler adapter, a
+    /// [`VecSink`]) inlines into the flat engine's hot loop;
+    /// `&mut dyn TraceSink` still works (`S = dyn TraceSink`).
+    ///
     /// # Errors
     ///
     /// See [`VmError`].
-    pub fn run_streamed(&mut self, sink: &mut dyn TraceSink) -> Result<RunOutcome, VmError> {
-        self.run_core(&mut NoWatcher, Some(sink))
+    pub fn run_streamed<S: TraceSink + ?Sized>(
+        &mut self,
+        sink: &mut S,
+    ) -> Result<RunOutcome, VmError> {
+        self.run_flat(&mut NoWatcher, Some(sink))
     }
 
     /// Run to completion with both a value watcher and a trace sink.
@@ -249,7 +310,58 @@ impl<'p> Vm<'p> {
     /// # Errors
     ///
     /// See [`VmError`].
-    pub fn run_full(
+    pub fn run_full<W: Watcher + ?Sized, S: TraceSink + ?Sized>(
+        &mut self,
+        watcher: &mut W,
+        sink: &mut S,
+    ) -> Result<RunOutcome, VmError> {
+        self.run_flat(watcher, Some(sink))
+    }
+
+    /// Run to completion on the **reference engine** — the original
+    /// graph-walking interpreter. Bit-identical to [`Vm::run`] on every
+    /// observable (outcome, output, statistics, trace); kept as the
+    /// baseline the engine-equivalence suite and the fuzz oracle
+    /// differentially test the flat engine against. Ignores the
+    /// deprecated `collect_trace` shim.
+    ///
+    /// # Errors
+    ///
+    /// See [`VmError`].
+    pub fn run_reference(&mut self) -> Result<RunOutcome, VmError> {
+        self.run_core(&mut NoWatcher, None)
+    }
+
+    /// [`Vm::run_watched`] on the reference engine.
+    ///
+    /// # Errors
+    ///
+    /// See [`VmError`].
+    pub fn run_reference_watched(
+        &mut self,
+        watcher: &mut dyn Watcher,
+    ) -> Result<RunOutcome, VmError> {
+        self.run_core(watcher, None)
+    }
+
+    /// [`Vm::run_streamed`] on the reference engine.
+    ///
+    /// # Errors
+    ///
+    /// See [`VmError`].
+    pub fn run_reference_streamed(
+        &mut self,
+        sink: &mut dyn TraceSink,
+    ) -> Result<RunOutcome, VmError> {
+        self.run_core(&mut NoWatcher, Some(sink))
+    }
+
+    /// [`Vm::run_full`] on the reference engine.
+    ///
+    /// # Errors
+    ///
+    /// See [`VmError`].
+    pub fn run_reference_full(
         &mut self,
         watcher: &mut dyn Watcher,
         sink: &mut dyn TraceSink,
@@ -263,6 +375,12 @@ impl<'p> Vm<'p> {
         mut sink: Option<&mut (dyn TraceSink + 's)>,
     ) -> Result<RunOutcome, VmError> {
         self.pending = None;
+        // Every run starts from the entry with a fresh control context:
+        // a previous run that ended inside a call (halt in a callee, a
+        // call-depth error) must not leak its frames into this one —
+        // that would also let the two engines' private call stacks
+        // disagree across interleaved runs.
+        self.call_stack.clear();
         let entry = self.program.entry;
         let mut pc = InstRef::new(entry, self.program.func(entry).entry, 0);
         let result = loop {
@@ -283,6 +401,266 @@ impl<'p> Vm<'p> {
         }
         let reason = result?;
         Ok(RunOutcome { steps: self.stats.steps, reason, output_digest: fnv1a(&self.output) })
+    }
+
+    /// The flat engine driver: run the pre-decoded program, flush the
+    /// trace delay buffer, and fold the dense block counts back into
+    /// [`DynStats::block_counts`] (on error paths too, exactly as the
+    /// reference engine's statistics are visible after a failed run).
+    fn run_flat<W: Watcher + ?Sized, S: TraceSink + ?Sized>(
+        &mut self,
+        watcher: &mut W,
+        mut sink: Option<&mut S>,
+    ) -> Result<RunOutcome, VmError> {
+        self.pending = None;
+        // Detach the flat form so the loop can borrow it while mutating
+        // the rest of the machine state.
+        let flat = std::mem::take(&mut self.flat);
+        let result = self.flat_loop(&flat, watcher, &mut sink);
+        // Flush the delay buffer; the final record keeps `next_pc` at
+        // `u64::MAX` (also on error paths, where the last committed
+        // instruction is final by definition).
+        if let Some(ref mut s) = sink {
+            if let Some(last) = self.pending.take() {
+                s.record(&last);
+            }
+        }
+        for (i, count) in self.flat_block_counts.iter_mut().enumerate() {
+            if *count > 0 {
+                *self.stats.block_counts.entry(flat.blocks[i]).or_insert(0) += *count;
+                *count = 0;
+            }
+        }
+        self.flat = flat;
+        let reason = result?;
+        Ok(RunOutcome { steps: self.stats.steps, reason, output_digest: fnv1a(&self.output) })
+    }
+
+    /// The monomorphized hot loop. One iteration per committed
+    /// instruction: no hashing, no nested indirection, one dispatch
+    /// (every ALU op is its own [`FlatOp`] variant calling [`alu_eval`]
+    /// with a constant op, which inlines to the bare expression), and
+    /// watcher/sink calls inlined at their concrete types. All hot state
+    /// — registers (padded with the write-only [`DISCARD_SLOT`] so
+    /// zero-register writes need no branch), step counter, event
+    /// counters, histograms, dense block counts, the call stack — lives
+    /// in locals for the duration of the loop and is written back on
+    /// every exit path. Mirrors [`Vm::step`]'s observable behaviour
+    /// exactly: the execution order of statistics updates, error
+    /// early-outs and the trace delay buffer is the same.
+    #[allow(clippy::too_many_lines)]
+    fn flat_loop<W: Watcher + ?Sized, S: TraceSink + ?Sized>(
+        &mut self,
+        flat: &FlatProgram,
+        watcher: &mut W,
+        sink: &mut Option<&mut S>,
+    ) -> Result<HaltReason, VmError> {
+        /// Where control goes after the bookkeeping of one instruction.
+        enum FlatNext {
+            At(usize),
+            Done(HaltReason),
+        }
+
+        let insts: &[FlatInst] = &flat.insts;
+        let mut ip = flat.entry.expect("entry block has instructions") as usize;
+
+        // ---- hoist hot state into locals ----------------------------
+        let mut regs = [0i64; 33];
+        regs[..32].copy_from_slice(&self.regs);
+        let mut steps = self.stats.steps;
+        let max_steps = self.config.max_steps;
+        let max_call_depth = self.config.max_call_depth;
+        let mut counts = std::mem::take(&mut self.flat_block_counts);
+        // Fresh control context per run (see `run_core`): reuse the
+        // allocation but drop any frames a previous run left behind.
+        let mut call_stack = std::mem::take(&mut self.flat_call_stack);
+        call_stack.clear();
+        // Scratch histograms with dump slots (`class_width` row
+        // `CW_ROWS-1` for control ops, `sig_hist` slot 0 for absent
+        // operands) so their per-step updates are branchless; event
+        // counters accumulate in a scratch too. All merged into
+        // `self.stats` on exit, dump slots discarded.
+        let mut class_width = [[0u64; 4]; crate::flat::CW_ROWS];
+        let mut sig_hist = [0u64; 9];
+        let mut scratch = DynStats::default();
+
+        let result = loop {
+            if steps >= max_steps {
+                break Err(VmError::OutOfFuel { steps });
+            }
+            let inst = &insts[ip];
+            if inst.block_idx != NOT_BLOCK_ENTRY {
+                counts[inst.block_idx as usize] += 1;
+            }
+            steps += 1;
+
+            // Branchless operand reads (shapes were decided at lower
+            // time): an absent first source reads the zero slot (31,
+            // never written — discarded writes go to slot 32), and the
+            // second operand is `regs[src2_r] + imm` with exactly one
+            // non-zero term.
+            let a = regs[inst.src1_r as usize];
+            let b = regs[inst.src2_r as usize].wrapping_add(inst.imm);
+            let w = inst.width;
+
+            let mut dst_value: Option<i64> = None;
+            let mut mem_addr = 0u64;
+            let mut taken = false;
+
+            /// One ALU arm: evaluate with a *constant* op (so the
+            /// `alu_eval` match folds away), write the precomputed
+            /// destination slot, fall through.
+            macro_rules! alu {
+                ($op:expr) => {{
+                    let v = alu_eval($op, w, a, b).expect("lowered as executable");
+                    regs[inst.dst_w as usize] = v;
+                    dst_value = Some(v);
+                    FlatNext::At(ip + 1)
+                }};
+            }
+
+            let next = match inst.kind {
+                FlatOp::Add => alu!(Op::Add),
+                FlatOp::Sub => alu!(Op::Sub),
+                FlatOp::Mul => alu!(Op::Mul),
+                FlatOp::And => alu!(Op::And),
+                FlatOp::Or => alu!(Op::Or),
+                FlatOp::Xor => alu!(Op::Xor),
+                FlatOp::Andc => alu!(Op::Andc),
+                FlatOp::Sll => alu!(Op::Sll),
+                FlatOp::Srl => alu!(Op::Srl),
+                FlatOp::Sra => alu!(Op::Sra),
+                FlatOp::Cmp(k) => alu!(Op::Cmp(k)),
+                FlatOp::Sext => alu!(Op::Sext),
+                FlatOp::Zext => alu!(Op::Zext),
+                FlatOp::Ldi => alu!(Op::Ldi),
+                FlatOp::Zapnot => alu!(Op::Zapnot),
+                FlatOp::Ext => alu!(Op::Ext),
+                FlatOp::Msk => alu!(Op::Msk),
+                FlatOp::Ld { signed } => {
+                    mem_addr = (a + inst.disp as i64) as u64;
+                    let v = self.mem.read(mem_addr, w, signed);
+                    regs[inst.dst_w as usize] = v;
+                    dst_value = Some(v);
+                    scratch.loads += 1;
+                    FlatNext::At(ip + 1)
+                }
+                FlatOp::St => {
+                    mem_addr = (b + inst.disp as i64) as u64;
+                    self.mem.write(mem_addr, w, a);
+                    scratch.stores += 1;
+                    FlatNext::At(ip + 1)
+                }
+                FlatOp::Out => {
+                    let bytes = (a as u64).to_le_bytes();
+                    self.output.extend_from_slice(&bytes[..w.bytes() as usize]);
+                    scratch.out_bytes += w.bytes() as u64;
+                    FlatNext::At(ip + 1)
+                }
+                FlatOp::Cmov(cond) => {
+                    let v = cmov_eval(cond, w, a, b, regs[inst.dst_r as usize]);
+                    regs[inst.dst_w as usize] = v;
+                    dst_value = Some(v);
+                    FlatNext::At(ip + 1)
+                }
+                FlatOp::Nop => FlatNext::At(ip + 1),
+                FlatOp::Br { t } => {
+                    taken = true;
+                    FlatNext::At(t as usize)
+                }
+                FlatOp::Bc { cond, t, fall } => {
+                    scratch.cond_branches += 1;
+                    taken = cond.eval(a);
+                    if taken {
+                        scratch.taken_branches += 1;
+                        FlatNext::At(t as usize)
+                    } else {
+                        FlatNext::At(fall as usize)
+                    }
+                }
+                FlatOp::Jsr { callee } => {
+                    if call_stack.len() >= max_call_depth {
+                        break Err(VmError::CallDepthExceeded { max: max_call_depth });
+                    }
+                    scratch.calls += 1;
+                    taken = true;
+                    call_stack.push((ip + 1) as u32);
+                    FlatNext::At(callee as usize)
+                }
+                FlatOp::Ret => {
+                    taken = true;
+                    match call_stack.pop() {
+                        Some(ret) => FlatNext::At(ret as usize),
+                        None => FlatNext::Done(HaltReason::ReturnFromEntry),
+                    }
+                }
+                FlatOp::Halt => FlatNext::Done(HaltReason::Halt),
+                FlatOp::Malformed { what } => break Err(VmError::Malformed { at: inst.at, what }),
+            };
+
+            // ---- statistics (same values as the reference engine;
+            // absent operands land in the discarded dump slots) --------
+            class_width[(inst.cw >> 2) as usize][(inst.cw & 3) as usize] += 1;
+            let m1 = inst.sig1 as u64;
+            let m2 = inst.sig2 as u64;
+            let sig_a = Width::sig_bytes(a) * inst.sig1 as u8;
+            let sig_b = Width::sig_bytes(b) * inst.sig2 as u8;
+            sig_hist[sig_a as usize] += m1;
+            sig_hist[sig_b as usize] += m2;
+            let md = dst_value.is_some() as u64;
+            let dst_sig = Width::sig_bytes(dst_value.unwrap_or(0)) * md as u8;
+            sig_hist[dst_sig as usize] += md;
+            if let Some(v) = dst_value {
+                watcher.record(inst.at, v);
+            }
+
+            // ---- trace ----------------------------------------------
+            if let Some(ref mut s) = *sink {
+                let pc_addr = FlatProgram::pc_of(ip);
+                // Patch and release the delayed predecessor: its
+                // `next_pc` is this instruction's address.
+                if let Some(mut prev) = self.pending.take() {
+                    prev.next_pc = pc_addr;
+                    s.record(&prev);
+                }
+                self.pending = Some(TraceRecord {
+                    pc: pc_addr,
+                    next_pc: u64::MAX,
+                    op: inst.op,
+                    width: w,
+                    dst: inst.trace_dst,
+                    srcs: inst.trace_srcs,
+                    mem_addr,
+                    taken,
+                    dst_sig,
+                    src_sigs: [sig_a, sig_b],
+                    dst_value,
+                });
+            }
+
+            match next {
+                FlatNext::At(n) => ip = n,
+                FlatNext::Done(reason) => break Ok(reason),
+            }
+        };
+
+        // ---- write hot state back (on success and error alike) ------
+        self.regs.copy_from_slice(&regs[..32]);
+        self.stats.steps = steps;
+        for (row, srow) in self.stats.class_width.iter_mut().zip(&class_width) {
+            for (c, sc) in row.iter_mut().zip(srow) {
+                *c += sc;
+            }
+        }
+        // Slot 0 is the dump slot for absent operands; the public
+        // histogram keeps it untouched (and unused).
+        for (h, sh) in self.stats.sig_hist.iter_mut().zip(&sig_hist).skip(1) {
+            *h += sh;
+        }
+        self.stats.add_events(&scratch);
+        self.flat_block_counts = counts;
+        self.flat_call_stack = call_stack;
+        result
     }
 
     fn operand_value(&self, o: Operand) -> i64 {
@@ -327,8 +705,8 @@ impl<'p> Vm<'p> {
                 Next::At(next_seq)
             }
             Op::St => {
-                let base = self.operand_value(inst.src2);
-                mem_addr = (base + inst.disp as i64) as u64;
+                // `b` already holds the base operand (`src2`).
+                mem_addr = (b + inst.disp as i64) as u64;
                 self.mem.write(mem_addr, w, a);
                 self.stats.stores += 1;
                 Next::At(next_seq)
@@ -402,16 +780,20 @@ impl<'p> Vm<'p> {
         if class != og_isa::OpClass::Ctrl {
             self.stats.record_class_width(class, w);
         }
+        // Source significances come from the operand values *as read*
+        // (`a`/`b` above), not from re-reading the registers — which
+        // would observe the freshly written result when the destination
+        // aliases a source (e.g. `add t0, t0, 1`).
         let mut src_sigs = [0u8; 2];
-        if let Some(r) = inst.src1 {
-            let v = self.reg(r);
-            self.stats.record_sig(v);
-            src_sigs[0] = Width::sig_bytes(v);
+        if inst.src1.is_some() {
+            let sig = Width::sig_bytes(a);
+            self.stats.record_sig_bytes(sig);
+            src_sigs[0] = sig;
         }
-        if let Operand::Reg(r) = inst.src2 {
-            let v = self.reg(r);
-            self.stats.record_sig(v);
-            src_sigs[1] = Width::sig_bytes(v);
+        if matches!(inst.src2, Operand::Reg(_)) {
+            let sig = Width::sig_bytes(b);
+            self.stats.record_sig_bytes(sig);
+            src_sigs[1] = sig;
         }
         if let Some(v) = dst_value {
             self.stats.record_sig(v);

@@ -2,18 +2,50 @@
 
 use og_isa::Width;
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 const PAGE_BITS: u32 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_BITS;
+
+/// Multiply-shift hasher for page numbers. Page keys are already
+/// word-sized integers, so the default SipHash does cryptographic work
+/// per probe for nothing — and the emulator probes once per memory
+/// access on its hottest path. Fibonacci multiplicative hashing mixes
+/// the low-entropy page numbers well enough for a `HashMap`.
+#[derive(Debug, Default, Clone)]
+pub struct PageHasher(u64);
+
+impl Hasher for PageHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Only u64 keys are ever hashed; this path exists for trait
+        // completeness.
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    fn write_u64(&mut self, x: u64) {
+        self.0 = x.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(29);
+    }
+}
 
 /// A sparse, demand-zeroed, little-endian memory.
 ///
 /// Pages materialize on first touch, so any address is readable (as zero)
 /// and writable — generated and hand-written workloads manage their own
 /// layout via [`og_program::DataSegment`] and the stack pointer.
+///
+/// Accesses that fit inside one page (the overwhelming majority — only
+/// an access straddling a 4 KiB boundary does not) cost a single page
+/// probe and one word-sized copy, instead of the per-byte probing this
+/// started with.
 #[derive(Debug, Default, Clone)]
 pub struct Memory {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>, BuildHasherDefault<PageHasher>>,
 }
 
 impl Memory {
@@ -41,10 +73,26 @@ impl Memory {
 
     /// Read `w` bytes little-endian; sign- or zero-extend to 64 bits.
     pub fn read(&self, addr: u64, w: Width, signed: bool) -> i64 {
-        let mut v = 0u64;
-        for i in 0..w.bytes() as u64 {
-            v |= (self.read_u8(addr.wrapping_add(i)) as u64) << (8 * i);
-        }
+        let n = w.bytes() as usize;
+        let off = (addr & (PAGE_SIZE as u64 - 1)) as usize;
+        let v = if off + n <= PAGE_SIZE {
+            // One probe, one bounded copy.
+            match self.pages.get(&(addr >> PAGE_BITS)) {
+                Some(p) => {
+                    let mut buf = [0u8; 8];
+                    buf[..n].copy_from_slice(&p[off..off + n]);
+                    u64::from_le_bytes(buf)
+                }
+                None => 0,
+            }
+        } else {
+            // Page-straddling access: the byte-at-a-time slow path.
+            let mut v = 0u64;
+            for i in 0..n as u64 {
+                v |= (self.read_u8(addr.wrapping_add(i)) as u64) << (8 * i);
+            }
+            v
+        };
         if signed {
             w.sext(v as i64)
         } else {
@@ -54,9 +102,15 @@ impl Memory {
 
     /// Write the low `w` bytes of `v` little-endian.
     pub fn write(&mut self, addr: u64, w: Width, v: i64) {
+        let n = w.bytes() as usize;
+        let off = (addr & (PAGE_SIZE as u64 - 1)) as usize;
         let bytes = (v as u64).to_le_bytes();
-        for (i, &b) in bytes.iter().take(w.bytes() as usize).enumerate() {
-            self.write_u8(addr.wrapping_add(i as u64), b);
+        if off + n <= PAGE_SIZE {
+            self.page_mut(addr)[off..off + n].copy_from_slice(&bytes[..n]);
+        } else {
+            for (i, &b) in bytes.iter().take(n).enumerate() {
+                self.write_u8(addr.wrapping_add(i as u64), b);
+            }
         }
     }
 

@@ -81,7 +81,29 @@ impl DynStats {
 
     /// Record the significance (in bytes) of a dynamic value.
     pub(crate) fn record_sig(&mut self, v: i64) {
-        self.sig_hist[Width::sig_bytes(v) as usize] += 1;
+        self.record_sig_bytes(Width::sig_bytes(v));
+    }
+
+    /// Record an already-computed significance — lets the emulator share
+    /// one `sig_bytes` computation between the histogram and the trace
+    /// record's `src_sigs`.
+    pub(crate) fn record_sig_bytes(&mut self, sig: u8) {
+        self.sig_hist[sig as usize] += 1;
+    }
+
+    /// Accumulate the scalar event counters of `other` — the flat
+    /// engine's loop-local scratch — into this one. Only the plain
+    /// counters: `steps`, `block_counts`, `class_width` and `sig_hist`
+    /// are deliberately excluded, because the engine maintains each of
+    /// those through a dedicated representation (running total, dense
+    /// vector, dump-slot scratch arrays) and reconciles them itself.
+    pub(crate) fn add_events(&mut self, other: &DynStats) {
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.cond_branches += other.cond_branches;
+        self.taken_branches += other.taken_branches;
+        self.calls += other.calls;
+        self.out_bytes += other.out_bytes;
     }
 
     /// The Figure 12 distribution: fraction of dynamic values needing

@@ -1,0 +1,192 @@
+//! Engine equivalence: the pre-decoded **flat** engine (the default
+//! behind `Vm::run*`) must be bit-identical to the **reference**
+//! graph-walking interpreter (`Vm::run_reference*`) on every observable:
+//! `RunOutcome` (steps, halt reason, output digest), the raw output
+//! stream, the full `DynStats` (block counts, class×width histogram,
+//! significance histogram, event counters), the streamed `TraceRecord`
+//! sequence, and the watcher-visible defined-value sequence.
+//!
+//! Coverage: all 8 workloads × {Train, Ref} plus every committed fuzz
+//! corpus case, and the error paths (fuel exhaustion, call-depth
+//! overflow). Train inputs and corpus cases compare fully materialized
+//! traces record by record (first divergence reported); Ref inputs are
+//! ~10× longer, so their traces are compared through an order-sensitive
+//! streaming digest — O(1) memory, still sensitive to any field of any
+//! record.
+
+use og_fuzz::corpus;
+use og_program::{InstRef, Program};
+use og_vm::{DynStats, FnSink, RunConfig, RunOutcome, TraceRecord, VecSink, Vm, VmError, Watcher};
+use og_workloads::{by_name, InputSet, NAMES};
+
+/// Watcher that materializes the defined-value stream.
+struct Collect(Vec<(InstRef, i64)>);
+
+impl Watcher for Collect {
+    fn record(&mut self, at: InstRef, value: i64) {
+        self.0.push((at, value));
+    }
+}
+
+/// Everything one run observes.
+struct Observed {
+    result: Result<RunOutcome, VmError>,
+    output: Vec<u8>,
+    stats: DynStats,
+    trace: Vec<TraceRecord>,
+    defined: Vec<(InstRef, i64)>,
+}
+
+fn observe(p: &Program, config: &RunConfig, reference: bool) -> Observed {
+    let mut vm = Vm::new(p, config.clone());
+    let mut sink = VecSink::new();
+    let mut watcher = Collect(Vec::new());
+    let result = if reference {
+        vm.run_reference_full(&mut watcher, &mut sink)
+    } else {
+        vm.run_full(&mut watcher, &mut sink)
+    };
+    Observed {
+        result,
+        output: vm.output().to_vec(),
+        stats: vm.stats().clone(),
+        trace: sink.into_records(),
+        defined: watcher.0,
+    }
+}
+
+fn assert_equivalent(p: &Program, config: &RunConfig, label: &str) {
+    let flat = observe(p, config, false);
+    let reference = observe(p, config, true);
+    assert_eq!(flat.result, reference.result, "{label}: RunOutcome/VmError diverged");
+    assert_eq!(flat.output, reference.output, "{label}: output stream diverged");
+    assert_eq!(flat.stats, reference.stats, "{label}: DynStats diverged");
+    assert_eq!(flat.defined, reference.defined, "{label}: watcher value stream diverged");
+    assert_eq!(flat.trace.len(), reference.trace.len(), "{label}: trace length diverged");
+    for (i, (f, r)) in flat.trace.iter().zip(&reference.trace).enumerate() {
+        assert_eq!(f, r, "{label}: trace record {i} diverged");
+    }
+}
+
+/// Order-sensitive digest over every field of a trace record stream.
+/// Returns the per-record update closure and a handle to the running
+/// digest value.
+fn trace_digest() -> (impl FnMut(u64, &TraceRecord), std::rc::Rc<std::cell::Cell<u64>>) {
+    let h = std::rc::Rc::new(std::cell::Cell::new(0xCBF2_9CE4_8422_2325u64));
+    let hh = h.clone();
+    let f = move |i: u64, r: &TraceRecord| {
+        let mut v = hh.get();
+        let mut mix = |x: u64| {
+            v ^= x;
+            v = v.wrapping_mul(0x0000_0100_0000_01B3).rotate_left(17);
+        };
+        mix(i);
+        mix(r.pc);
+        mix(r.next_pc);
+        // `Op` carries payloads (conditions, compare kinds, load
+        // signedness); its Debug form distinguishes all of them.
+        mix(fnv_str(&format!("{:?}/{:?}", r.op, r.width)));
+        mix(r.dst.map_or(u64::MAX, |d| d.index() as u64));
+        mix(r.srcs[0].map_or(u64::MAX, |d| d.index() as u64));
+        mix(r.srcs[1].map_or(u64::MAX, |d| d.index() as u64));
+        mix(r.mem_addr);
+        mix(r.taken as u64);
+        mix(r.dst_sig as u64);
+        mix(((r.src_sigs[0] as u64) << 8) | r.src_sigs[1] as u64);
+        mix(r.dst_value.map_or(u64::MAX, |v| v as u64 ^ 0x9E37_79B9_7F4A_7C15));
+        hh.set(v);
+    };
+    (f, h)
+}
+
+fn fnv_str(s: &str) -> u64 {
+    og_vm::fnv1a(s.as_bytes())
+}
+
+fn streamed_digest(
+    p: &Program,
+    config: &RunConfig,
+    reference: bool,
+) -> (RunOutcome, DynStats, u64) {
+    let mut vm = Vm::new(p, config.clone());
+    let (f, h) = trace_digest();
+    let mut sink = FnSink::new(f);
+    let outcome = if reference {
+        vm.run_reference_streamed(&mut sink).expect("workload runs")
+    } else {
+        vm.run_streamed(&mut sink).expect("workload runs")
+    };
+    (outcome, vm.stats().clone(), h.get())
+}
+
+#[test]
+fn engines_agree_on_every_train_workload_materialized() {
+    for name in NAMES {
+        let wl = by_name(name, InputSet::Train);
+        assert_equivalent(&wl.program, &RunConfig::default(), &format!("{name}/Train"));
+    }
+}
+
+#[test]
+fn engines_agree_on_every_ref_workload_streamed() {
+    for name in NAMES {
+        let wl = by_name(name, InputSet::Ref);
+        let flat = streamed_digest(&wl.program, &RunConfig::default(), false);
+        let reference = streamed_digest(&wl.program, &RunConfig::default(), true);
+        assert_eq!(flat.0, reference.0, "{name}/Ref: RunOutcome diverged");
+        assert_eq!(flat.1, reference.1, "{name}/Ref: DynStats diverged");
+        assert_eq!(flat.2, reference.2, "{name}/Ref: trace stream digest diverged");
+    }
+}
+
+#[test]
+fn engines_agree_on_every_committed_corpus_case() {
+    let cases = corpus::load_dir(&corpus::corpus_dir()).expect("committed corpus loads");
+    assert!(!cases.is_empty(), "committed corpus must not be empty");
+    for (path, case) in cases {
+        let mut config = RunConfig::default();
+        if let Some(max_steps) = case.max_steps {
+            config.max_steps = max_steps;
+        }
+        assert_equivalent(&case.program, &config, &path.display().to_string());
+    }
+}
+
+#[test]
+fn engines_agree_on_fuel_exhaustion() {
+    let wl = by_name("compress", InputSet::Train);
+    for budget in [0, 1, 7, 100, 1234] {
+        let config = RunConfig { max_steps: budget, ..Default::default() };
+        assert_equivalent(&wl.program, &config, &format!("compress/fuel={budget}"));
+    }
+}
+
+#[test]
+fn engines_agree_on_call_depth_overflow() {
+    // li recurses ~1800 deep on Train; a tiny call-depth cap forces the
+    // CallDepthExceeded path on both engines at the same instruction.
+    let wl = by_name("li", InputSet::Train);
+    let config = RunConfig { max_call_depth: 16, ..Default::default() };
+    assert_equivalent(&wl.program, &config, "li/max_call_depth=16");
+}
+
+#[test]
+fn engines_interleave_on_one_vm_after_an_aborted_run() {
+    // A run that dies with frames on the call stack (CallDepthExceeded)
+    // must not leak those frames into the next run — on either engine,
+    // in either order. Registers/memory/stats carry over; control state
+    // does not.
+    let wl = by_name("li", InputSet::Train);
+    let config = RunConfig { max_call_depth: 16, ..Default::default() };
+    let mut flat_first = Vm::new(&wl.program, config.clone());
+    let mut ref_first = Vm::new(&wl.program, config);
+    let e1 = flat_first.run();
+    let e2 = ref_first.run_reference();
+    assert_eq!(e1, e2, "first (aborted) runs diverged");
+    assert!(e1.is_err(), "the cap must abort the run");
+    // Cross over: rerun each Vm on the *other* engine.
+    let r1 = flat_first.run_reference();
+    let r2 = ref_first.run();
+    assert_eq!(r1, r2, "interleaved reruns diverged");
+    assert_eq!(flat_first.stats(), ref_first.stats(), "stats diverged after interleaving");
+}
