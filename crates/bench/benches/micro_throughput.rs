@@ -11,7 +11,9 @@
 //! The second headline series is the **engine** comparison: the
 //! pre-decoded flat engine (the default behind `Vm::run*`) against the
 //! reference graph-walking interpreter (`Vm::run_reference*`), in
-//! committed steps per second.
+//! committed steps per second — plus the **trusted** variant
+//! (`Vm::new_verified`), which verifies up front and drops the per-step
+//! defensive check, reported as a delta over the plain flat engine.
 //!
 //! Run with `cargo bench -p og-bench --bench micro_throughput`.
 //!
@@ -60,6 +62,12 @@ fn bench_vm(c: &mut Criterion) {
         b.iter(|| {
             let mut vm = Vm::new(&program, RunConfig::default());
             vm.run_reference().expect("runs")
+        })
+    });
+    g.bench_function("emulate_compress_trusted", |b| {
+        b.iter(|| {
+            let mut vm = Vm::new_verified(&program, RunConfig::default()).expect("verifies");
+            vm.run().expect("runs")
         })
     });
     g.finish();
@@ -187,6 +195,13 @@ fn vm_report(smoke: bool) {
     };
     assert_eq!(flat_outcome, ref_outcome, "flat != reference outcome");
     assert_eq!(flat_stats, ref_stats, "flat != reference stats");
+    let (trusted_outcome, trusted_stats) = {
+        let mut vm = Vm::new_verified(&program, RunConfig::default()).expect("verifies");
+        let o = vm.run().expect("runs");
+        (o, vm.stats().clone())
+    };
+    assert_eq!(trusted_outcome, flat_outcome, "trusted != flat outcome");
+    assert_eq!(trusted_stats, flat_stats, "trusted != flat stats");
     let steps = flat_outcome.steps;
 
     // Plain emulation (no sink): the golden-digest / oracle path.
@@ -208,11 +223,24 @@ fn vm_report(smoke: bool) {
         let mut vm = Vm::new(&program, RunConfig::default());
         vm.run_reference_streamed(&mut og_vm::NullSink).expect("runs")
     });
+    // Trusted lowering: the verifier runs once up front (inside
+    // `new_verified`, so its cost is charged to this series) and the hot
+    // loop drops the per-step malformed-slot check.
+    let trusted = median_secs(samples, || {
+        let mut vm = Vm::new_verified(&program, RunConfig::default()).expect("verifies");
+        vm.run().expect("runs")
+    });
+    let trusted_streamed = median_secs(samples, || {
+        let mut vm = Vm::new_verified(&program, RunConfig::default()).expect("verifies");
+        vm.run_streamed(&mut og_vm::NullSink).expect("runs")
+    });
 
     let flat_sps = steps as f64 / flat;
     let reference_sps = steps as f64 / reference;
     let flat_streamed_sps = steps as f64 / flat_streamed;
     let reference_streamed_sps = steps as f64 / reference_streamed;
+    let trusted_sps = steps as f64 / trusted;
+    let trusted_streamed_sps = steps as f64 / trusted_streamed;
     println!(
         "vm/flat_vs_reference             {:>12.0} steps/s flat, {:>12.0} steps/s reference \
          (x{:.2}, plain)",
@@ -227,6 +255,14 @@ fn vm_report(smoke: bool) {
         reference_streamed_sps,
         flat_streamed_sps / reference_streamed_sps,
     );
+    println!(
+        "vm/trusted_vs_flat               {:>12.0} steps/s trusted, {:>12.0} steps/s flat \
+         (x{:.2} plain, x{:.2} streamed; verify charged to trusted)",
+        trusted_sps,
+        flat_sps,
+        trusted_sps / flat_sps,
+        trusted_streamed_sps / flat_streamed_sps,
+    );
 
     let report = Json::Obj(vec![
         ("bench".into(), Json::Str("compress".into())),
@@ -240,6 +276,10 @@ fn vm_report(smoke: bool) {
         ("flat_streamed_steps_per_sec".into(), flat_streamed_sps.to_json()),
         ("reference_streamed_steps_per_sec".into(), reference_streamed_sps.to_json()),
         ("streamed_speedup".into(), (flat_streamed_sps / reference_streamed_sps).to_json()),
+        ("trusted_steps_per_sec".into(), trusted_sps.to_json()),
+        ("trusted_streamed_steps_per_sec".into(), trusted_streamed_sps.to_json()),
+        ("trusted_over_flat".into(), (trusted_sps / flat_sps).to_json()),
+        ("trusted_streamed_over_flat".into(), (trusted_streamed_sps / flat_streamed_sps).to_json()),
     ]);
     match og_lab::report::write_bench_report("vm", &report) {
         Ok(path) => println!("vm engine report written to {}", path.display()),

@@ -16,6 +16,18 @@
 //! reference graph-walking interpreter (`Vm::run_reference`), so every
 //! fuzz case and every battery run differentially tests the engines
 //! against each other for free.
+//!
+//! The oracle also fuzzes the **verifier invariant** in both directions.
+//! Every checked program goes through the collect-all verifier first: a
+//! program that fails to verify is an [`OracleError::BaseVerify`]
+//! failure (the generator must only produce clean programs), and the
+//! fused run then executes on the *trusted* lowering
+//! (`Vm::new_verified`, defensive checks compiled out). If any engine
+//! reports a structural `VmError::Malformed` for a program the verifier
+//! accepted — or a run blows the call stack although the verifier
+//! certified a static depth bound below the configured maximum — that
+//! is an [`OracleError::Invariant`] failure: the `verify Ok ⇒ no
+//! structural error` contract itself broke.
 
 use crate::{UsefulPolicy, VrpConfig, VrpPass, VrsConfig, VrsPass};
 use og_isa::IsaExtension;
@@ -142,11 +154,28 @@ pub struct OracleOutcome {
     pub specializations: usize,
     /// Number of transforms checked.
     pub transforms: usize,
+    /// The verifier's static call-depth certificate for the base program
+    /// (`None` when recursion makes the depth unprovable).
+    pub static_call_depth: Option<usize>,
 }
 
 /// A differential failure: which check broke and how.
 #[derive(Debug, Clone, PartialEq)]
 pub enum OracleError {
+    /// The input program failed static verification — the generator (or
+    /// whoever produced the candidate) emitted a structurally invalid
+    /// program.
+    BaseVerify {
+        /// All collected verifier diagnostics, joined.
+        errors: String,
+    },
+    /// The `verify Ok ⇒ no structural error` invariant broke: a program
+    /// the verifier accepted reported `VmError::Malformed` (either
+    /// engine), or violated a certified static call-depth bound.
+    Invariant {
+        /// What happened.
+        what: String,
+    },
     /// The baseline program did not run to completion.
     BaseRun(VmError),
     /// Fused (sink-streaming, flat engine) and plain (reference engine)
@@ -206,6 +235,8 @@ impl OracleError {
     /// a VRP output divergence to an unrelated fuel exhaustion.
     pub fn signature(&self) -> String {
         match self {
+            OracleError::BaseVerify { .. } => "base-verify".to_string(),
+            OracleError::Invariant { .. } => "invariant".to_string(),
             OracleError::BaseRun(_) => "base-run".to_string(),
             OracleError::PathsDiverged { what } => format!("paths:{what}"),
             OracleError::TraceChain { .. } => "trace-chain".to_string(),
@@ -220,6 +251,12 @@ impl OracleError {
 impl fmt::Display for OracleError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            OracleError::BaseVerify { errors } => {
+                write!(f, "input program fails verification: {errors}")
+            }
+            OracleError::Invariant { what } => {
+                write!(f, "verifier invariant broke: {what}")
+            }
             OracleError::BaseRun(e) => write!(f, "baseline failed to run: {e}"),
             OracleError::PathsDiverged { what } => {
                 write!(f, "fused and plain baseline runs disagree on {what}")
@@ -260,14 +297,37 @@ fn run_plain(p: &Program, max_steps: u64) -> Result<(Vec<u8>, RunOutcome), VmErr
 /// Returns the first [`OracleError`] encountered; the caller (the fuzz
 /// campaign) shrinks the program against this same function.
 pub fn check_program(p: &Program, cfg: &OracleConfig) -> Result<OracleOutcome, OracleError> {
-    // ---- baseline: fused (streamed) vs plain -------------------------
+    // ---- the verifier gate -------------------------------------------
+    // Fuzzes the invariant in both directions: candidates must verify
+    // clean (collect-all, so a reproducer shows every defect), and from
+    // here on any structural VM error is a broken invariant, not a mere
+    // run failure.
+    let ctx = p.verify_all().map_err(|errors| OracleError::BaseVerify {
+        errors: errors.iter().map(ToString::to_string).collect::<Vec<_>>().join("; "),
+    })?;
+    let run_cfg = RunConfig { max_steps: cfg.max_steps, ..Default::default() };
+    let depth_certified = ctx.static_call_depth.is_some_and(|d| d <= run_cfg.max_call_depth);
+    let invariant = |e: VmError| -> OracleError {
+        match e {
+            VmError::Malformed { .. } => OracleError::Invariant {
+                what: format!("verified program reported a structural error: {e}"),
+            },
+            VmError::CallDepthExceeded { .. } if depth_certified => OracleError::Invariant {
+                what: format!("static call-depth certificate broken: {e}"),
+            },
+            other => OracleError::BaseRun(other),
+        }
+    };
+
+    // ---- baseline: fused trusted (streamed, flat engine) vs plain ----
     let mut sink = VecSink::new();
-    let mut vm = Vm::new(p, RunConfig { max_steps: cfg.max_steps, ..Default::default() });
-    let fused = vm.run_streamed(&mut sink).map_err(OracleError::BaseRun)?;
+    let mut vm = Vm::new_verified(p, run_cfg.clone())
+        .map_err(|e| OracleError::BaseVerify { errors: e.to_string() })?;
+    let fused = vm.run_streamed(&mut sink).map_err(&invariant)?;
     let fused_out = vm.output().to_vec();
     let trace = sink.into_records();
 
-    let (base_out, plain) = run_plain(p, cfg.max_steps).map_err(OracleError::BaseRun)?;
+    let (base_out, plain) = run_plain(p, cfg.max_steps).map_err(&invariant)?;
     if base_out != fused_out {
         return Err(OracleError::PathsDiverged { what: "output" });
     }
@@ -309,6 +369,7 @@ pub fn check_program(p: &Program, cfg: &OracleConfig) -> Result<OracleOutcome, O
         base_steps: plain.steps,
         output_len: base_out.len(),
         transforms: cfg.transforms.len(),
+        static_call_depth: ctx.static_call_depth,
         ..Default::default()
     };
     for t in &cfg.transforms {
@@ -319,14 +380,28 @@ pub fn check_program(p: &Program, cfg: &OracleConfig) -> Result<OracleOutcome, O
             Transform::Vrp { .. } => outcome.narrowed += changed,
             Transform::Vrs { .. } => outcome.specializations += changed,
         }
-        if let Err(e) = transformed.verify() {
-            return Err(OracleError::Verify { transform: label, error: e.to_string() });
-        }
+        let t_ctx = match transformed.verify_all() {
+            Ok(ctx) => ctx,
+            Err(errors) => {
+                return Err(OracleError::Verify {
+                    transform: label,
+                    error: errors.iter().map(ToString::to_string).collect::<Vec<_>>().join("; "),
+                })
+            }
+        };
+        let t_certified = t_ctx.static_call_depth.is_some_and(|d| d <= run_cfg.max_call_depth);
         // VRS grows the dynamic path by at most the guard overhead; give
         // the budget the same headroom the sanity window allows.
         let fuel = cfg.max_steps * cfg.step_ratio.0 / cfg.step_ratio.1 + cfg.step_slack;
-        let (out, got) = run_plain(&transformed, fuel)
-            .map_err(|error| OracleError::TransformRun { transform: label.clone(), error })?;
+        let (out, got) = run_plain(&transformed, fuel).map_err(|error| match error {
+            VmError::Malformed { .. } => OracleError::Invariant {
+                what: format!("[{label}] verified transformed program reported: {error}"),
+            },
+            VmError::CallDepthExceeded { .. } if t_certified => OracleError::Invariant {
+                what: format!("[{label}] static call-depth certificate broken: {error}"),
+            },
+            error => OracleError::TransformRun { transform: label.clone(), error },
+        })?;
         if out != base_out {
             let at = out
                 .iter()
@@ -420,6 +495,28 @@ mod tests {
         let (a, _) = run_plain(&p, 1_000_000).unwrap();
         let (b, _) = run_plain(&q, 1_000_000).unwrap();
         assert_ne!(a, b, "sabotage must be observable in the output stream");
+    }
+
+    #[test]
+    fn invalid_programs_are_rejected_before_any_run() {
+        let mut p = small_program();
+        // Damage the program post-build: point the final branch at a
+        // block that does not exist.
+        let at = p.insts().find(|(_, i)| i.op == og_isa::Op::Br).map(|(r, _)| r);
+        if let Some(r) = at {
+            p.inst_mut(r).target = og_isa::Target::Block(200);
+        } else {
+            p.func_mut(og_program::FuncId(0)).blocks[0].insts[0].target =
+                og_isa::Target::Block(200);
+        }
+        let err = check_program(&p, &OracleConfig::default()).unwrap_err();
+        assert_eq!(err.signature(), "base-verify");
+    }
+
+    #[test]
+    fn outcome_carries_the_call_depth_certificate() {
+        let report = check_program(&small_program(), &OracleConfig::default()).unwrap();
+        assert_eq!(report.static_call_depth, Some(0), "no calls in the kernel");
     }
 
     #[test]

@@ -8,14 +8,22 @@
 //!    provably terminating program (counted loops, fuel-bounded
 //!    non-affine loops, mixed-width arithmetic, bounded memory, calls)
 //!    together with a step bound;
-//! 2. **check** — [`og_core::oracle::check_program`] runs the program
-//!    untransformed (fused *and* materialized VM paths — which since the
-//!    pre-decoded engine landed also means the **flat** and **reference
-//!    graph-walking** engines, cross-checked on every case — plus
-//!    trace-chain invariants) and after every transform in the battery
+//! 2. **check** — [`og_core::oracle::check_program`] first demands the
+//!    program pass the collect-all verifier (a generated program that
+//!    fails to verify is itself a bug — signature `base-verify`), then
+//!    runs it untransformed (fused *and* materialized VM paths — which
+//!    since the pre-decoded engine landed also means the **flat** and
+//!    **reference graph-walking** engines, cross-checked on every case —
+//!    plus trace-chain invariants) and after every transform in the battery
 //!    (VRP across useful policies × ISA extensions, VRS with synthetic
 //!    self-profiles), demanding byte-identical output streams and sane
-//!    step counts; periodically the committed-path trace also drives the
+//!    step counts. The fused baseline takes the **trusted fast path**
+//!    (`Vm::new_verified`), so every case also fuzzes the verifier's
+//!    invariant in both directions: generated programs must verify
+//!    clean, and verified programs must never report a structural
+//!    `VmError::Malformed` — or blow a static call-depth certificate —
+//!    in either engine (signature `invariant`). Periodically the
+//!    committed-path trace also drives the
 //!    cycle simulator both fused (flat engine) and materialized
 //!    (reference engine), and the two [`SimResult`]s must match
 //!    bit-for-bit;
@@ -366,6 +374,26 @@ mod tests {
     fn sim_cross_check_passes_on_a_generated_program() {
         let (p, bound) = generate_with_bound(&case_gen_config(42, 0));
         sim_cross_check(&p, bound).unwrap();
+    }
+
+    #[test]
+    fn generated_programs_verify_clean_with_call_depth_certificates() {
+        // One half of the invariant the campaign fuzzes: everything the
+        // generator emits must pass the collect-all verifier, and since
+        // the generator never emits recursion, every program must carry a
+        // static call-depth certificate within the VM's default budget.
+        let budget = RunConfig::default().max_call_depth;
+        for index in 0..32 {
+            let (p, _) = generate_with_bound(&case_gen_config(0xCE27, index));
+            let ctx = p.verify_all().unwrap_or_else(|errors| {
+                panic!("generated case {index} fails to verify: {errors:?}")
+            });
+            let depth = ctx
+                .static_call_depth
+                .unwrap_or_else(|| panic!("generated case {index} has no depth certificate"));
+            assert!(depth <= budget, "case {index}: depth {depth} exceeds budget {budget}");
+            assert!(ctx.recursion_free, "case {index}: generator emitted recursion");
+        }
     }
 
     #[test]

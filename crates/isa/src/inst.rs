@@ -69,6 +69,40 @@ pub enum Target {
     Func(u32),
 }
 
+/// The *shape* of [`Target`] an operation's instruction must carry.
+///
+/// This is the static op-shape predicate the program verifier checks
+/// against: every [`Op`] demands exactly one target shape (most demand
+/// [`TargetShape::None`]), and an instruction whose `target` field does
+/// not match is structurally malformed. Obtain the expected shape with
+/// [`Op::target_shape`] and test an actual target against it with
+/// [`TargetShape::admits`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TargetShape {
+    /// The instruction must carry [`Target::None`].
+    None,
+    /// The instruction must carry a [`Target::Block`] (unconditional branch).
+    Block,
+    /// The instruction must carry [`Target::CondBlocks`] (conditional branch).
+    CondBlocks,
+    /// The instruction must carry a [`Target::Func`] (call).
+    Func,
+}
+
+impl TargetShape {
+    /// Does the actual target `t` match this expected shape?
+    #[inline]
+    pub fn admits(self, t: Target) -> bool {
+        matches!(
+            (self, t),
+            (TargetShape::None, Target::None)
+                | (TargetShape::Block, Target::Block(_))
+                | (TargetShape::CondBlocks, Target::CondBlocks { .. })
+                | (TargetShape::Func, Target::Func(_))
+        )
+    }
+}
+
 /// A memory reference `disp(base)` as used by loads and stores.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct MemRef {

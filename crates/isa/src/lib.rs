@@ -53,7 +53,7 @@ mod width;
 mod widthset;
 
 pub use encode::{decode_stream, encode_stream, DecodeError, EncodedInst};
-pub use inst::{Inst, MemRef, Operand, Target, Uses};
+pub use inst::{Inst, MemRef, Operand, Target, TargetShape, Uses};
 pub use op::{CmpKind, Cond, FuKind, Op, OpClass};
 pub use reg::Reg;
 pub use width::Width;

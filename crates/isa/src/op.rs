@@ -1,6 +1,7 @@
 //! Operations, comparison kinds, branch/conditional-move conditions and
 //! operation classes.
 
+use crate::inst::TargetShape;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -275,6 +276,19 @@ impl Op {
     /// Is this a block terminator (ends a basic block)?
     pub const fn is_terminator(self) -> bool {
         matches!(self, Op::Br | Op::Bc(_) | Op::Ret | Op::Halt)
+    }
+
+    /// The [`TargetShape`] an instruction with this operation must carry:
+    /// `Br` takes a block, `Bc` a taken/fall pair, `Jsr` a function, and
+    /// everything else must carry no target at all. The verifier rejects
+    /// instructions whose `target` field does not match this shape.
+    pub const fn target_shape(self) -> TargetShape {
+        match self {
+            Op::Br => TargetShape::Block,
+            Op::Bc(_) => TargetShape::CondBlocks,
+            Op::Jsr => TargetShape::Func,
+            _ => TargetShape::None,
+        }
     }
 
     /// Is this a memory access?
@@ -668,6 +682,26 @@ mod tests {
         assert_eq!(Op::Mul.fu(), FuKind::IntMul);
         assert_eq!(Op::Ld { signed: false }.fu(), FuKind::Mem);
         assert_eq!(Op::Ret.fu(), FuKind::Branch);
+    }
+
+    #[test]
+    fn target_shapes() {
+        use crate::{Target, TargetShape};
+        assert_eq!(Op::Br.target_shape(), TargetShape::Block);
+        assert_eq!(Op::Bc(Cond::Eq).target_shape(), TargetShape::CondBlocks);
+        assert_eq!(Op::Jsr.target_shape(), TargetShape::Func);
+        for op in Op::all() {
+            if !matches!(op, Op::Br | Op::Bc(_) | Op::Jsr) {
+                assert_eq!(op.target_shape(), TargetShape::None, "{op:?}");
+            }
+        }
+        assert!(TargetShape::None.admits(Target::None));
+        assert!(TargetShape::Block.admits(Target::Block(3)));
+        assert!(TargetShape::CondBlocks.admits(Target::CondBlocks { taken: 0, fall: 1 }));
+        assert!(TargetShape::Func.admits(Target::Func(0)));
+        assert!(!TargetShape::None.admits(Target::Block(0)));
+        assert!(!TargetShape::Block.admits(Target::Func(0)));
+        assert!(!TargetShape::Func.admits(Target::None));
     }
 
     #[test]

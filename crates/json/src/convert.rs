@@ -4,9 +4,12 @@
 //! the impls here cover only the building blocks: primitives, strings,
 //! `Option`, `Vec`, fixed-size arrays, and small tuples.
 //!
-//! Integers follow the [`MAX_SAFE_INT`] rule: values that fit an IEEE
-//! double exactly are numbers, larger magnitudes are decimal strings, and
-//! decoding accepts either spelling.
+//! Integers follow the [`MAX_SAFE_INT`] rule: magnitudes up to 2⁵³ − 1
+//! are numbers, anything larger is a decimal string, and decoding accepts
+//! either spelling. The decode thresholds mirror the encode thresholds
+//! exactly — a plain number past the safe range is rejected, never
+//! rounded — so `encode ∘ decode` is the identity on the full `u64`/`i64`
+//! domains.
 
 use crate::{Error, Json, MAX_SAFE_INT};
 

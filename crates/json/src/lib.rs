@@ -17,13 +17,17 @@
 //!
 //! ## Number encoding
 //!
-//! JSON numbers are IEEE doubles in practice, so `u64` values above
-//! 2⁵³ (output digests are full-range hashes) cannot live in
+//! JSON numbers are IEEE doubles in practice, so `u64` values beyond
+//! 2⁵³ − 1 (output digests are full-range hashes) cannot live in
 //! [`Json::Num`] without silent precision loss. Integers up to
 //! [`MAX_SAFE_INT`] are written as plain numbers; larger ones are written
 //! as decimal strings, and [`FromJson`] for the integer types accepts
-//! either form. Floats round-trip exactly: Rust's shortest
-//! `Display` output re-parses to the identical bits.
+//! either form. The parser enforces the same discipline on input: an
+//! integer literal that does not survive the trip through `f64` (like
+//! `9007199254740993`, which would silently round) is rejected with a
+//! positioned error rather than loaded corrupted. Floats round-trip
+//! exactly: Rust's shortest `Display` output re-parses to the identical
+//! bits.
 //!
 //! The compat `serde_json` shim re-exports [`to_string`]/[`from_str`] so
 //! swapping the workspace back to the real serde stack needs no source
@@ -42,9 +46,14 @@ pub use write::render;
 
 use std::fmt;
 
-/// Largest integer magnitude exactly representable as an IEEE double
-/// (2⁵³): integers beyond this are encoded as decimal strings.
-pub const MAX_SAFE_INT: u64 = 1 << 53;
+/// Largest integer magnitude safely representable as an IEEE double
+/// (2⁵³ − 1): integers beyond this are encoded as decimal strings.
+///
+/// 2⁵³ itself converts exactly, but it is the first value that collides
+/// with an unrepresentable neighbour (2⁵³ + 1 rounds onto it), so the
+/// safe range stops one short — matching JavaScript's
+/// `Number.MAX_SAFE_INTEGER`.
+pub const MAX_SAFE_INT: u64 = (1 << 53) - 1;
 
 /// A JSON value. Objects keep their key order (the writer emits fields in
 /// insertion order, so cache files diff cleanly); the parser rejects

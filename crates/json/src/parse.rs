@@ -272,11 +272,14 @@ impl Parser<'_> {
             Some(b'1'..=b'9') => self.digits()?,
             _ => return Err(Error::at(self.pos, "malformed number (no integer digits)")),
         }
+        let mut integral = true;
         if self.peek() == Some(b'.') {
+            integral = false;
             self.pos += 1;
             self.digits()?;
         }
         if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
             self.pos += 1;
             if matches!(self.peek(), Some(b'+' | b'-')) {
                 self.pos += 1;
@@ -288,6 +291,16 @@ impl Parser<'_> {
             text.parse().map_err(|_| Error::at(start, format!("unparsable number `{text}`")))?;
         if !n.is_finite() {
             return Err(Error::at(start, format!("number `{text}` overflows to infinity")));
+        }
+        // Fractions and exponents are doubles by declaration — rounding is
+        // expected there. An *integer* literal, though, promises an exact
+        // value; silently rounding `9007199254740993` to …92 would corrupt
+        // a digest on load. Strict parser, strict rule: reject instead.
+        if integral && !integer_is_exact(text, n) {
+            return Err(Error::at(
+                start,
+                format!("integer literal `{text}` is not exactly representable as an IEEE double"),
+            ));
         }
         Ok(Json::Num(n))
     }
@@ -301,4 +314,23 @@ impl Parser<'_> {
         }
         Ok(())
     }
+}
+
+/// Whether an integer literal survives the trip through `f64` unchanged:
+/// either its mathematical value converts exactly (decided in `i128`
+/// arithmetic, which covers every integer a cache file legitimately
+/// holds), or the literal is `f64::Display`'s own shortest form — which
+/// by construction re-parses to the identical bits, so the writer's
+/// output for huge integral floats (e.g. `1e23` rendered as
+/// `100000000000000000000000`) always round-trips.
+fn integer_is_exact(text: &str, n: f64) -> bool {
+    if let Ok(v) = text.parse::<i128>() {
+        // `v` is at most i128::MAX, so `n` is at most 2^127 — only that
+        // saturating top edge needs excluding before the cast back
+        // (i128::MIN is −2^127, itself exact, so the bottom edge is safe).
+        if n < i128::MAX as f64 && n as i128 == v {
+            return true;
+        }
+    }
+    format!("{n}") == text
 }

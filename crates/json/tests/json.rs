@@ -112,8 +112,8 @@ fn writer_escapes_strings() {
 
 #[test]
 fn u64_extremes_roundtrip_via_strings() {
-    // In the exact-f64 range: plain numbers.
-    assert_eq!(to_string(&MAX_SAFE_INT).unwrap(), "9007199254740992");
+    // In the safe-f64 range: plain numbers.
+    assert_eq!(to_string(&MAX_SAFE_INT).unwrap(), "9007199254740991");
     // Beyond it: decimal strings, so no precision is lost.
     assert_eq!(to_string(&u64::MAX).unwrap(), format!("\"{}\"", u64::MAX));
     for v in [0u64, 1, MAX_SAFE_INT - 1, MAX_SAFE_INT, MAX_SAFE_INT + 1, u64::MAX - 1, u64::MAX] {
@@ -128,6 +128,43 @@ fn u64_extremes_roundtrip_via_strings() {
     assert!(from_str::<u64>("-1").is_err());
     assert!(from_str::<u64>("1e300").is_err());
     assert!(from_str::<u32>(&format!("\"{}\"", u64::MAX)).is_err());
+}
+
+#[test]
+fn integer_precision_boundary_at_2_pow_53() {
+    const SAFE: u64 = (1 << 53) - 1;
+    assert_eq!(MAX_SAFE_INT, SAFE);
+    // 2⁵³ − 1, the largest safe integer: a plain number both directions.
+    assert_eq!(to_string(&SAFE).unwrap(), "9007199254740991");
+    assert_eq!(from_str::<u64>("9007199254740991").unwrap(), SAFE);
+    // 2⁵³: representable but past the safe range. The writer string-
+    // encodes it; the literal still parses (it is exact), but integer
+    // decoding rejects the plain spelling symmetrically with the encoder.
+    assert_eq!(to_string(&(SAFE + 1)).unwrap(), "\"9007199254740992\"");
+    assert_eq!(parse("9007199254740992").unwrap(), Json::Num(9007199254740992.0));
+    assert!(from_str::<u64>("9007199254740992").is_err());
+    assert_eq!(from_str::<u64>("\"9007199254740992\"").unwrap(), SAFE + 1);
+    // 2⁵³ + 1: not representable — the parser refuses to round it.
+    let err = parse("9007199254740993").unwrap_err();
+    assert!(err.to_string().contains("not exactly representable"), "got: {err}");
+    assert!(from_str::<u64>("9007199254740993").is_err());
+}
+
+#[test]
+fn integer_literals_must_be_exact() {
+    // Exact big literals are fine even far beyond 2⁵³…
+    assert_eq!(parse("18446744073709551616").unwrap(), Json::Num((1u128 << 64) as f64));
+    // …including the writer's own shortest form of a huge integral float.
+    assert_eq!(parse("100000000000000000000000").unwrap(), Json::Num(1e23));
+    assert_eq!(roundtrip(&Json::Num(1e23)), Json::Num(1e23));
+    // u64::MAX is not exactly representable: rejected, not rounded.
+    assert!(parse("18446744073709551615").is_err());
+    // The rule is sign-symmetric.
+    assert_eq!(parse("-9007199254740992").unwrap(), Json::Num(-9007199254740992.0));
+    assert!(parse("-9007199254740993").is_err());
+    // Fractions and exponents stay lenient: rounding is expected there.
+    assert_eq!(parse("9007199254740993.0").unwrap(), Json::Num(9007199254740992.0));
+    assert_eq!(parse("9.007199254740993e15").unwrap(), Json::Num(9007199254740992.0));
 }
 
 #[test]

@@ -65,6 +65,31 @@ impl fmt::Display for InstRef {
     }
 }
 
+/// A static basic-block location: function and block, with no instruction
+/// index. Block-level diagnostics (an empty block, a block missing its
+/// terminator's successor, …) carry this instead of an [`InstRef`] whose
+/// `idx` would be meaningless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BlockRef {
+    /// Containing function.
+    pub func: FuncId,
+    /// The block.
+    pub block: BlockId,
+}
+
+impl BlockRef {
+    /// Construct a block reference.
+    pub fn new(func: FuncId, block: BlockId) -> BlockRef {
+        BlockRef { func, block }
+    }
+}
+
+impl fmt::Display for BlockRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.func, self.block)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -75,6 +100,7 @@ mod tests {
         assert_eq!(r.to_string(), "@f1.b2#3");
         assert_eq!(FuncId(0).to_string(), "@f0");
         assert_eq!(BlockId(9).to_string(), ".b9");
+        assert_eq!(BlockRef::new(FuncId(1), BlockId(2)).to_string(), "@f1.b2");
     }
 
     #[test]

@@ -15,6 +15,17 @@
 //! * randomly, with [`generate::generate_program`], for property-based
 //!   differential testing of the analyses.
 //!
+//! However constructed, programs are **verified** before anything runs
+//! them: a multi-pass verifier ([`Program::verify_all`], module `verify`)
+//! checks structure, operand shapes and control-flow targets in dependency
+//! order, reports *every* defect at once, and establishes the invariant
+//! that an accepted program can never produce a structural error in the
+//! VM — the contract `og-vm` spends by lowering verified programs with
+//! the per-step defensive checks removed. [`Program::verify`] is the
+//! fail-fast form; both also hand back a [`ProgramContext`] of proven
+//! facts (reachability, recursion freedom, bounded call depth) on the
+//! collect-all path.
+//!
 //! ```
 //! use og_program::{ProgramBuilder, imm};
 //! use og_isa::{Reg, Width};
@@ -59,7 +70,7 @@ pub use cfg::{Cfg, Dominators, Loop, LoopForest};
 pub use data::{DataItem, DataSegment, GLOBAL_BASE, STACK_BASE, STACK_SIZE};
 pub use dataflow::{DefId, DefSite, DefUse, Liveness};
 pub use function::{Block, Function};
-pub use ids::{BlockId, FuncId, InstRef};
+pub use ids::{BlockId, BlockRef, FuncId, InstRef};
 pub use layout::{Layout, INST_BYTES, TEXT_BASE};
 pub use program::{Program, StaticStats};
-pub use verify::VerifyError;
+pub use verify::{ProgramContext, VerifyError};

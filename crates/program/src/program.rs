@@ -119,11 +119,28 @@ impl Program {
 
     /// Verify structural invariants; see [`crate::VerifyError`].
     ///
+    /// Fail-fast shim over [`Program::verify_all`] for callers that only
+    /// need accept/reject.
+    ///
     /// # Errors
     ///
     /// Returns the first violation found.
     pub fn verify(&self) -> Result<(), crate::VerifyError> {
         crate::verify::verify(self)
+    }
+
+    /// Run the full verification pipeline, collecting **all** diagnostics.
+    ///
+    /// On success returns the [`crate::ProgramContext`] of facts the
+    /// information passes established (reachability, recursion freedom,
+    /// provable call-stack depth). See the `verify` module docs for the
+    /// pass pipeline and the `Ok ⇒ no structural VM error` invariant.
+    ///
+    /// # Errors
+    ///
+    /// Returns every violation found, in pass order then program order.
+    pub fn verify_all(&self) -> Result<crate::ProgramContext, Vec<crate::VerifyError>> {
+        crate::verify::verify_all(self)
     }
 }
 

@@ -56,6 +56,16 @@
 //! instruction without executing it. The bit-identity contract between
 //! the engines covers programs that pass `verify` (which is what the
 //! equivalence suite, the oracle and every workload run).
+//!
+//! [`FlatProgram::lower_verified`] spends the verifier's invariant
+//! (*verify `Ok` ⇒ the VM never encounters a structural error*) in the
+//! other direction: it verifies first, rejects invalid programs up
+//! front, and marks the lowered form **trusted** — no `Malformed` slot
+//! can exist, so the hot loop is monomorphized with the malformed-slot
+//! arm compiled down to an `unreachable!`. Prefer it whenever the input
+//! is untrusted and a clean reject is acceptable (the oracle fast path);
+//! keep plain [`FlatProgram::lower`] when the lazy, reference-matching
+//! failure behaviour for invalid programs is itself the point.
 
 use og_isa::{CmpKind, Cond, Op, OpClass, Operand, Reg, Target, Width};
 use og_program::{BlockId, FuncId, InstRef, Layout, Program, INST_BYTES, TEXT_BASE};
@@ -241,6 +251,10 @@ pub struct FlatProgram {
     /// Dense block index → `(FuncId, BlockId)`, for folding the dense
     /// execution counts back into [`crate::DynStats::block_counts`].
     pub(crate) blocks: Vec<(FuncId, BlockId)>,
+    /// Produced by [`FlatProgram::lower_verified`]: the program passed
+    /// `verify`, so no slot is [`FlatOp::Malformed`] and the hot loop
+    /// runs with its per-step defensive checks compiled out.
+    pub(crate) trusted: bool,
 }
 
 /// Width → histogram column, matching `DynStats::record_class_width`.
@@ -433,7 +447,44 @@ impl FlatProgram {
             .get(program.entry.index())
             .map(|f| f.entry.index())
             .and_then(|bi| target_of(program.entry.index(), bi));
-        FlatProgram { insts, entry, blocks }
+        FlatProgram { insts, entry, blocks, trusted: false }
+    }
+
+    /// Lower a **verified** program into its flat trusted form.
+    ///
+    /// Runs [`og_program::Program::verify`] first and only lowers on
+    /// success, which statically excludes every [`FlatOp::Malformed`]
+    /// slot the plain [`FlatProgram::lower`] would produce lazily (and
+    /// guarantees the entry slot exists). The engine spends that proof:
+    /// a trusted flat program runs the hot loop with the malformed-slot
+    /// check compiled out entirely. Use this for untrusted input where
+    /// the verifier is the gate (the differential oracle's fast path);
+    /// use plain `lower` when you need the lazy, reference-matching
+    /// behaviour for invalid programs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`og_program::VerifyError`] when `program` does
+    /// not verify.
+    pub fn lower_verified(
+        program: &Program,
+        layout: &Layout,
+    ) -> Result<FlatProgram, og_program::VerifyError> {
+        program.verify()?;
+        let mut flat = Self::lower(program, layout);
+        debug_assert!(
+            !flat.insts.iter().any(|i| matches!(i.kind, FlatOp::Malformed { .. })),
+            "verify Ok must exclude every Malformed slot"
+        );
+        debug_assert!(flat.entry.is_some(), "verify Ok must resolve the entry slot");
+        flat.trusted = true;
+        Ok(flat)
+    }
+
+    /// Was this flat program produced by [`FlatProgram::lower_verified`]
+    /// (malformed-slot checks compiled out of the hot loop)?
+    pub fn is_trusted(&self) -> bool {
+        self.trusted
     }
 
     /// Number of lowered instructions (equal to the program's static
@@ -559,5 +610,31 @@ mod tests {
         let flat = lowered(&p);
         assert_eq!(flat.insts[1].kind, FlatOp::Malformed { what: "br without target" });
         assert_eq!(flat.entry, Some(0));
+        // The same program is rejected up front by the trusted lowering:
+        // verify is stricter than execution and covers unreachable slots.
+        assert!(FlatProgram::lower_verified(&p, &p.layout()).is_err());
+        assert!(!flat.is_trusted());
+    }
+
+    #[test]
+    fn verified_lowering_is_trusted_and_malformed_free() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        f.block("entry");
+        f.ldi(Reg::T0, 3);
+        f.out(Width::B, Reg::T0);
+        f.halt();
+        pb.finish(f);
+        let p = pb.build().unwrap();
+        let layout = p.layout();
+        let flat = FlatProgram::lower_verified(&p, &layout).unwrap();
+        assert!(flat.is_trusted());
+        assert!(flat.entry.is_some());
+        assert!(!flat.insts.iter().any(|i| matches!(i.kind, FlatOp::Malformed { .. })));
+        // Identical lowering apart from the trust bit.
+        let plain = FlatProgram::lower(&p, &layout);
+        assert_eq!(flat.insts, plain.insts);
+        assert_eq!(flat.entry, plain.entry);
+        assert_eq!(flat.blocks, plain.blocks);
     }
 }

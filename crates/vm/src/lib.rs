@@ -32,6 +32,22 @@
 //! value profiler's sink adapter, [`VecSink`]) inline straight into the
 //! hot loop instead of paying a virtual call per committed instruction.
 //!
+//! ## Trusted lowering: spending the verifier's invariant
+//!
+//! The verifier in `og-program` establishes that a program it accepts
+//! can never make the VM hit a structural error (`VmError::Malformed`).
+//! [`FlatProgram::lower_verified`] / [`Vm::new_verified`] spend that
+//! proof: they verify first, reject invalid programs with a
+//! `VerifyError` instead of lowering them, and mark the flat form
+//! *trusted* — the hot loop is then monomorphized with the
+//! malformed-slot arm compiled down to an `unreachable!`, so verified
+//! programs pay for no per-step defensive check. Use the verified path
+//! for untrusted input where the verifier is the gate (decoded
+//! `*.og.json`, fuzz candidates — the differential oracle's fused runs
+//! take it); use plain [`Vm::new`] when the lazy, reference-matching
+//! failure behaviour on *invalid* programs is itself what you are
+//! testing.
+//!
 //! The original graph-walking interpreter is retained, unchanged, as
 //! [`Vm::run_reference`] (and `run_reference_watched` /
 //! `run_reference_streamed` / `run_reference_full`): the semantic

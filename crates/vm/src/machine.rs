@@ -187,6 +187,38 @@ impl<'p> Vm<'p> {
     /// its pre-decoded flat form (O(program), paid once — see
     /// [`crate::flat`]).
     pub fn new(program: &'p Program, config: RunConfig) -> Vm<'p> {
+        let layout = program.layout();
+        let flat = FlatProgram::lower(program, &layout);
+        Self::with_flat(program, config, layout, flat)
+    }
+
+    /// Create an emulator for a **verified** program: like [`Vm::new`]
+    /// but lowering via [`FlatProgram::lower_verified`], so invalid
+    /// programs are rejected up front and the flat engine runs with the
+    /// malformed-slot check compiled out of the hot loop (the verifier's
+    /// `Ok ⇒ no structural error` invariant, spent). This is the path
+    /// for untrusted input behind the verifier gate — the differential
+    /// oracle's fused runs use it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`og_program::VerifyError`] when `program` does
+    /// not verify.
+    pub fn new_verified(
+        program: &'p Program,
+        config: RunConfig,
+    ) -> Result<Vm<'p>, og_program::VerifyError> {
+        let layout = program.layout();
+        let flat = FlatProgram::lower_verified(program, &layout)?;
+        Ok(Self::with_flat(program, config, layout, flat))
+    }
+
+    fn with_flat(
+        program: &'p Program,
+        config: RunConfig,
+        layout: Layout,
+        flat: FlatProgram,
+    ) -> Vm<'p> {
         let mut mem = Memory::new();
         for item in program.data.items() {
             mem.write_bytes(item.addr, &item.bytes);
@@ -194,8 +226,6 @@ impl<'p> Vm<'p> {
         let mut regs = [0i64; 32];
         regs[Reg::SP.index() as usize] = STACK_BASE as i64;
         regs[Reg::GP.index() as usize] = og_program::GLOBAL_BASE as i64;
-        let layout = program.layout();
-        let flat = FlatProgram::lower(program, &layout);
         let flat_block_counts = vec![0u64; flat.block_count()];
         Vm {
             program,
@@ -416,7 +446,13 @@ impl<'p> Vm<'p> {
         // Detach the flat form so the loop can borrow it while mutating
         // the rest of the machine state.
         let flat = std::mem::take(&mut self.flat);
-        let result = self.flat_loop(&flat, watcher, &mut sink);
+        // Monomorphize on trust: a verified lowering cannot contain
+        // `Malformed` slots, so its loop instance compiles the check out.
+        let result = if flat.trusted {
+            self.flat_loop::<W, S, true>(&flat, watcher, &mut sink)
+        } else {
+            self.flat_loop::<W, S, false>(&flat, watcher, &mut sink)
+        };
         // Flush the delay buffer; the final record keeps `next_pc` at
         // `u64::MAX` (also on error paths, where the last committed
         // instruction is final by definition).
@@ -448,8 +484,13 @@ impl<'p> Vm<'p> {
     /// every exit path. Mirrors [`Vm::step`]'s observable behaviour
     /// exactly: the execution order of statistics updates, error
     /// early-outs and the trace delay buffer is the same.
+    ///
+    /// `TRUSTED` instantiates the loop for flat programs produced by
+    /// [`FlatProgram::lower_verified`]: the verifier proved no
+    /// `Malformed` slot exists, so that arm reduces to `unreachable!`
+    /// and the defensive check vanishes from the compiled loop.
     #[allow(clippy::too_many_lines)]
-    fn flat_loop<W: Watcher + ?Sized, S: TraceSink + ?Sized>(
+    fn flat_loop<W: Watcher + ?Sized, S: TraceSink + ?Sized, const TRUSTED: bool>(
         &mut self,
         flat: &FlatProgram,
         watcher: &mut W,
@@ -595,7 +636,15 @@ impl<'p> Vm<'p> {
                     }
                 }
                 FlatOp::Halt => FlatNext::Done(HaltReason::Halt),
-                FlatOp::Malformed { what } => break Err(VmError::Malformed { at: inst.at, what }),
+                FlatOp::Malformed { what } => {
+                    if TRUSTED {
+                        // `lower_verified` proved no such slot exists;
+                        // this instance of the loop compiles the whole
+                        // arm down to this assertion.
+                        unreachable!("trusted flat program has a malformed slot at {}", inst.at);
+                    }
+                    break Err(VmError::Malformed { at: inst.at, what });
+                }
             };
 
             // ---- statistics (same values as the reference engine;
@@ -941,6 +990,53 @@ mod tests {
         let p = pb.build().unwrap();
         let mut vm = Vm::new(&p, RunConfig { max_call_depth: 64, ..Default::default() });
         assert_eq!(vm.run(), Err(VmError::CallDepthExceeded { max: 64 }));
+    }
+
+    #[test]
+    fn trusted_engine_matches_defensive_engine() {
+        let mut pb = ProgramBuilder::new();
+        pb.data_quads("tbl", &[5, 6, 7]);
+        let mut f = pb.function("main", 0);
+        f.block("entry");
+        f.la(Reg::T1, "tbl");
+        f.ldi(Reg::T0, 0);
+        f.ldi(Reg::T4, 0);
+        f.block("loop");
+        f.ld(Width::D, Reg::T2, Reg::T1, 0);
+        f.add(Width::W, Reg::T0, Reg::T0, Reg::T2);
+        f.add(Width::D, Reg::T1, Reg::T1, imm(8));
+        f.add(Width::W, Reg::T4, Reg::T4, imm(1));
+        f.cmp(og_isa::CmpKind::Lt, Width::D, Reg::T3, Reg::T4, imm(3));
+        f.bne(Reg::T3, "loop");
+        f.block("exit");
+        f.out(Width::B, Reg::T0);
+        f.halt();
+        pb.finish(f);
+        let p = pb.build().unwrap();
+        let mut defensive = Vm::new(&p, RunConfig::default());
+        let mut trusted = Vm::new_verified(&p, RunConfig::default()).unwrap();
+        assert!(trusted.flat_program().is_trusted());
+        let mut sink_d = VecSink::new();
+        let mut sink_t = VecSink::new();
+        let out_d = defensive.run_streamed(&mut sink_d).unwrap();
+        let out_t = trusted.run_streamed(&mut sink_t).unwrap();
+        assert_eq!(out_d, out_t);
+        assert_eq!(defensive.output(), trusted.output());
+        assert_eq!(defensive.stats(), trusted.stats());
+        assert_eq!(sink_d.records(), sink_t.records());
+    }
+
+    #[test]
+    fn new_verified_rejects_invalid_programs() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        f.block("entry");
+        f.halt();
+        pb.finish(f);
+        let mut p = pb.build().unwrap();
+        // Damage the program after the builder's own verification.
+        p.func_mut(FuncId(0)).blocks[0].insts[0].target = og_isa::Target::Block(9);
+        assert!(Vm::new_verified(&p, RunConfig::default()).is_err());
     }
 
     #[test]
