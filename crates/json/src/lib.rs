@@ -38,6 +38,7 @@
 
 mod convert;
 mod parse;
+pub mod store;
 mod write;
 
 pub use convert::{FromJson, ToJson};

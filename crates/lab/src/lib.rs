@@ -60,20 +60,24 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+mod pipeline;
+pub mod pool;
 pub mod report;
 mod serialize;
 
-use og_core::{UsefulPolicy, VrpConfig, VrpPass, VrsConfig, VrsPass};
+pub use pipeline::{run_lowered, run_program, RunError};
+pub use pool::WorkerPool;
+
 use og_isa::OpClass;
 use og_power::{ed2_improvement, EnergyModel, EnergyReport, GatingScheme};
-use og_sim::{ActivityCounts, CycleStats, MachineConfig, Simulator, Structure};
-use og_vm::{RunConfig, Vm};
+use og_sim::{ActivityCounts, CycleStats, Structure};
+use og_vm::RunConfig;
 use og_workloads::{by_name, InputSet, NAMES};
 use serde::{Deserialize, Serialize};
 use std::borrow::Cow;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 
 /// Bump when pipeline semantics change to invalidate cached studies.
@@ -230,12 +234,11 @@ impl Study {
         &mut self.runs
     }
 
-    /// The run of (benchmark, mechanism).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the combination is missing.
-    pub fn get(&self, bench: &str, mech: Mech) -> &RunSummary {
+    /// The run of (benchmark, mechanism), or `None` if the combination
+    /// is missing. The non-panicking lookup for callers handling
+    /// untrusted combinations — anything a service request can name goes
+    /// through here.
+    pub fn try_get(&self, bench: &str, mech: Mech) -> Option<&RunSummary> {
         let index = self.index.get_or_init(|| {
             let mut map: HashMap<Mech, HashMap<String, usize>> = HashMap::new();
             for (i, run) in self.runs.iter().enumerate() {
@@ -244,11 +247,18 @@ impl Study {
             }
             map
         });
-        index
-            .get(&mech)
-            .and_then(|per_bench| per_bench.get(bench))
-            .map(|&i| &self.runs[i])
-            .unwrap_or_else(|| panic!("missing run {bench}/{mech:?}"))
+        index.get(&mech).and_then(|per_bench| per_bench.get(bench)).map(|&i| &self.runs[i])
+    }
+
+    /// The run of (benchmark, mechanism).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combination is missing. The figure renderers use
+    /// this on the fixed suite, where a missing run is a pipeline bug;
+    /// request-facing code uses [`Study::try_get`].
+    pub fn get(&self, bench: &str, mech: Mech) -> &RunSummary {
+        self.try_get(bench, mech).unwrap_or_else(|| panic!("missing run {bench}/{mech:?}"))
     }
 
     /// Benchmark names actually present in the runs, in suite
@@ -329,92 +339,20 @@ impl Study {
 /// Run one (benchmark, mechanism) pipeline. `expected_digest` enforces
 /// observational equivalence when known.
 ///
+/// A thin wrapper over the program-first [`run_program`]: it builds the
+/// named workload (plus the training input for VRS) and converts the
+/// typed errors back into panics, which is the right contract for the
+/// fixed suite — any failure here is a pipeline bug, not bad input.
+///
 /// # Panics
 ///
 /// Panics if the workload fails to run or the transformed program's
 /// output diverges from the baseline.
 pub fn run_pipeline(bench: &str, mech: Mech, expected_digest: Option<u64>) -> RunSummary {
-    let mut program = by_name(bench, InputSet::Ref).program;
-    let mut vrs = None;
-    match mech {
-        Mech::Baseline => {}
-        Mech::ConvVrp | Mech::Vrp | Mech::VrpAggressive => {
-            let policy = match mech {
-                Mech::ConvVrp => UsefulPolicy::Off,
-                Mech::Vrp => UsefulPolicy::Paper,
-                _ => UsefulPolicy::Aggressive,
-            };
-            let cfg = VrpConfig { useful_policy: policy, ..Default::default() };
-            VrpPass::new(cfg).run(&mut program);
-        }
-        Mech::Vrs(cost) => {
-            let train = by_name(bench, InputSet::Train).program;
-            let cfg = VrsConfig { specialization_cost_nj: cost as f64, ..Default::default() };
-            let report = VrsPass::new(cfg).run(&mut program, &train);
-            vrs = Some((
-                report.profiled_points,
-                (
-                    report.count_fate(og_core::CandidateFate::NoBenefit),
-                    report.count_fate(og_core::CandidateFate::Dependent),
-                    report.count_fate(og_core::CandidateFate::Specialized),
-                ),
-                report.static_specialized,
-                report.static_eliminated,
-                report.specialized_blocks.clone(),
-                report.guard_sites.clone(),
-            ));
-        }
-    }
-
-    // One fused pass: the VM's pre-decoded flat engine streams each
-    // committed instruction straight into the simulator's state machine
-    // — no Vec<TraceRecord> anywhere, and `run_streamed` monomorphizes
-    // over `Simulator` so the sink calls inline into the hot loop.
-    let mut vm = Vm::new(&program, RunConfig::default());
-    let mut sim = Simulator::new(MachineConfig::default());
-    let outcome = vm.run_streamed(&mut sim).unwrap_or_else(|e| panic!("{bench}/{mech:?}: {e}"));
-    if let Some(d) = expected_digest {
-        assert_eq!(outcome.output_digest, d, "{bench}/{mech:?}: output diverged from baseline");
-    }
-    debug_assert!(vm.trace().is_empty(), "fused path must not materialize the trace");
-    let (_, stats, _) = vm.into_parts();
-    let sim = sim.finish();
-
-    let vrs_summary =
-        vrs.map(|(profiled, fates, static_specialized, static_eliminated, blocks, guards)| {
-            let total = stats.steps.max(1) as f64;
-            let mut spec_dyn = 0u64;
-            for (f, b) in &blocks {
-                let count = stats.block_counts.get(&(*f, *b)).copied().unwrap_or(0);
-                spec_dyn += count * program.func(*f).block(*b).insts.len() as u64;
-            }
-            let mut guard_dyn = 0u64;
-            for (f, b, _, len) in &guards {
-                let count = stats.block_counts.get(&(*f, *b)).copied().unwrap_or(0);
-                guard_dyn += count * *len as u64;
-            }
-            VrsSummary {
-                profiled,
-                fates,
-                static_specialized,
-                static_eliminated,
-                runtime_specialized_frac: spec_dyn as f64 / total,
-                runtime_guard_frac: guard_dyn as f64 / total,
-            }
-        });
-
-    RunSummary {
-        bench: bench.to_string(),
-        mech,
-        digest: outcome.output_digest,
-        insts: outcome.steps,
-        width_fracs: stats.width_fractions(),
-        sig_fracs: stats.sig_fractions(),
-        class_width: stats.class_width,
-        sim: sim.stats,
-        activity: sim.activity,
-        vrs: vrs_summary,
-    }
+    let program = by_name(bench, InputSet::Ref).program;
+    let train = matches!(mech, Mech::Vrs(_)).then(|| by_name(bench, InputSet::Train).program);
+    run_program(bench, &program, mech, train.as_ref(), RunConfig::default(), expected_digest)
+        .unwrap_or_else(|e| panic!("{bench}/{mech:?}: {e}"))
 }
 
 /// The directory study caches live in: `$OG_STUDY_DIR` if set, else
@@ -495,24 +433,12 @@ fn remove_stale_caches(dir: &Path) -> Vec<String> {
     removed
 }
 
-/// Serialize `study` and move it into place atomically: write to
-/// `<path>.tmp.<pid>.<seq>` in the same directory, then `rename`.
-/// Writers racing — across processes (pid) or threads within one
-/// (seq) — each own a distinct tmp file, and each rename is
-/// all-or-nothing, so readers never observe a torn file.
+/// Serialize `study` and move it into place atomically via
+/// [`og_json::store::atomic_write`] — the `tmp.<pid>.<seq>` + rename
+/// discipline this cache pioneered, now shared with the keyed store.
 fn save_cache(path: &Path, study: &Study) -> Result<(), String> {
-    static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
     let text = serde_json::to_string(study).map_err(|e| format!("serialize failed: {e}"))?;
-    let dir = path.parent().expect("cache path has a parent");
-    std::fs::create_dir_all(dir).map_err(|e| format!("create_dir {}: {e}", dir.display()))?;
-    let file_name = path.file_name().expect("cache path has a file name").to_string_lossy();
-    let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
-    let tmp = dir.join(format!("{file_name}.tmp.{}.{seq}", std::process::id()));
-    std::fs::write(&tmp, text).map_err(|e| format!("write {}: {e}", tmp.display()))?;
-    std::fs::rename(&tmp, path).map_err(|e| {
-        let _ = std::fs::remove_file(&tmp);
-        format!("rename {} -> {}: {e}", tmp.display(), path.display())
-    })
+    og_json::store::atomic_write(path, &text)
 }
 
 /// Times this process fell through to a full study computation. The
@@ -574,50 +500,72 @@ pub fn shared_study() -> &'static Study {
     SHARED.get_or_init(run_study)
 }
 
+/// Collect exactly `n` indexed results from a pool-fed channel,
+/// panicking with the pool's panic count if jobs went missing (a
+/// panicked job drops its sender without sending).
+fn drain_indexed<T>(
+    rx: std::sync::mpsc::Receiver<(usize, T)>,
+    n: usize,
+    pool: &WorkerPool,
+    what: &str,
+) -> Vec<Option<T>> {
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let mut received = 0usize;
+    for (idx, value) in rx {
+        assert!(slots[idx].replace(value).is_none(), "{what}: slot {idx} filled twice");
+        received += 1;
+    }
+    assert_eq!(received, n, "{what}: {} job(s) panicked in the worker pool", pool.panicked_jobs());
+    slots
+}
+
 /// Run the full study without touching the cache.
 ///
-/// Parallelized at (benchmark, mechanism) granularity: the 8 baselines
-/// run concurrently first (their digests gate everything else), then the
-/// remaining 64 runs drain from a shared queue onto a pool of one worker
-/// per available core. The assembled run order (benchmark-major, in
-/// [`Mech::ALL`] order) is identical to the old serial implementation,
-/// so cached studies and serialized layouts are unaffected.
+/// Parallelized at (benchmark, mechanism) granularity on a
+/// [`WorkerPool`]: the 8 baselines fan out first (their digests gate
+/// everything else), then the remaining 64 runs are submitted as
+/// individual jobs, so no worker is ever stuck behind one benchmark's
+/// queue. The assembled run order (benchmark-major, in [`Mech::ALL`]
+/// order) is identical to the old serial implementation, so cached
+/// studies and serialized layouts are unaffected.
 pub fn compute_study() -> Study {
     STUDY_RECOMPUTES.fetch_add(1, Ordering::Relaxed);
+    let pool = WorkerPool::with_default_parallelism();
 
-    // Phase 1: baselines, one thread each (8 tasks, all independent).
-    let baselines: Vec<RunSummary> = std::thread::scope(|scope| {
-        let handles: Vec<_> = NAMES
-            .iter()
-            .map(|&bench| scope.spawn(move || run_pipeline(bench, Mech::Baseline, None)))
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("baseline worker panicked")).collect()
-    });
+    // Phase 1: baselines (8 independent jobs).
+    let (tx, rx) = std::sync::mpsc::channel();
+    for (bi, &bench) in NAMES.iter().enumerate() {
+        let tx = tx.clone();
+        pool.submit(move || {
+            let summary = run_pipeline(bench, Mech::Baseline, None);
+            tx.send((bi, summary)).expect("study collector alive");
+        });
+    }
+    drop(tx);
+    let baselines: Vec<RunSummary> = drain_indexed(rx, NAMES.len(), &pool, "baselines")
+        .into_iter()
+        .map(|s| s.expect("one baseline per bench"))
+        .collect();
     let digests: Vec<u64> = baselines.iter().map(|r| r.digest).collect();
 
-    // Phase 2: every remaining (benchmark, mechanism) pair on a worker
-    // pool, so no thread is ever stuck behind one benchmark's queue.
+    // Phase 2: every remaining (benchmark, mechanism) pair as one job.
     let pairs: Vec<(usize, Mech)> = (0..NAMES.len())
         .flat_map(|bi| Mech::ALL.into_iter().skip(1).map(move |mech| (bi, mech)))
         .collect();
-    let slots: Vec<OnceLock<RunSummary>> = pairs.iter().map(|_| OnceLock::new()).collect();
-    let next = AtomicUsize::new(0);
-    let workers = std::thread::available_parallelism()
-        .map_or(4, std::num::NonZeroUsize::get)
-        .min(pairs.len());
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let idx = next.fetch_add(1, Ordering::Relaxed);
-                let Some(&(bi, mech)) = pairs.get(idx) else { break };
-                let summary = run_pipeline(NAMES[bi], mech, Some(digests[bi]));
-                slots[idx].set(summary).map_err(|_| "slot already filled").unwrap();
-            });
-        }
-    });
+    let (tx, rx) = std::sync::mpsc::channel();
+    for (idx, &(bi, mech)) in pairs.iter().enumerate() {
+        let tx = tx.clone();
+        let expected = digests[bi];
+        pool.submit(move || {
+            let summary = run_pipeline(NAMES[bi], mech, Some(expected));
+            tx.send((idx, summary)).expect("study collector alive");
+        });
+    }
+    drop(tx);
+    let extras = drain_indexed(rx, pairs.len(), &pool, "bench x mech runs");
 
     // Assemble benchmark-major, Mech::ALL order.
-    let mut extras = slots.into_iter().map(|s| s.into_inner().expect("worker completed the run"));
+    let mut extras = extras.into_iter().map(|s| s.expect("one summary per pair"));
     let mut runs = Vec::with_capacity(NAMES.len() * Mech::ALL.len());
     for base in baselines {
         runs.push(base);

@@ -1,0 +1,65 @@
+//! Library-ification equivalence: the program-first [`og_lab::run_program`]
+//! path must reproduce every `RunSummary` of the (warm) study cache
+//! **byte-identically** — same digests, same `STUDY_VERSION`, same JSON
+//! bytes. This is the contract that let `run_pipeline`/`compute_study`
+//! become thin wrappers over the library core without invalidating any
+//! cached study: if this test holds, a study computed through the old
+//! name-keyed path and one computed through the service path are the
+//! same artifact.
+
+use og_lab::{run_program, shared_study, Mech, WorkerPool, STUDY_VERSION};
+use og_vm::RunConfig;
+use og_workloads::{by_name, InputSet, NAMES};
+use std::sync::mpsc;
+
+#[test]
+fn run_program_reproduces_every_cached_summary_byte_identically() {
+    let study = shared_study();
+    assert_eq!(study.version, STUDY_VERSION);
+    assert_eq!(
+        study.runs().len(),
+        NAMES.len() * Mech::ALL.len(),
+        "the study must hold the full bench x mech matrix"
+    );
+
+    // Re-run the whole matrix through the program-first entry point, on
+    // the same worker pool the study computation uses.
+    let pool = WorkerPool::with_default_parallelism();
+    let (tx, rx) = mpsc::channel();
+    for (i, run) in study.runs().iter().enumerate() {
+        let tx = tx.clone();
+        let bench = run.bench.clone();
+        let mech = run.mech;
+        pool.submit(move || {
+            let program = by_name(&bench, InputSet::Ref).program;
+            let train =
+                matches!(mech, Mech::Vrs(_)).then(|| by_name(&bench, InputSet::Train).program);
+            let summary =
+                run_program(&bench, &program, mech, train.as_ref(), RunConfig::default(), None)
+                    .unwrap_or_else(|e| panic!("{bench}/{mech:?}: {e}"));
+            tx.send((i, summary)).expect("collector alive");
+        });
+    }
+    drop(tx);
+
+    let mut seen = 0usize;
+    for (i, summary) in rx {
+        let cached = &study.runs()[i];
+        assert_eq!(
+            &summary, cached,
+            "run_program diverged from the cached {}/{:?}",
+            cached.bench, cached.mech
+        );
+        // Byte-level, not just PartialEq: the serialized form is what
+        // the cache file and the service's keyed store actually hold.
+        assert_eq!(
+            serde_json::to_string(&summary).unwrap(),
+            serde_json::to_string(cached).unwrap(),
+            "serialized bytes diverged for {}/{:?}",
+            cached.bench,
+            cached.mech
+        );
+        seen += 1;
+    }
+    assert_eq!(seen, study.runs().len(), "{} run(s) went missing", pool.panicked_jobs());
+}

@@ -152,13 +152,27 @@ impl ToJson for Program {
     }
 }
 
-impl FromJson for Program {
-    fn from_json(json: &Json) -> Result<Program, Error> {
-        let program = Program {
+impl Program {
+    /// Decode a program from JSON **without** verifying it.
+    ///
+    /// [`FromJson`] verifies fail-fast, which is right for trusted inputs
+    /// (the fuzz corpus) but wrong for a service: it reports one error
+    /// and conflates "syntactically unreadable" with "structurally
+    /// invalid". A service decodes with this, then runs
+    /// [`Program::verify_all`] to collect *every* structural error for
+    /// the reject response.
+    pub fn from_json_unverified(json: &Json) -> Result<Program, Error> {
+        Ok(Program {
             funcs: json.field("funcs")?,
             entry: json.field("entry")?,
             data: json.field("data")?,
-        };
+        })
+    }
+}
+
+impl FromJson for Program {
+    fn from_json(json: &Json) -> Result<Program, Error> {
+        let program = Program::from_json_unverified(json)?;
         program
             .verify()
             .map_err(|e| Error::new(format!("decoded program fails verification: {e}")))?;

@@ -1,0 +1,473 @@
+//! # og-serve: the pipeline as a long-running study service
+//!
+//! Everything below this crate is a one-shot batch tool: build the fixed
+//! workload suite, compute the 72-run study, render figures, exit. The
+//! ROADMAP's north star is the same measurement machinery operating as a
+//! *service* — accept arbitrary `*.og.json` programs from untrusted
+//! clients, measure each one, and survive indefinitely. This crate is
+//! that service, standing on the three layers the refactor under it
+//! built:
+//!
+//! * **verifier gate** (`og-program`/`og-vm`): a request is decoded
+//!   *without* verification ([`og_program::Program::from_json_unverified`]),
+//!   then [`og_vm::FlatProgram::lower_verified_all`] runs the collect-all
+//!   verifier and lowers to the trusted flat form in one pass. Invalid
+//!   programs are rejected with the **complete** error list; accepted
+//!   ones carry the verifier's invariant (*verify `Ok` ⇒ the VM never
+//!   hits a structural error*) into execution, where the malformed-slot
+//!   check is compiled out of the hot loop.
+//! * **artifact cache** (this crate + `og-json`): accepted programs are
+//!   deduplicated by a 128-bit digest of their canonical JSON into a
+//!   bounded in-memory [`lru::Lru`] of lowered artifacts + memoized
+//!   [`RunSummary`]s, optionally backed by a persistent
+//!   [`og_json::store::KeyedStore`] so results survive restarts. A
+//!   digest collision (different canonical text, same digest) bypasses
+//!   the cache — a colliding program can never be served another
+//!   program's result.
+//! * **worker pool** (`og-lab`): the VM+simulator run of every request
+//!   executes as a job on a shared [`og_lab::WorkerPool`]; the calling
+//!   thread blocks on a rendezvous channel. A panicking job is contained
+//!   by the pool, counted as an invariant violation, and surfaces as a
+//!   clean [`Reject::Internal`] — one hostile request can never take the
+//!   process down.
+//!
+//! No network layer: [`Service::call`] is the transport-independent
+//! request path (text in, [`Response`] out), and [`loadgen`] drives it
+//! in-process with thousands of fuzz-generated programs at controlled
+//! concurrency, emitting `target/BENCH_serve.json` with requests/sec,
+//! p50/p99 latency, cache hit rate and reject rate. Run it with:
+//!
+//! ```text
+//! OG_SERVE_REQUESTS=2000 cargo run --release -p og-serve --example serve_load
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod loadgen;
+pub mod lru;
+
+use og_json::store::KeyedStore;
+use og_json::{FromJson, Json, ToJson};
+use og_lab::{run_lowered, RunError, RunSummary, WorkerPool, STUDY_VERSION};
+use og_program::{Program, VerifyError};
+use og_vm::{FlatProgram, RunConfig, VmError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// 64-bit FNV-1a with a caller-chosen basis (the standard offset basis
+/// gives `og_vm::fnv1a`; a derived basis gives an independent second
+/// hash).
+fn fnv1a_seeded(bytes: &[u8], basis: u64) -> u64 {
+    let mut hash = basis;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// SplitMix64 finalizer: decorrelates the second hash's basis from the
+/// first hash's value.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// 128-bit content digest of a program's canonical JSON text: FNV-1a in
+/// the low half, a SplitMix64-rebased second FNV-1a pass in the high
+/// half. Two independent 64-bit hashes push accidental collisions out of
+/// reach for any realistic corpus; deliberate collisions are handled
+/// (not just hoped against) by the cache's canonical-text comparison.
+pub fn digest128(text: &str) -> u128 {
+    let lo = og_vm::fnv1a(text.as_bytes());
+    let hi = fnv1a_seeded(text.as_bytes(), splitmix64(lo ^ text.len() as u64));
+    ((hi as u128) << 64) | lo as u128
+}
+
+/// Why a request was not served a summary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reject {
+    /// The request text is not JSON, or not the shape of a program.
+    Parse(og_json::Error),
+    /// The program decoded but failed verification; **every** structural
+    /// error is collected (the multi-pass `verify_all`), not just the
+    /// first.
+    Verify(Vec<VerifyError>),
+    /// The program verified but its run failed — out of fuel or call
+    /// depth. The program is valid; the result is still an error the
+    /// client must see.
+    Run(RunError),
+    /// The service itself failed (a worker panicked mid-job). Always
+    /// accompanied by an invariant-violation count increment.
+    Internal(&'static str),
+}
+
+impl std::fmt::Display for Reject {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Reject::Parse(e) => write!(f, "unparsable program: {e}"),
+            Reject::Verify(errors) => {
+                write!(f, "program failed verification with {} error(s):", errors.len())?;
+                for e in errors {
+                    write!(f, "\n  - {e}")?;
+                }
+                Ok(())
+            }
+            Reject::Run(e) => write!(f, "run failed: {e}"),
+            Reject::Internal(what) => write!(f, "internal service error: {what}"),
+        }
+    }
+}
+
+/// How a served summary was produced — the cache telemetry of one
+/// request. Variants are mutually exclusive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Served {
+    /// Full path: verified, lowered, executed.
+    Computed,
+    /// The memoized result of a cached artifact — no verify, no lower,
+    /// no run.
+    ResultHit,
+    /// The cached lowered artifact was reused (verify+lower skipped) but
+    /// the run executed, because the result was still in flight.
+    ArtifactHit,
+    /// The persistent keyed store had the result — lowered fresh for the
+    /// artifact cache, but no run.
+    StoreHit,
+    /// Not served: see the [`Reject`].
+    Rejected,
+}
+
+/// The outcome of one [`Service::call`].
+#[derive(Debug)]
+pub struct Response {
+    /// Content digest of the canonical program text (0 for requests that
+    /// never decoded far enough to have one).
+    pub digest: u128,
+    /// How the outcome was produced.
+    pub served: Served,
+    /// The measurement, or why there is none.
+    pub outcome: Result<Arc<RunSummary>, Reject>,
+}
+
+/// Service configuration.
+#[derive(Debug)]
+pub struct ServeConfig {
+    /// Worker threads executing runs (0 = one per available core).
+    pub workers: usize,
+    /// Capacity of the in-memory artifact LRU.
+    pub artifact_capacity: usize,
+    /// Optional persistent result store (survives restarts; evicts by
+    /// age under its own capacity bound).
+    pub store: Option<KeyedStore>,
+    /// Fuel and call-depth limits applied to every request's run.
+    pub run_config: RunConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 0,
+            artifact_capacity: 64,
+            store: None,
+            run_config: RunConfig::default(),
+        }
+    }
+}
+
+/// One cached accepted program: its canonical identity, the verified
+/// program, the trusted lowered artifact, and the memoized result once
+/// some request computed it.
+struct CacheEntry {
+    /// Canonical JSON text — compared on every hit so a digest collision
+    /// is detected instead of served.
+    text: String,
+    program: Program,
+    flat: FlatProgram,
+    /// Memoized measurement (or its deterministic failure).
+    result: OnceLock<Result<Arc<RunSummary>, RunError>>,
+}
+
+/// Monotonic counters, readable at any time via [`Service::metrics`].
+#[derive(Debug, Default)]
+struct Counters {
+    requests: AtomicU64,
+    parse_rejects: AtomicU64,
+    verify_rejects: AtomicU64,
+    run_errors: AtomicU64,
+    computed: AtomicU64,
+    result_hits: AtomicU64,
+    artifact_hits: AtomicU64,
+    store_hits: AtomicU64,
+    collisions: AtomicU64,
+    evictions: AtomicU64,
+    invariant_violations: AtomicU64,
+}
+
+/// A point-in-time snapshot of the service counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[allow(missing_docs)] // field names mirror the counter semantics above
+pub struct Metrics {
+    pub requests: u64,
+    pub parse_rejects: u64,
+    pub verify_rejects: u64,
+    pub run_errors: u64,
+    pub computed: u64,
+    pub result_hits: u64,
+    pub artifact_hits: u64,
+    pub store_hits: u64,
+    pub collisions: u64,
+    pub evictions: u64,
+    /// Things the design proves impossible that happened anyway: a
+    /// worker panic on the request path, or a structural VM error from a
+    /// program the verifier accepted. Zero is the only acceptable value;
+    /// CI asserts it under load.
+    pub invariant_violations: u64,
+}
+
+impl Metrics {
+    /// Requests served from any cache layer (memoized result, reusable
+    /// artifact, persistent store), as a fraction of all requests.
+    pub fn cache_hit_rate(&self) -> f64 {
+        (self.result_hits + self.artifact_hits + self.store_hits) as f64
+            / self.requests.max(1) as f64
+    }
+
+    /// Requests rejected at the gate (parse or verify), as a fraction of
+    /// all requests. Run failures of *valid* programs are not rejects.
+    pub fn reject_rate(&self) -> f64 {
+        (self.parse_rejects + self.verify_rejects) as f64 / self.requests.max(1) as f64
+    }
+}
+
+struct Shared {
+    cache: Mutex<lru::Lru<u128, Arc<CacheEntry>>>,
+    store: Option<KeyedStore>,
+    run_config: RunConfig,
+    counters: Counters,
+}
+
+/// The study service. See the crate docs for the architecture;
+/// [`Service::call`] is the whole request path.
+pub struct Service {
+    pool: WorkerPool,
+    shared: Arc<Shared>,
+}
+
+impl Service {
+    /// Stand up a service (spawns the worker pool).
+    pub fn new(config: ServeConfig) -> Service {
+        let pool = if config.workers == 0 {
+            WorkerPool::with_default_parallelism()
+        } else {
+            WorkerPool::new(config.workers)
+        };
+        Service {
+            pool,
+            shared: Arc::new(Shared {
+                cache: Mutex::new(lru::Lru::new(config.artifact_capacity)),
+                store: config.store,
+                run_config: config.run_config,
+                counters: Counters::default(),
+            }),
+        }
+    }
+
+    /// Snapshot the service counters.
+    pub fn metrics(&self) -> Metrics {
+        let c = &self.shared.counters;
+        let get = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        Metrics {
+            requests: get(&c.requests),
+            parse_rejects: get(&c.parse_rejects),
+            verify_rejects: get(&c.verify_rejects),
+            run_errors: get(&c.run_errors),
+            computed: get(&c.computed),
+            result_hits: get(&c.result_hits),
+            artifact_hits: get(&c.artifact_hits),
+            store_hits: get(&c.store_hits),
+            collisions: get(&c.collisions),
+            evictions: get(&c.evictions),
+            invariant_violations: get(&c.invariant_violations),
+        }
+    }
+
+    /// Serve one request: the text of a `*.og.json` program.
+    ///
+    /// Parse → decode (unverified) → canonicalize → digest → cache
+    /// probe → verify+lower → store probe → execute on the pool. Blocks
+    /// until the outcome exists; never panics on any input (a panic
+    /// *under* this path is contained by the pool and reported as
+    /// [`Reject::Internal`]).
+    pub fn call(&self, text: &str) -> Response {
+        let c = &self.shared.counters;
+        c.requests.fetch_add(1, Ordering::Relaxed);
+
+        // Gate 1: syntax and shape.
+        let program = match og_json::parse(text).and_then(|j| Program::from_json_unverified(&j)) {
+            Ok(p) => p,
+            Err(e) => {
+                c.parse_rejects.fetch_add(1, Ordering::Relaxed);
+                return Response {
+                    digest: 0,
+                    served: Served::Rejected,
+                    outcome: Err(Reject::Parse(e)),
+                };
+            }
+        };
+
+        // Canonical identity: the digest covers the *decoded* program's
+        // canonical rendering, so formatting differences (whitespace,
+        // field order the decoder tolerates) dedup onto one entry.
+        let canonical = match og_json::render(&program.to_json()) {
+            Ok(t) => t,
+            Err(e) => {
+                c.parse_rejects.fetch_add(1, Ordering::Relaxed);
+                return Response {
+                    digest: 0,
+                    served: Served::Rejected,
+                    outcome: Err(Reject::Parse(e)),
+                };
+            }
+        };
+        let digest = digest128(&canonical);
+
+        // Cache probe.
+        if let Some(entry) = self.shared.cache.lock().unwrap().get(&digest) {
+            if entry.text == canonical {
+                if let Some(result) = entry.result.get() {
+                    c.result_hits.fetch_add(1, Ordering::Relaxed);
+                    return self.finish(digest, Served::ResultHit, result.clone());
+                }
+                // Another request is computing this entry right now;
+                // reuse the artifact and race it benignly (both fill the
+                // same OnceLock, first wins).
+                c.artifact_hits.fetch_add(1, Ordering::Relaxed);
+                return self.execute(digest, Served::ArtifactHit, entry);
+            }
+            // Same digest, different program: never serve across a
+            // collision. Fall through to the full path, uncached.
+            c.collisions.fetch_add(1, Ordering::Relaxed);
+        }
+
+        // Gate 2: the collect-all verifier, fused with trusted lowering.
+        let layout = program.layout();
+        let (flat, _context) = match FlatProgram::lower_verified_all(&program, &layout) {
+            Ok(ok) => ok,
+            Err(errors) => {
+                c.verify_rejects.fetch_add(1, Ordering::Relaxed);
+                return Response {
+                    digest,
+                    served: Served::Rejected,
+                    outcome: Err(Reject::Verify(errors)),
+                };
+            }
+        };
+        let entry =
+            Arc::new(CacheEntry { text: canonical, program, flat, result: OnceLock::new() });
+
+        // Persistent-store probe: a result computed by an earlier
+        // process run.
+        if let Some(summary) = self.store_get(digest) {
+            let result = Ok(Arc::new(summary));
+            entry.result.set(result.clone()).ok();
+            self.cache_insert(digest, entry);
+            c.store_hits.fetch_add(1, Ordering::Relaxed);
+            return self.finish(digest, Served::StoreHit, result);
+        }
+
+        c.computed.fetch_add(1, Ordering::Relaxed);
+        self.cache_insert(digest, Arc::clone(&entry));
+        self.execute(digest, Served::Computed, entry)
+    }
+
+    fn cache_insert(&self, digest: u128, entry: Arc<CacheEntry>) {
+        if self.shared.cache.lock().unwrap().insert(digest, entry).is_some() {
+            self.shared.counters.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Decode a persisted result for `digest`, ignoring entries from a
+    /// different pipeline version.
+    fn store_get(&self, digest: u128) -> Option<RunSummary> {
+        let json = self.shared.store.as_ref()?.get(digest)?;
+        let version: u32 = json.field("version").ok()?;
+        if version != STUDY_VERSION {
+            return None;
+        }
+        json.get("summary").and_then(|s| RunSummary::from_json(s).ok())
+    }
+
+    fn store_put(&self, digest: u128, summary: &RunSummary) {
+        let Some(store) = self.shared.store.as_ref() else { return };
+        let doc = Json::Obj(vec![
+            ("version".into(), STUDY_VERSION.to_json()),
+            ("summary".into(), summary.to_json()),
+        ]);
+        if let Err(e) = store.put(digest, &doc) {
+            eprintln!("og-serve: failed to persist result {digest:032x}: {e}");
+        }
+    }
+
+    /// Run `entry`'s program on the pool (through its trusted lowered
+    /// artifact) and rendezvous on the result.
+    fn execute(&self, digest: u128, served: Served, entry: Arc<CacheEntry>) -> Response {
+        let c = &self.shared.counters;
+        let (tx, rx) = std::sync::mpsc::channel();
+        let run_config = self.shared.run_config.clone();
+        let job_entry = Arc::clone(&entry);
+        self.pool.submit(move || {
+            let name = format!("og-{:016x}", digest as u64);
+            let result = run_lowered(&name, &job_entry.program, job_entry.flat.clone(), run_config)
+                .map(Arc::new);
+            // First writer wins; a benign race with a concurrent
+            // ArtifactHit computes the same summary.
+            job_entry.result.set(result.clone()).ok();
+            let _ = tx.send(result);
+        });
+        match rx.recv() {
+            Ok(result) => {
+                if let Ok(summary) = &result {
+                    self.store_put(digest, summary);
+                }
+                self.finish(digest, served, result)
+            }
+            Err(_) => {
+                // The job panicked before sending: the pool contained
+                // it, but it should be impossible on this path.
+                c.invariant_violations.fetch_add(1, Ordering::Relaxed);
+                Response {
+                    digest,
+                    served: Served::Rejected,
+                    outcome: Err(Reject::Internal("worker panicked during run")),
+                }
+            }
+        }
+    }
+
+    /// Fold a run result into a [`Response`], counting run failures —
+    /// and flagging the one that is supposed to be impossible.
+    fn finish(
+        &self,
+        digest: u128,
+        served: Served,
+        result: Result<Arc<RunSummary>, RunError>,
+    ) -> Response {
+        match result {
+            Ok(summary) => Response { digest, served, outcome: Ok(summary) },
+            Err(e) => {
+                let c = &self.shared.counters;
+                c.run_errors.fetch_add(1, Ordering::Relaxed);
+                if matches!(e, RunError::Vm(VmError::Malformed { .. })) {
+                    // The verifier accepted this program; a structural
+                    // error at run time breaks the core invariant.
+                    c.invariant_violations.fetch_add(1, Ordering::Relaxed);
+                }
+                Response { digest, served: Served::Rejected, outcome: Err(Reject::Run(e)) }
+            }
+        }
+    }
+}

@@ -481,6 +481,37 @@ impl FlatProgram {
         Ok(flat)
     }
 
+    /// Lower a program into its flat trusted form, collecting **all**
+    /// verification diagnostics on failure.
+    ///
+    /// The service-facing variant of [`FlatProgram::lower_verified`]:
+    /// runs [`og_program::Program::verify_all`] once — no double
+    /// verification — and on success returns both the trusted flat form
+    /// and the [`og_program::ProgramContext`] of derived facts
+    /// (recursion-freedom, static call depth) the verifier proved, which
+    /// a caller can use to size [`crate::RunConfig::max_call_depth`]. On
+    /// failure the complete error list is returned so a service can
+    /// report every structural problem in one reject response.
+    ///
+    /// # Errors
+    ///
+    /// Returns every [`og_program::VerifyError`] in the program (the
+    /// list is never empty).
+    pub fn lower_verified_all(
+        program: &Program,
+        layout: &Layout,
+    ) -> Result<(FlatProgram, og_program::ProgramContext), Vec<og_program::VerifyError>> {
+        let context = program.verify_all()?;
+        let mut flat = Self::lower(program, layout);
+        debug_assert!(
+            !flat.insts.iter().any(|i| matches!(i.kind, FlatOp::Malformed { .. })),
+            "verify_all Ok must exclude every Malformed slot"
+        );
+        debug_assert!(flat.entry.is_some(), "verify_all Ok must resolve the entry slot");
+        flat.trusted = true;
+        Ok((flat, context))
+    }
+
     /// Was this flat program produced by [`FlatProgram::lower_verified`]
     /// (malformed-slot checks compiled out of the hot loop)?
     pub fn is_trusted(&self) -> bool {

@@ -213,6 +213,32 @@ impl<'p> Vm<'p> {
         Ok(Self::with_flat(program, config, layout, flat))
     }
 
+    /// Create an emulator from an **already-lowered** flat form of
+    /// `program`, skipping the per-construction lowering pass.
+    ///
+    /// This is the cached-artifact path: a service that lowers a program
+    /// once (via [`FlatProgram::lower_verified`] or
+    /// [`FlatProgram::lower_verified_all`]) and keeps the `FlatProgram`
+    /// in an LRU can stamp out fresh VMs from the cached artifact per
+    /// request. `flat` **must** have been lowered from this exact
+    /// `program` — the flat indices and the `trusted` flag are
+    /// meaningless against any other — which the constructor spot-checks
+    /// by instruction count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat`'s instruction count does not match `program`'s
+    /// (the cheap detectable symptom of pairing a flat artifact with the
+    /// wrong program).
+    pub fn with_lowered(program: &'p Program, config: RunConfig, flat: FlatProgram) -> Vm<'p> {
+        assert_eq!(
+            flat.inst_count(),
+            program.inst_count(),
+            "flat artifact does not belong to this program"
+        );
+        Self::with_flat(program, config, program.layout(), flat)
+    }
+
     fn with_flat(
         program: &'p Program,
         config: RunConfig,

@@ -91,13 +91,11 @@ pub struct Workload {
 /// The benchmark names, in the paper's figure order.
 pub const NAMES: [&str; 8] = ["compress", "gcc", "go", "ijpeg", "li", "m88ksim", "perl", "vortex"];
 
-/// Build one workload by name.
-///
-/// # Panics
-///
-/// Panics if `name` is not one of [`NAMES`].
-pub fn by_name(name: &str, input: InputSet) -> Workload {
-    match name {
+/// Build one workload by name, or `None` if `name` is not one of
+/// [`NAMES`]. The non-panicking lookup for callers handling untrusted
+/// bench names (a service request, a cache file from a newer version).
+pub fn try_by_name(name: &str, input: InputSet) -> Option<Workload> {
+    Some(match name {
         "compress" => compress(input),
         "gcc" => gcc(input),
         "go" => go(input),
@@ -106,8 +104,17 @@ pub fn by_name(name: &str, input: InputSet) -> Workload {
         "m88ksim" => m88ksim(input),
         "perl" => perl(input),
         "vortex" => vortex(input),
-        other => panic!("unknown workload `{other}`"),
-    }
+        _ => return None,
+    })
+}
+
+/// Build one workload by name.
+///
+/// # Panics
+///
+/// Panics if `name` is not one of [`NAMES`].
+pub fn by_name(name: &str, input: InputSet) -> Workload {
+    try_by_name(name, input).unwrap_or_else(|| panic!("unknown workload `{name}`"))
 }
 
 /// Build the whole suite.

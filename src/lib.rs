@@ -24,7 +24,10 @@
 //!   hardware and cooperative gating schemes;
 //! * [`workloads`] — the SpecInt95-analogue synthetic benchmark suite;
 //! * [`lab`] — the experiment pipeline that regenerates every table and
-//!   figure of the paper's evaluation.
+//!   figure of the paper's evaluation;
+//! * [`serve`] — the pipeline as a long-running service: verifier-gated
+//!   program intake, digest-keyed artifact caching, pool execution, and
+//!   an in-process load generator.
 //!
 //! ## Quickstart
 //!
@@ -46,6 +49,7 @@ pub use og_lab as lab;
 pub use og_power as power;
 pub use og_profile as profile;
 pub use og_program as program;
+pub use og_serve as serve;
 pub use og_sim as sim;
 pub use og_vm as vm;
 pub use og_workloads as workloads;
@@ -56,6 +60,7 @@ pub mod prelude {
     pub use og_isa::{CmpKind, Cond, Inst, IsaExtension, Op, OpClass, Operand, Reg, Width};
     pub use og_power::{EnergyModel, GatingScheme};
     pub use og_program::{Function, Program, ProgramBuilder};
+    pub use og_serve::{ServeConfig, Service};
     pub use og_sim::{MachineConfig, Simulator};
     pub use og_vm::{RunConfig, Vm};
     pub use og_workloads::InputSet;
