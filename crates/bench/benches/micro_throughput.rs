@@ -15,14 +15,23 @@
 //! (`Vm::new_verified`), which verifies up front and drops the per-step
 //! defensive check, reported as a delta over the plain flat engine.
 //!
+//! On top of those sit the superinstruction series: a **fusion A/B**
+//! (default fused lowering vs `lower_unfused`), the **fused no-stats**
+//! single-stream headline (`Vm::new_verified` + `run_nostats` — every
+//! non-architectural check and all bookkeeping compiled out), and the
+//! **batch** aggregate (many trusted VMs round-robin stepped per core
+//! via `og_lab::run_batch`).
+//!
 //! Run with `cargo bench -p og-bench --bench micro_throughput`.
 //!
 //! With `OG_BENCH_SMOKE=1` the Criterion groups are skipped and only the
-//! quick fused-vs-materialized and flat-vs-reference measurements run;
-//! either way the comparisons are written as machine-readable JSON to
-//! `BENCH_throughput.json` and `BENCH_vm.json` in the target directory
-//! (override the directory with `OG_BENCH_OUT`) so CI can track the
-//! perf trajectory.
+//! quick headline measurements run; either way the comparisons are
+//! written as machine-readable JSON to `BENCH_throughput.json`,
+//! `BENCH_vm.json` and `BENCH_fusion.json` (the fusion-opportunity
+//! profile over the workload suite + committed fuzz corpus) in the
+//! target directory (override with `OG_BENCH_OUT`) so CI can track the
+//! perf trajectory, with `bench_gate` failing any >20% single-stream
+//! regression against the committed `bench/baseline/BENCH_vm.json`.
 
 use criterion::{criterion_group, Criterion, Throughput};
 use og_core::{VrpConfig, VrpPass};
@@ -202,7 +211,25 @@ fn vm_report(smoke: bool) {
     };
     assert_eq!(trusted_outcome, flat_outcome, "trusted != flat outcome");
     assert_eq!(trusted_stats, flat_stats, "trusted != flat stats");
+    // Fusion A/B: the default lowering fuses superinstructions; the
+    // unfused lowering must still agree bit-for-bit.
+    let layout = program.layout();
+    let (unfused_outcome, unfused_stats) = {
+        let lowered = og_vm::FlatProgram::lower_unfused(&program, &layout);
+        let mut vm = Vm::with_lowered(&program, RunConfig::default(), lowered);
+        let o = vm.run().expect("runs");
+        (o, vm.stats().clone())
+    };
+    assert_eq!(unfused_outcome, flat_outcome, "unfused != fused outcome");
+    assert_eq!(unfused_stats, flat_stats, "unfused != fused stats");
+    // No-stats mode keeps the architectural outcome identical.
+    let nostats_outcome = {
+        let mut vm = Vm::new_verified(&program, RunConfig::default()).expect("verifies");
+        vm.run_nostats().expect("runs")
+    };
+    assert_eq!(nostats_outcome, flat_outcome, "nostats != flat outcome");
     let steps = flat_outcome.steps;
+    let fused_count = og_vm::FlatProgram::lower(&program, &layout).fused_count();
 
     // Plain emulation (no sink): the golden-digest / oracle path.
     let flat = median_secs(samples, || {
@@ -234,6 +261,54 @@ fn vm_report(smoke: bool) {
         let mut vm = Vm::new_verified(&program, RunConfig::default()).expect("verifies");
         vm.run_streamed(&mut og_vm::NullSink).expect("runs")
     });
+    // The fusion A/B partner: same untrusted stats engine, fusion off.
+    let unfused = median_secs(samples, || {
+        let lowered = og_vm::FlatProgram::lower_unfused(&program, &layout);
+        let mut vm = Vm::with_lowered(&program, RunConfig::default(), lowered);
+        vm.run().expect("runs")
+    });
+    // The single-stream headline: trusted + fused + no-stats — every
+    // check and every piece of bookkeeping that is not the architectural
+    // outcome compiled out (verify and lowering charged to the series).
+    let fused_nostats = median_secs(samples, || {
+        let mut vm = Vm::new_verified(&program, RunConfig::default()).expect("verifies");
+        vm.run_nostats().expect("runs")
+    });
+    // The aggregate headline: many independent trusted VMs round-robin
+    // stepped by one BatchRunner per core, sharded across the worker
+    // pool by `og_lab::run_batch`.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let batch_lanes = (2 * cores).max(8);
+    let batch_program = std::sync::Arc::new(program.clone());
+    let pool = og_lab::WorkerPool::with_default_parallelism();
+    {
+        // Batched execution must agree with solo before its speed counts.
+        let jobs: Vec<og_lab::BatchJob> = (0..batch_lanes)
+            .map(|_| {
+                og_lab::BatchJob::verified(
+                    std::sync::Arc::clone(&batch_program),
+                    RunConfig::default(),
+                )
+                .expect("verifies")
+            })
+            .collect();
+        for slot in og_lab::run_batch(&pool, jobs) {
+            let outcome = slot.expect("no shard lost").expect("runs");
+            assert_eq!(outcome, flat_outcome, "batched != solo outcome");
+        }
+    }
+    let batch = median_secs(samples, || {
+        let jobs: Vec<og_lab::BatchJob> = (0..batch_lanes)
+            .map(|_| {
+                og_lab::BatchJob::verified(
+                    std::sync::Arc::clone(&batch_program),
+                    RunConfig::default(),
+                )
+                .expect("verifies")
+            })
+            .collect();
+        og_lab::run_batch(&pool, jobs)
+    });
 
     let flat_sps = steps as f64 / flat;
     let reference_sps = steps as f64 / reference;
@@ -241,6 +316,9 @@ fn vm_report(smoke: bool) {
     let reference_streamed_sps = steps as f64 / reference_streamed;
     let trusted_sps = steps as f64 / trusted;
     let trusted_streamed_sps = steps as f64 / trusted_streamed;
+    let unfused_sps = steps as f64 / unfused;
+    let fused_sps = steps as f64 / fused_nostats;
+    let batch_sps = (steps * batch_lanes as u64) as f64 / batch;
     println!(
         "vm/flat_vs_reference             {:>12.0} steps/s flat, {:>12.0} steps/s reference \
          (x{:.2}, plain)",
@@ -263,6 +341,25 @@ fn vm_report(smoke: bool) {
         trusted_sps / flat_sps,
         trusted_streamed_sps / flat_streamed_sps,
     );
+    println!(
+        "vm/fusion_ab                     {:>12.0} steps/s fused, {:>12.0} steps/s unfused \
+         (x{:.2}, {fused_count} superinstructions in compress)",
+        flat_sps,
+        unfused_sps,
+        flat_sps / unfused_sps,
+    );
+    println!(
+        "vm/fused_nostats                 {:>12.0} steps/s single-stream (trusted+fused+nostats, \
+         x{:.2} over trusted)",
+        fused_sps,
+        fused_sps / trusted_sps,
+    );
+    println!(
+        "vm/batch                         {:>12.0} steps/s aggregate ({batch_lanes} lanes, \
+         {cores} core(s), x{:.2} over fused single-stream)",
+        batch_sps,
+        batch_sps / fused_sps,
+    );
 
     let report = Json::Obj(vec![
         ("bench".into(), Json::Str("compress".into())),
@@ -280,9 +377,89 @@ fn vm_report(smoke: bool) {
         ("trusted_streamed_steps_per_sec".into(), trusted_streamed_sps.to_json()),
         ("trusted_over_flat".into(), (trusted_sps / flat_sps).to_json()),
         ("trusted_streamed_over_flat".into(), (trusted_streamed_sps / flat_streamed_sps).to_json()),
+        ("unfused_steps_per_sec".into(), unfused_sps.to_json()),
+        ("fusion_speedup".into(), (flat_sps / unfused_sps).to_json()),
+        ("fused_count".into(), (fused_count as u64).to_json()),
+        ("fused_steps_per_sec".into(), fused_sps.to_json()),
+        ("fused_over_trusted".into(), (fused_sps / trusted_sps).to_json()),
+        ("batch_lanes".into(), (batch_lanes as u64).to_json()),
+        ("batch_steps_per_sec".into(), batch_sps.to_json()),
+        ("cores".into(), (cores as u64).to_json()),
     ]);
     match og_lab::report::write_bench_report("vm", &report) {
         Ok(path) => println!("vm engine report written to {}", path.display()),
+        Err(e) => eprintln!("{e}"),
+    }
+}
+
+/// Profile fusion opportunities over the whole workload suite plus the
+/// committed fuzz corpus and write `BENCH_fusion.json` — the data the
+/// lowering's fused-op set is chosen from (and re-validated against).
+fn fusion_report(smoke: bool) {
+    let input = if smoke { InputSet::Train } else { InputSet::Ref };
+    let mut acc = og_vm::fusion::FusionAccumulator::new();
+    let mut programs = 0u64;
+    for name in og_workloads::NAMES {
+        let program = og_workloads::by_name(name, input).program;
+        let mut vm = Vm::new(&program, RunConfig::default());
+        vm.run().unwrap_or_else(|e| panic!("{name}: workload must run: {e}"));
+        acc.add(&program, vm.stats());
+        programs += 1;
+    }
+    let corpus = og_fuzz::corpus::load_dir(&og_fuzz::corpus::corpus_dir())
+        .expect("committed corpus must load");
+    for (path, case) in corpus {
+        let config =
+            RunConfig { max_steps: case.oracle_config().max_steps, ..RunConfig::default() };
+        let mut vm = Vm::new(&case.program, config);
+        vm.run().unwrap_or_else(|e| panic!("{}: corpus case must run: {e}", path.display()));
+        acc.add(&case.program, vm.stats());
+        programs += 1;
+    }
+    let profile = acc.finish();
+
+    let table = |seqs: &[(String, u64)], top: usize| {
+        Json::Arr(
+            seqs.iter()
+                .take(top)
+                .map(|(seq, count)| {
+                    Json::Obj(vec![
+                        ("seq".into(), Json::Str(seq.clone())),
+                        ("count".into(), count.to_json()),
+                        (
+                            "share".into(),
+                            (*count as f64 / profile.total_steps.max(1) as f64).to_json(),
+                        ),
+                    ])
+                })
+                .collect(),
+        )
+    };
+    let report = Json::Obj(vec![
+        ("input".into(), Json::Str(if smoke { "train" } else { "ref" }.into())),
+        ("programs".into(), programs.to_json()),
+        ("total_steps".into(), profile.total_steps.to_json()),
+        ("pairs".into(), table(&profile.pairs, 12)),
+        ("triples".into(), table(&profile.triples, 12)),
+    ]);
+    let headline = |seqs: &[(String, u64)]| {
+        seqs.iter()
+            .take(3)
+            .map(|(seq, count)| {
+                format!("{seq} {:.1}%", 100.0 * *count as f64 / profile.total_steps.max(1) as f64)
+            })
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    println!(
+        "fusion/profile                   {} programs, {} steps; top pairs: {}; top triples: {}",
+        programs,
+        profile.total_steps,
+        headline(&profile.pairs),
+        headline(&profile.triples),
+    );
+    match og_lab::report::write_bench_report("fusion", &report) {
+        Ok(path) => println!("fusion profile written to {}", path.display()),
         Err(e) => eprintln!("{e}"),
     }
 }
@@ -300,4 +477,5 @@ fn main() {
     }
     throughput_report(smoke);
     vm_report(smoke);
+    fusion_report(smoke);
 }

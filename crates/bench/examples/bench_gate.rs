@@ -1,0 +1,94 @@
+//! Perf regression gate: compare a fresh `BENCH_vm.json` against the
+//! committed baseline snapshot.
+//!
+//! ```text
+//! OG_BENCH_SMOKE=1 cargo bench -p og-bench --bench micro_throughput
+//! cargo run --release -p og-bench --example bench_gate
+//! ```
+//!
+//! The committed baseline lives at `bench/baseline/BENCH_vm.json` (the
+//! CI box's smoke-mode numbers). Every single-stream engine series —
+//! `flat`, `trusted`, and the fused no-stats headline `fused` — must
+//! stay within 20% of its baseline steps/sec; a larger drop exits
+//! nonzero. The fused and batch series are printed either way so the
+//! superinstruction and aggregate numbers are visible in the CI log.
+//!
+//! Arguments (both optional, in order): baseline path, fresh path.
+//! Defaults: the committed snapshot, and `BENCH_vm.json` in the bench
+//! output directory (`OG_BENCH_OUT` or `target/`).
+
+use og_json::Json;
+use std::path::{Path, PathBuf};
+
+/// The single-stream series the gate protects, as `(key, label)`.
+const GATED: [(&str, &str); 3] = [
+    ("flat_steps_per_sec", "flat"),
+    ("trusted_steps_per_sec", "trusted"),
+    ("fused_steps_per_sec", "fused (nostats)"),
+];
+
+/// Largest tolerated drop relative to baseline: fresh ≥ 0.8 × baseline.
+const MAX_REGRESSION: f64 = 0.20;
+
+fn load(path: &Path) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    og_json::parse(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+fn num(report: &Json, key: &str, path: &Path) -> f64 {
+    report.field::<f64>(key).unwrap_or_else(|e| panic!("{}: missing `{key}`: {e}", path.display()))
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let baseline_path = args.next().map(PathBuf::from).unwrap_or_else(|| {
+        PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../bench/baseline/BENCH_vm.json"))
+    });
+    let fresh_path = args
+        .next()
+        .map(PathBuf::from)
+        .unwrap_or_else(|| og_lab::report::bench_out_dir().join("BENCH_vm.json"));
+    let baseline = load(&baseline_path);
+    let fresh = load(&fresh_path);
+
+    println!("bench_gate: baseline {}", baseline_path.display());
+    println!("bench_gate: fresh    {}", fresh_path.display());
+
+    let mut failures = Vec::new();
+    for (key, label) in GATED {
+        let base = num(&baseline, key, &baseline_path);
+        let now = num(&fresh, key, &fresh_path);
+        let ratio = now / base;
+        println!(
+            "bench_gate: {label:<16} {now:>14.0} steps/s  (baseline {base:>14.0}, x{ratio:.3})"
+        );
+        if ratio < 1.0 - MAX_REGRESSION {
+            failures.push(format!(
+                "{label}: {now:.0} steps/s is {:.1}% below baseline {base:.0}",
+                100.0 * (1.0 - ratio)
+            ));
+        }
+    }
+
+    // The superinstruction and aggregate headlines, for the CI log.
+    let fused = num(&fresh, "fused_steps_per_sec", &fresh_path);
+    let batch = num(&fresh, "batch_steps_per_sec", &fresh_path);
+    let lanes = num(&fresh, "batch_lanes", &fresh_path);
+    let cores = num(&fresh, "cores", &fresh_path);
+    let fusion = num(&fresh, "fusion_speedup", &fresh_path);
+    println!(
+        "bench_gate: fused single-stream {:.1}M steps/s (fusion A/B x{fusion:.2}), \
+         batch aggregate {:.1}M steps/s ({lanes:.0} lanes on {cores:.0} core(s))",
+        fused / 1e6,
+        batch / 1e6,
+    );
+
+    if failures.is_empty() {
+        println!("bench_gate: all single-stream series within {:.0}%", 100.0 * MAX_REGRESSION);
+    } else {
+        for f in &failures {
+            eprintln!("bench_gate: FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

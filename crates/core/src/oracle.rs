@@ -146,6 +146,9 @@ impl Default for OracleConfig {
 pub struct OracleOutcome {
     /// Committed instructions of the baseline run.
     pub base_steps: u64,
+    /// Output digest of the baseline run (both engines agreed on it) —
+    /// the anchor for the fuzz campaign's end-of-run batched cross-check.
+    pub base_digest: u64,
     /// Output bytes of the baseline run.
     pub output_len: usize,
     /// Sum of narrowed-instruction counts across VRP transforms.
@@ -367,6 +370,7 @@ pub fn check_program(p: &Program, cfg: &OracleConfig) -> Result<OracleOutcome, O
     // ---- the transform battery ---------------------------------------
     let mut outcome = OracleOutcome {
         base_steps: plain.steps,
+        base_digest: plain.output_digest,
         output_len: base_out.len(),
         transforms: cfg.transforms.len(),
         static_call_depth: ctx.static_call_depth,

@@ -27,9 +27,15 @@
 //!    cycle simulator both fused (flat engine) and materialized
 //!    (reference engine), and the two [`SimResult`]s must match
 //!    bit-for-bit;
-//! 3. **shrink** — on failure, [`shrink::shrink`] greedily minimizes the
+//! 3. **batch** — at the end of a green campaign every passing case is
+//!    re-executed through the fused+batched no-stats engine
+//!    ([`og_lab::run_batch`] sharding [`og_vm::BatchRunner`] lanes
+//!    across a worker pool) and must reproduce the oracle's step count
+//!    and output digest (signature `batch`) — the campaign-wide
+//!    differential for the og-serve fast path;
+//! 4. **shrink** — on failure, [`shrink::shrink`] greedily minimizes the
 //!    program against the same oracle;
-//! 4. **persist** — the shrunk reproducer is written to
+//! 5. **persist** — the shrunk reproducer is written to
 //!    `target/og-fuzz-failures/` as an `*.og.json` corpus case (CI
 //!    uploads it as an artifact), ready to be replayed locally and, once
 //!    fixed, committed to `crates/fuzz/corpus/` where the replay test
@@ -48,11 +54,13 @@ pub mod shrink;
 
 use og_core::oracle::{check_program, OracleConfig, OracleOutcome};
 use og_json::{Json, ToJson};
+use og_lab::{run_batch, BatchJob, WorkerPool};
 use og_program::generate::{generate_with_bound, GenConfig};
 use og_program::rng::SplitMix64;
 use og_program::Program;
 use og_sim::{MachineConfig, SimResult, Simulator};
-use og_vm::{RunConfig, VecSink, Vm};
+use og_vm::{BatchRunner, FlatProgram, RunConfig, VecSink, Vm};
+use std::sync::Arc;
 
 /// Configuration of one fuzzing campaign.
 #[derive(Debug, Clone)]
@@ -156,6 +164,46 @@ pub fn sim_cross_check(p: &Program, max_steps: u64) -> Result<(), String> {
     Ok(())
 }
 
+/// Run `p` as a single lane of a quantum-stepped [`BatchRunner`] (the
+/// fused, trusted, no-stats engine og-serve's batch path uses) and
+/// compare the architectural result — steps, output bytes, digest —
+/// against the reference graph-walking engine.
+///
+/// A deliberately small quantum forces many pause/resume boundaries, so
+/// the check exercises mid-run suspension (including between the
+/// constituents of fused superinstructions), not just the happy path.
+///
+/// # Errors
+///
+/// Returns a description of the first mismatch.
+pub fn batch_cross_check(p: &Program, max_steps: u64) -> Result<(), String> {
+    let cfg = RunConfig { max_steps, ..Default::default() };
+    let mut vm = Vm::new(p, cfg.clone());
+    let reference = vm.run_reference().map_err(|e| format!("reference run failed: {e}"))?;
+    let ref_out = vm.output().to_vec();
+
+    let flat = FlatProgram::lower_verified(p, &p.layout())
+        .map_err(|e| format!("trusted lowering failed: {e}"))?;
+    let mut runner = BatchRunner::with_quantum(7);
+    runner.push(Vm::with_lowered(p, cfg, flat));
+    runner.run();
+    let (batch_vm, result) = runner.into_lanes().pop().expect("one lane");
+    let outcome = result.map_err(|e| format!("batched run failed: {e}"))?;
+    if outcome.steps != reference.steps {
+        return Err(format!("batched steps {} != reference {}", outcome.steps, reference.steps));
+    }
+    if outcome.output_digest != reference.output_digest {
+        return Err(format!(
+            "batched digest {:#x} != reference {:#x}",
+            outcome.output_digest, reference.output_digest
+        ));
+    }
+    if batch_vm.output() != ref_out {
+        return Err("batched output bytes != reference output bytes".to_string());
+    }
+    Ok(())
+}
+
 /// One failing case, after shrinking.
 #[derive(Debug)]
 pub struct CaseFailure {
@@ -188,6 +236,9 @@ pub struct CampaignSummary {
     pub specializations: u64,
     /// Simulator cross-checks performed.
     pub sim_checks: u64,
+    /// Passing cases re-executed through the batched engine at the end
+    /// of the campaign (0 when the campaign failed before that phase).
+    pub batch_checked: u64,
     /// The failure, if the campaign found one (it stops at the first).
     pub failure: Option<CaseFailure>,
 }
@@ -202,6 +253,7 @@ impl CampaignSummary {
             ("vrp_narrowed".to_string(), self.narrowed.to_json()),
             ("vrs_specializations".to_string(), self.specializations.to_json()),
             ("sim_cross_checks".to_string(), self.sim_checks.to_json()),
+            ("batch_cross_checked".to_string(), self.batch_checked.to_json()),
             ("failed".to_string(), Json::Bool(self.failure.is_some())),
         ];
         if let Some(f) = &self.failure {
@@ -220,6 +272,7 @@ impl CampaignSummary {
 /// [`corpus::save_failure`] so CI can upload it.
 pub fn run_campaign(cfg: &CampaignConfig) -> CampaignSummary {
     let mut summary = CampaignSummary::default();
+    let mut passing: Vec<PassingCase> = Vec::new();
     for index in 0..cfg.cases {
         let gen_cfg = case_gen_config(cfg.base_seed, index);
         let (program, bound) = generate_with_bound(&gen_cfg);
@@ -242,6 +295,14 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignSummary {
                 summary.total_base_steps += outcome.base_steps;
                 summary.narrowed += outcome.narrowed as u64;
                 summary.specializations += outcome.specializations as u64;
+                passing.push(PassingCase {
+                    index,
+                    seed: gen_cfg.seed,
+                    program: Arc::new(program),
+                    max_steps: oracle_cfg.max_steps,
+                    base_steps: outcome.base_steps,
+                    base_digest: outcome.base_digest,
+                });
             }
             Err(error) => {
                 summary.failure =
@@ -250,7 +311,69 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignSummary {
             }
         }
     }
+
+    // End-of-campaign batch phase: every passing case re-executes through
+    // the fused+batched no-stats engine, sharded across a worker pool,
+    // and must land on the oracle's step count and output digest. This
+    // is the campaign-wide differential for the og-serve fast path.
+    if summary.failure.is_none() && !passing.is_empty() {
+        let pool = WorkerPool::with_default_parallelism();
+        let jobs: Vec<BatchJob> = passing
+            .iter()
+            .map(|c| {
+                let config = RunConfig { max_steps: c.max_steps, ..Default::default() };
+                BatchJob::verified(Arc::clone(&c.program), config)
+                    .expect("oracle-passing cases verify")
+            })
+            .collect();
+        let results = run_batch(&pool, jobs);
+        summary.batch_checked = passing.len() as u64;
+        for (case, slot) in passing.iter().zip(results) {
+            let mismatch = match slot {
+                None => Some("batch shard lost to a worker panic".to_string()),
+                Some(Err(e)) => Some(format!("batched run failed: {e}")),
+                Some(Ok(outcome)) => {
+                    if outcome.steps != case.base_steps {
+                        Some(format!(
+                            "batched steps {} != oracle baseline {}",
+                            outcome.steps, case.base_steps
+                        ))
+                    } else if outcome.output_digest != case.base_digest {
+                        Some(format!(
+                            "batched digest {:#x} != oracle baseline {:#x}",
+                            outcome.output_digest, case.base_digest
+                        ))
+                    } else {
+                        None
+                    }
+                }
+            };
+            if let Some(what) = mismatch {
+                let oracle_cfg = case_oracle_config(case.max_steps);
+                summary.failure = Some(shrink_failure(
+                    cfg,
+                    &oracle_cfg,
+                    case.index,
+                    case.seed,
+                    (*case.program).clone(),
+                    CaseError::Batch(what),
+                ));
+                break;
+            }
+        }
+    }
     summary
+}
+
+/// A case the oracle passed, retained for the end-of-campaign batch
+/// phase: what the batched engine must reproduce.
+struct PassingCase {
+    index: u64,
+    seed: u64,
+    program: Arc<Program>,
+    max_steps: u64,
+    base_steps: u64,
+    base_digest: u64,
 }
 
 /// How a case failed: the differential oracle, or the simulator
@@ -258,6 +381,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignSummary {
 enum CaseError {
     Oracle(og_core::oracle::OracleError),
     Sim(String),
+    Batch(String),
 }
 
 impl CaseError {
@@ -270,13 +394,14 @@ impl CaseError {
         match self {
             CaseError::Oracle(e) => format!("oracle:{}", e.signature()),
             CaseError::Sim(_) => "sim".to_string(),
+            CaseError::Batch(_) => "batch".to_string(),
         }
     }
 
     fn message(&self) -> String {
         match self {
             CaseError::Oracle(e) => e.to_string(),
-            CaseError::Sim(m) => m.clone(),
+            CaseError::Sim(m) | CaseError::Batch(m) => m.clone(),
         }
     }
 }
@@ -288,9 +413,14 @@ impl CaseError {
 fn candidate_signature(p: &Program, oracle_cfg: &OracleConfig) -> Option<String> {
     match check_program(p, oracle_cfg) {
         Err(e) => Some(CaseError::Oracle(e).signature()),
-        Ok(_) => {
-            sim_cross_check(p, oracle_cfg.max_steps).err().map(|m| CaseError::Sim(m).signature())
-        }
+        Ok(_) => sim_cross_check(p, oracle_cfg.max_steps)
+            .err()
+            .map(|m| CaseError::Sim(m).signature())
+            .or_else(|| {
+                batch_cross_check(p, oracle_cfg.max_steps)
+                    .err()
+                    .map(|m| CaseError::Batch(m).signature())
+            }),
     }
 }
 
@@ -364,16 +494,26 @@ mod tests {
         assert!(summary.failure.is_none(), "{:?}", summary.failure);
         assert_eq!(summary.cases, 8);
         assert_eq!(summary.sim_checks, 2);
+        assert_eq!(summary.batch_checked, 8, "every passing case re-runs batched");
         assert!(summary.total_base_steps > 0);
         assert!(summary.narrowed > 0, "VRP narrowed nothing across 8 programs?");
         let json = og_json::render(&summary.to_json()).unwrap();
         assert!(json.contains("\"failed\":false"), "{json}");
+        assert!(json.contains("\"batch_cross_checked\":8"), "{json}");
     }
 
     #[test]
     fn sim_cross_check_passes_on_a_generated_program() {
         let (p, bound) = generate_with_bound(&case_gen_config(42, 0));
         sim_cross_check(&p, bound).unwrap();
+    }
+
+    #[test]
+    fn batch_cross_check_passes_on_generated_programs() {
+        for index in 0..4 {
+            let (p, bound) = generate_with_bound(&case_gen_config(42, index));
+            batch_cross_check(&p, bound).unwrap_or_else(|e| panic!("case {index}: {e}"));
+        }
     }
 
     #[test]

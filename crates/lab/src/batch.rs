@@ -1,0 +1,178 @@
+//! Sharding [`og_vm::BatchRunner`] batches across the [`WorkerPool`].
+//!
+//! A [`BatchRunner`] keeps one *core* busy by round-robin-stepping many
+//! lanes; this module adds the second axis: a job list is split into
+//! contiguous shards, one per pool worker, and each shard becomes one
+//! pool job driving its own `BatchRunner` to completion. Aggregate
+//! throughput then scales with cores × per-core batch throughput.
+//!
+//! Results come back in job order. A shard whose pool job panicked
+//! reports `None` for every lane it carried (the pool contains the
+//! panic; [`WorkerPool::panicked_jobs`] says why the slots are empty) —
+//! callers on the fixed suite treat that as a bug and unwrap, while
+//! og-serve maps it to an internal-error response.
+
+use crate::pool::WorkerPool;
+use og_program::{Program, VerifyError};
+use og_vm::{BatchRunner, FlatProgram, RunConfig, RunOutcome, Vm, VmError};
+use std::sync::mpsc;
+use std::sync::Arc;
+
+/// One lane of a batch: a program with its trusted lowering and run
+/// configuration. The `Arc` keeps the program alive for the worker
+/// thread that ends up borrowing it.
+pub struct BatchJob {
+    /// The program to run.
+    pub program: Arc<Program>,
+    /// Its trusted flat lowering (must come from this exact program).
+    pub flat: FlatProgram,
+    /// Fuel and call-depth limits for this lane.
+    pub config: RunConfig,
+}
+
+impl BatchJob {
+    /// Verify `program` and lower it trusted, ready for batching.
+    ///
+    /// # Errors
+    ///
+    /// Returns the verifier's error when the program is invalid — batch
+    /// lanes must be trusted, so unverifiable programs never get in.
+    pub fn verified(program: Arc<Program>, config: RunConfig) -> Result<BatchJob, VerifyError> {
+        let flat = FlatProgram::lower_verified(&program, &program.layout())?;
+        Ok(BatchJob { program, flat, config })
+    }
+}
+
+/// Run every job to completion, sharded across the pool's workers, with
+/// the no-stats engine (architectural results only — outputs are
+/// reachable through [`RunOutcome::output_digest`]).
+///
+/// Returns one slot per job, in order. `None` means the job's shard was
+/// lost to a worker panic (contained by the pool); `Some(Err(_))` is the
+/// lane's own runtime failure (out of fuel, call depth).
+pub fn run_batch(
+    pool: &WorkerPool,
+    jobs: Vec<BatchJob>,
+) -> Vec<Option<Result<RunOutcome, VmError>>> {
+    let n = jobs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let shard_size = n.div_ceil(pool.workers());
+    let (tx, rx) = mpsc::channel::<(usize, Vec<Result<RunOutcome, VmError>>)>();
+    let mut jobs = jobs.into_iter();
+    let mut start = 0usize;
+    while start < n {
+        let shard: Vec<BatchJob> = jobs.by_ref().take(shard_size).collect();
+        let len = shard.len();
+        let tx = tx.clone();
+        pool.submit(move || {
+            // The Arcs outlive the runner (declared first → dropped
+            // last), so the VMs' borrows stay valid for the whole sweep.
+            let programs: Vec<Arc<Program>> =
+                shard.iter().map(|j| Arc::clone(&j.program)).collect();
+            let mut runner = BatchRunner::new();
+            for (i, job) in shard.into_iter().enumerate() {
+                runner.push(Vm::with_lowered(&programs[i], job.config, job.flat));
+            }
+            runner.run();
+            let results = runner.into_lanes().into_iter().map(|(_, r)| r).collect();
+            let _ = tx.send((start, results));
+        });
+        start += len;
+    }
+    drop(tx);
+
+    let mut slots: Vec<Option<Result<RunOutcome, VmError>>> = (0..n).map(|_| None).collect();
+    for (shard_start, results) in rx {
+        for (i, result) in results.into_iter().enumerate() {
+            assert!(
+                slots[shard_start + i].replace(result).is_none(),
+                "batch slot {} filled twice",
+                shard_start + i
+            );
+        }
+    }
+    slots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use og_isa::{Reg, Width};
+    use og_program::{imm, ProgramBuilder};
+
+    fn out_program(value: i64) -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        f.block("entry");
+        f.ldi(Reg::T0, value);
+        f.add(Width::B, Reg::T0, Reg::T0, imm(1));
+        f.out(Width::B, Reg::T0);
+        f.halt();
+        pb.finish(f);
+        pb.build().unwrap()
+    }
+
+    #[test]
+    fn batch_results_come_back_in_job_order() {
+        let pool = WorkerPool::new(3);
+        let jobs: Vec<BatchJob> = (0..17)
+            .map(|i| BatchJob::verified(Arc::new(out_program(i)), RunConfig::default()).unwrap())
+            .collect();
+        let expected: Vec<u64> = (0..17)
+            .map(|i| {
+                let p = out_program(i);
+                let mut vm = Vm::new(&p, RunConfig::default());
+                vm.run().unwrap().output_digest
+            })
+            .collect();
+        let results = run_batch(&pool, jobs);
+        assert_eq!(results.len(), 17);
+        for (i, slot) in results.into_iter().enumerate() {
+            let outcome = slot.expect("no shard lost").expect("program runs");
+            assert_eq!(outcome.output_digest, expected[i], "lane {i}");
+        }
+        assert_eq!(pool.panicked_jobs(), 0);
+    }
+
+    #[test]
+    fn per_lane_failures_do_not_poison_the_shard() {
+        let pool = WorkerPool::new(1);
+        let spin = {
+            let mut pb = ProgramBuilder::new();
+            let mut f = pb.function("main", 0);
+            f.block("spin");
+            f.br("spin");
+            f.block("unreach");
+            f.halt();
+            pb.finish(f);
+            pb.build().unwrap()
+        };
+        let jobs = vec![
+            BatchJob::verified(Arc::new(out_program(1)), RunConfig::default()).unwrap(),
+            BatchJob::verified(
+                Arc::new(spin),
+                RunConfig { max_steps: 100, ..RunConfig::default() },
+            )
+            .unwrap(),
+            BatchJob::verified(Arc::new(out_program(2)), RunConfig::default()).unwrap(),
+        ];
+        let results = run_batch(&pool, jobs);
+        assert!(results[0].as_ref().unwrap().is_ok());
+        assert_eq!(results[1].as_ref().unwrap(), &Err(VmError::OutOfFuel { steps: 100 }));
+        assert!(results[2].as_ref().unwrap().is_ok());
+    }
+
+    #[test]
+    fn unverifiable_programs_are_rejected_at_job_construction() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        f.block("entry");
+        f.halt();
+        pb.finish(f);
+        let mut p = pb.build().unwrap();
+        p.func_mut(og_program::FuncId(0)).blocks[0].insts[0].target = og_isa::Target::Block(9);
+        assert!(BatchJob::verified(Arc::new(p), RunConfig::default()).is_err());
+    }
+}

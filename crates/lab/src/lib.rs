@@ -59,12 +59,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod figures;
 mod pipeline;
 pub mod pool;
 pub mod report;
 mod serialize;
 
+pub use batch::{run_batch, BatchJob};
 pub use pipeline::{run_lowered, run_program, RunError};
 pub use pool::WorkerPool;
 
@@ -532,6 +534,28 @@ pub fn compute_study() -> Study {
     STUDY_RECOMPUTES.fetch_add(1, Ordering::Relaxed);
     let pool = WorkerPool::with_default_parallelism();
 
+    // Phase 0: run every baseline through the batched no-stats engine.
+    // Cheap relative to the full pipeline (no simulation, no stats) and
+    // it cross-checks the fused+batched fast path against the full
+    // engine on every study recompute: phase 1's digests must agree.
+    let batch_jobs: Vec<BatchJob> = NAMES
+        .iter()
+        .map(|&bench| {
+            let program = std::sync::Arc::new(by_name(bench, InputSet::Ref).program);
+            BatchJob::verified(program, RunConfig::default())
+                .unwrap_or_else(|e| panic!("{bench}: workload must verify: {e:?}"))
+        })
+        .collect();
+    let batch_digests: Vec<u64> = run_batch(&pool, batch_jobs)
+        .into_iter()
+        .zip(NAMES)
+        .map(|(slot, bench)| {
+            slot.unwrap_or_else(|| panic!("{bench}: batch shard lost to a worker panic"))
+                .unwrap_or_else(|e| panic!("{bench}: batched run failed: {e:?}"))
+                .output_digest
+        })
+        .collect();
+
     // Phase 1: baselines (8 independent jobs).
     let (tx, rx) = std::sync::mpsc::channel();
     for (bi, &bench) in NAMES.iter().enumerate() {
@@ -547,6 +571,10 @@ pub fn compute_study() -> Study {
         .map(|s| s.expect("one baseline per bench"))
         .collect();
     let digests: Vec<u64> = baselines.iter().map(|r| r.digest).collect();
+    assert_eq!(
+        digests, batch_digests,
+        "batched no-stats engine diverged from the full pipeline on a baseline digest"
+    );
 
     // Phase 2: every remaining (benchmark, mechanism) pair as one job.
     let pairs: Vec<(usize, Mech)> = (0..NAMES.len())

@@ -189,8 +189,7 @@ fn finish(
             return Err(RunError::DigestMismatch { expected, actual: outcome.output_digest });
         }
     }
-    debug_assert!(vm.trace().is_empty(), "fused path must not materialize the trace");
-    let (_, stats, _) = vm.into_parts();
+    let (stats, _) = vm.into_parts();
     let sim = sim.finish();
 
     let vrs_summary = vrs.map(|raw| {

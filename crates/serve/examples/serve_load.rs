@@ -49,14 +49,27 @@ fn main() {
         m.run_errors,
         m.evictions,
     );
+    eprintln!(
+        "og-serve: batch phase {} lanes  {} steps  {:.1}M steps/s aggregate",
+        report.batch_requests,
+        report.batch_steps,
+        report.batch_steps_per_sec / 1e6,
+    );
     match report.write() {
         Ok(path) => eprintln!("og-serve: report written to {}", path.display()),
         Err(e) => eprintln!("og-serve: warning: {e}"),
     }
 
     let mut failures = Vec::new();
-    if m.requests != config.requests {
-        failures.push(format!("served {} of {} requests", m.requests, config.requests));
+    let expected = config.requests + report.batch_requests;
+    if m.requests != expected {
+        failures.push(format!("served {} of {} requests", m.requests, expected));
+    }
+    if report.batch_requests != config.unique_programs || report.batch_steps == 0 {
+        failures.push(format!(
+            "batched phase must run the full valid corpus ({} lanes, {} steps)",
+            report.batch_requests, report.batch_steps
+        ));
     }
     if m.invariant_violations != 0 {
         failures.push(format!("{} invariant violation(s)", m.invariant_violations));

@@ -32,7 +32,12 @@
 //!   process down.
 //!
 //! No network layer: [`Service::call`] is the transport-independent
-//! request path (text in, [`Response`] out), and [`loadgen`] drives it
+//! request path (text in, [`Response`] out). [`Service::call_many`] is
+//! the batched execution entry: the same gates, but surviving lanes run
+//! together on the no-stats batch engine ([`og_vm::BatchRunner`]
+//! sharded across the pool) and come back as architectural
+//! [`ExecResponse`]s — the fast path when the client wants outputs, not
+//! measurements. [`loadgen`] drives both in-process
 //! in-process with thousands of fuzz-generated programs at controlled
 //! concurrency, emitting `target/BENCH_serve.json` with requests/sec,
 //! p50/p99 latency, cache hit rate and reject rate. Run it with:
@@ -49,9 +54,10 @@ pub mod lru;
 
 use og_json::store::KeyedStore;
 use og_json::{FromJson, Json, ToJson};
-use og_lab::{run_lowered, RunError, RunSummary, WorkerPool, STUDY_VERSION};
+use og_lab::{run_batch, run_lowered, BatchJob, RunError, RunSummary, WorkerPool, STUDY_VERSION};
 use og_program::{Program, VerifyError};
-use og_vm::{FlatProgram, RunConfig, VmError};
+use og_vm::{FlatProgram, RunConfig, RunOutcome, VmError};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -153,6 +159,21 @@ pub struct Response {
     pub outcome: Result<Arc<RunSummary>, Reject>,
 }
 
+/// The outcome of one lane of [`Service::call_many`]: the architectural
+/// result only (steps, halt reason, output digest) — no per-width
+/// statistics, no simulator run.
+#[derive(Debug)]
+pub struct ExecResponse {
+    /// Content digest of the canonical program text (0 for requests that
+    /// never decoded far enough to have one).
+    pub digest: u128,
+    /// How the outcome was produced ([`Served::ArtifactHit`] also covers
+    /// an in-batch duplicate sharing another request's lane).
+    pub served: Served,
+    /// The run outcome, or why there is none.
+    pub outcome: Result<RunOutcome, Reject>,
+}
+
 /// Service configuration.
 #[derive(Debug)]
 pub struct ServeConfig {
@@ -185,10 +206,16 @@ struct CacheEntry {
     /// Canonical JSON text — compared on every hit so a digest collision
     /// is detected instead of served.
     text: String,
-    program: Program,
+    /// Shared so a batch lane can borrow the program on a worker thread
+    /// while the entry stays live in the cache.
+    program: Arc<Program>,
     flat: FlatProgram,
     /// Memoized measurement (or its deterministic failure).
     result: OnceLock<Result<Arc<RunSummary>, RunError>>,
+    /// Memoized architectural outcome from the no-stats batch engine
+    /// ([`Service::call_many`]) — independent of `result`, because an
+    /// execution request must not pay for a full measurement.
+    exec: OnceLock<Result<RunOutcome, VmError>>,
 }
 
 /// Monotonic counters, readable at any time via [`Service::metrics`].
@@ -306,34 +333,12 @@ impl Service {
         let c = &self.shared.counters;
         c.requests.fetch_add(1, Ordering::Relaxed);
 
-        // Gate 1: syntax and shape.
-        let program = match og_json::parse(text).and_then(|j| Program::from_json_unverified(&j)) {
-            Ok(p) => p,
-            Err(e) => {
-                c.parse_rejects.fetch_add(1, Ordering::Relaxed);
-                return Response {
-                    digest: 0,
-                    served: Served::Rejected,
-                    outcome: Err(Reject::Parse(e)),
-                };
+        let (digest, canonical, program) = match self.admit(text) {
+            Ok(admitted) => admitted,
+            Err(reject) => {
+                return Response { digest: 0, served: Served::Rejected, outcome: Err(reject) }
             }
         };
-
-        // Canonical identity: the digest covers the *decoded* program's
-        // canonical rendering, so formatting differences (whitespace,
-        // field order the decoder tolerates) dedup onto one entry.
-        let canonical = match og_json::render(&program.to_json()) {
-            Ok(t) => t,
-            Err(e) => {
-                c.parse_rejects.fetch_add(1, Ordering::Relaxed);
-                return Response {
-                    digest: 0,
-                    served: Served::Rejected,
-                    outcome: Err(Reject::Parse(e)),
-                };
-            }
-        };
-        let digest = digest128(&canonical);
 
         // Cache probe.
         if let Some(entry) = self.shared.cache.lock().unwrap().get(&digest) {
@@ -366,8 +371,13 @@ impl Service {
                 };
             }
         };
-        let entry =
-            Arc::new(CacheEntry { text: canonical, program, flat, result: OnceLock::new() });
+        let entry = Arc::new(CacheEntry {
+            text: canonical,
+            program: Arc::new(program),
+            flat,
+            result: OnceLock::new(),
+            exec: OnceLock::new(),
+        });
 
         // Persistent-store probe: a result computed by an earlier
         // process run.
@@ -382,6 +392,234 @@ impl Service {
         c.computed.fetch_add(1, Ordering::Relaxed);
         self.cache_insert(digest, Arc::clone(&entry));
         self.execute(digest, Served::Computed, entry)
+    }
+
+    /// Gate 1 plus canonical identity, shared by [`Service::call`] and
+    /// [`Service::call_many`]: parse, decode unverified, canonically
+    /// render, digest. The digest covers the *decoded* program's
+    /// canonical rendering, so formatting differences (whitespace, field
+    /// order the decoder tolerates) dedup onto one entry. Counts the
+    /// parse reject on failure.
+    fn admit(&self, text: &str) -> Result<(u128, String, Program), Reject> {
+        let admitted = og_json::parse(text)
+            .and_then(|j| Program::from_json_unverified(&j))
+            .and_then(|p| og_json::render(&p.to_json()).map(|canonical| (p, canonical)));
+        match admitted {
+            Ok((program, canonical)) => {
+                let digest = digest128(&canonical);
+                Ok((digest, canonical, program))
+            }
+            Err(e) => {
+                self.shared.counters.parse_rejects.fetch_add(1, Ordering::Relaxed);
+                Err(Reject::Parse(e))
+            }
+        }
+    }
+
+    /// Serve a batch of requests through the **no-stats batch engine**.
+    ///
+    /// Each request passes the same gates as [`Service::call`] (parse →
+    /// canonicalize → digest → verify+lower), but execution is batched:
+    /// every lane that survives the gates runs in one
+    /// [`og_lab::run_batch`] — fused trusted artifacts round-robin-
+    /// stepped by per-worker [`og_vm::BatchRunner`]s, sharded across the
+    /// pool — with the `STATS = false` engine, which keeps only what an
+    /// [`ExecResponse`] reports. Duplicates dedup twice: against the
+    /// artifact cache (a memoized batch outcome is a result hit, a
+    /// cached artifact skips verify+lower) and within the batch itself
+    /// (two requests with one digest share one lane).
+    ///
+    /// Responses come back in request order. A lane lost to a worker
+    /// panic yields [`Reject::Internal`] (counted as an invariant
+    /// violation, never memoized); per-lane run failures reject only
+    /// their own lane.
+    pub fn call_many(&self, texts: &[&str]) -> Vec<ExecResponse> {
+        let c = &self.shared.counters;
+
+        /// Where one request's outcome comes from: already decided, or
+        /// pending on a batch lane.
+        enum Slot {
+            Ready(ExecResponse),
+            Lane { digest: u128, lane: usize, served: Served },
+        }
+        /// One pending lane: the job to run, the canonical text (for
+        /// in-batch collision detection), and the cache entry to
+        /// memoize into (`None` for a collision bypass).
+        struct Lane {
+            text: String,
+            job: BatchJob,
+            entry: Option<Arc<CacheEntry>>,
+        }
+
+        let mut lanes: Vec<Lane> = Vec::new();
+        let mut lane_of: HashMap<u128, usize> = HashMap::new();
+        let mut slots: Vec<Slot> = Vec::with_capacity(texts.len());
+
+        for text in texts {
+            c.requests.fetch_add(1, Ordering::Relaxed);
+            let (digest, canonical, program) = match self.admit(text) {
+                Ok(admitted) => admitted,
+                Err(reject) => {
+                    slots.push(Slot::Ready(ExecResponse {
+                        digest: 0,
+                        served: Served::Rejected,
+                        outcome: Err(reject),
+                    }));
+                    continue;
+                }
+            };
+
+            // In-batch dedup: an earlier request in this batch already
+            // owns a lane for this digest.
+            let mut collided = false;
+            if let Some(&lane) = lane_of.get(&digest) {
+                if lanes[lane].text == canonical {
+                    c.artifact_hits.fetch_add(1, Ordering::Relaxed);
+                    slots.push(Slot::Lane { digest, lane, served: Served::ArtifactHit });
+                    continue;
+                }
+                c.collisions.fetch_add(1, Ordering::Relaxed);
+                collided = true;
+            }
+
+            // Cache probe (skipped on a collision — whatever sits under
+            // this digest is not this program).
+            if !collided {
+                if let Some(entry) = self.shared.cache.lock().unwrap().get(&digest) {
+                    if entry.text == canonical {
+                        if let Some(result) = entry.exec.get() {
+                            c.result_hits.fetch_add(1, Ordering::Relaxed);
+                            slots.push(Slot::Ready(self.finish_exec(
+                                digest,
+                                Served::ResultHit,
+                                result.clone(),
+                            )));
+                            continue;
+                        }
+                        c.artifact_hits.fetch_add(1, Ordering::Relaxed);
+                        let lane = lanes.len();
+                        lane_of.insert(digest, lane);
+                        lanes.push(Lane {
+                            text: canonical,
+                            job: BatchJob {
+                                program: Arc::clone(&entry.program),
+                                flat: entry.flat.clone(),
+                                config: self.shared.run_config.clone(),
+                            },
+                            entry: Some(entry),
+                        });
+                        slots.push(Slot::Lane { digest, lane, served: Served::ArtifactHit });
+                        continue;
+                    }
+                    c.collisions.fetch_add(1, Ordering::Relaxed);
+                    collided = true;
+                }
+            }
+
+            // Gate 2: the collect-all verifier, fused with trusted
+            // lowering.
+            let layout = program.layout();
+            let (flat, _context) = match FlatProgram::lower_verified_all(&program, &layout) {
+                Ok(ok) => ok,
+                Err(errors) => {
+                    c.verify_rejects.fetch_add(1, Ordering::Relaxed);
+                    slots.push(Slot::Ready(ExecResponse {
+                        digest,
+                        served: Served::Rejected,
+                        outcome: Err(Reject::Verify(errors)),
+                    }));
+                    continue;
+                }
+            };
+            c.computed.fetch_add(1, Ordering::Relaxed);
+            let program = Arc::new(program);
+            let lane = lanes.len();
+            let entry = if collided {
+                // Never serve (or cache) across a collision: run the
+                // lane, memoize nothing.
+                None
+            } else {
+                let entry = Arc::new(CacheEntry {
+                    text: canonical.clone(),
+                    program: Arc::clone(&program),
+                    flat: flat.clone(),
+                    result: OnceLock::new(),
+                    exec: OnceLock::new(),
+                });
+                self.cache_insert(digest, Arc::clone(&entry));
+                lane_of.insert(digest, lane);
+                Some(entry)
+            };
+            lanes.push(Lane {
+                text: canonical,
+                job: BatchJob { program, flat, config: self.shared.run_config.clone() },
+                entry,
+            });
+            slots.push(Slot::Lane { digest, lane, served: Served::Computed });
+        }
+
+        // Execute every pending lane in one sharded batch, then memoize
+        // per entry. A `None` slot is a shard lost to a contained worker
+        // panic: count it, never memoize it.
+        let (jobs, memos): (Vec<BatchJob>, Vec<Option<Arc<CacheEntry>>>) =
+            lanes.into_iter().map(|l| (l.job, l.entry)).unzip();
+        let outcomes: Vec<Option<Result<RunOutcome, VmError>>> = run_batch(&self.pool, jobs)
+            .into_iter()
+            .zip(memos)
+            .map(|(slot, entry)| match slot {
+                Some(result) => {
+                    if let Some(entry) = &entry {
+                        entry.exec.set(result.clone()).ok();
+                    }
+                    Some(result)
+                }
+                None => {
+                    c.invariant_violations.fetch_add(1, Ordering::Relaxed);
+                    None
+                }
+            })
+            .collect();
+
+        slots
+            .into_iter()
+            .map(|slot| match slot {
+                Slot::Ready(response) => response,
+                Slot::Lane { digest, lane, served } => match &outcomes[lane] {
+                    Some(result) => self.finish_exec(digest, served, result.clone()),
+                    None => ExecResponse {
+                        digest,
+                        served: Served::Rejected,
+                        outcome: Err(Reject::Internal("worker panicked during batch run")),
+                    },
+                },
+            })
+            .collect()
+    }
+
+    /// Fold a batch-lane result into an [`ExecResponse`], counting run
+    /// failures — and flagging the structural error that is supposed to
+    /// be impossible on a trusted artifact.
+    fn finish_exec(
+        &self,
+        digest: u128,
+        served: Served,
+        result: Result<RunOutcome, VmError>,
+    ) -> ExecResponse {
+        match result {
+            Ok(outcome) => ExecResponse { digest, served, outcome: Ok(outcome) },
+            Err(e) => {
+                let c = &self.shared.counters;
+                c.run_errors.fetch_add(1, Ordering::Relaxed);
+                if matches!(e, VmError::Malformed { .. }) {
+                    c.invariant_violations.fetch_add(1, Ordering::Relaxed);
+                }
+                ExecResponse {
+                    digest,
+                    served: Served::Rejected,
+                    outcome: Err(Reject::Run(RunError::Vm(e))),
+                }
+            }
+        }
     }
 
     fn cache_insert(&self, digest: u128, entry: Arc<CacheEntry>) {

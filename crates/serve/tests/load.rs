@@ -19,7 +19,14 @@ fn duplicate_heavy_mix_hits_the_cache_and_rejects_cleanly() {
     let report = run_load(&service, &config);
     let m = &report.metrics;
 
-    assert_eq!(m.requests, 400, "every request must be served an outcome");
+    assert_eq!(
+        m.requests,
+        400 + report.batch_requests,
+        "every request (both phases) must be served an outcome"
+    );
+    assert_eq!(report.batch_requests, 16, "the batched phase covers the whole valid corpus");
+    assert!(report.batch_steps > 0, "batched lanes must commit instructions");
+    assert!(report.batch_steps_per_sec > 0.0);
     assert_eq!(report.mix_violations, 0, "no outcome may contradict its request kind");
     assert_eq!(m.invariant_violations, 0, "no panics, no structural errors past the verifier");
     assert!(
@@ -35,9 +42,17 @@ fn duplicate_heavy_mix_hits_the_cache_and_rejects_cleanly() {
 
     // The report renders and carries the headline fields CI asserts on.
     let json = report.to_json();
-    for field in
-        ["requests", "requests_per_sec", "p50_us", "p99_us", "cache_hit_rate", "reject_rate"]
-    {
+    for field in [
+        "requests",
+        "requests_per_sec",
+        "p50_us",
+        "p99_us",
+        "cache_hit_rate",
+        "reject_rate",
+        "batch_requests",
+        "batch_steps",
+        "batch_steps_per_sec",
+    ] {
         assert!(json.get(field).is_some(), "BENCH_serve.json must carry `{field}`");
     }
     assert_eq!(json.field::<u64>("invariant_violations").unwrap(), 0);

@@ -1,0 +1,295 @@
+//! Batched multi-VM execution: many independent programs, one engine.
+//!
+//! The study matrix (9 mechanisms × 8 workloads), the fuzz campaign and
+//! og-serve's duplicate-heavy traffic all produce the same shape of
+//! work: lots of **independent short runs**. Running them one VM at a
+//! time leaves throughput on the table — each run pays its own warm-up
+//! and the scheduler ping-pongs between unrelated working sets. A
+//! [`BatchRunner`] instead steps every lane in **round-robin fuel
+//! quanta** ([`Vm::run_quantum`]): the hot interpreter loop stays
+//! resident in the instruction cache while lanes take turns, scheduling
+//! cost is amortized over `quantum` steps at a time, and the per-lane
+//! state the scheduler needs (resume pc, started/done flags) lives in
+//! parallel arrays beside the VMs — a struct-of-arrays arrangement so
+//! the sweep touches only scheduler state until a lane actually runs.
+//!
+//! Lanes must be **trusted** ([`FlatProgram::is_trusted`]): batch
+//! callers (study pipeline, service, fuzz cross-check) have all verified
+//! their programs already, and the trusted hot loop is the fast one.
+//! [`BatchRunner::run`] drives all lanes with the no-stats engine
+//! (architectural results only); [`BatchRunner::run_stats`] keeps full
+//! [`DynStats`](crate::DynStats) bookkeeping, bit-identical to a
+//! solo [`Vm::run`] of each lane.
+//!
+//! Equivalence note: quantum boundaries are invisible in the results.
+//! Pausing and resuming a lane preserves registers, memory, the call
+//! stack, the streamed-trace delay buffer (there is none in batch mode —
+//! no sink is attached) and all statistics, so a batched run of a lane
+//! produces exactly the outcome, output and stats of a solo run. The
+//! engine-equivalence suite pins this across the workload suite and the
+//! committed fuzz corpus.
+
+use crate::machine::{Quantum, RunOutcome, Vm, VmError};
+
+/// Default round-robin quantum: big enough that dispatch/bookkeeping of
+/// the sweep is noise, small enough that a batch of short runs finishes
+/// lanes promptly and interleaves fairly.
+pub const DEFAULT_QUANTUM: u64 = 8192;
+
+/// Steps many independent trusted VMs round-robin in fuel quanta.
+///
+/// ```
+/// use og_program::{ProgramBuilder, imm};
+/// use og_isa::{Reg, Width};
+/// use og_vm::{BatchRunner, RunConfig, Vm};
+///
+/// let mut pb = ProgramBuilder::new();
+/// let mut f = pb.function("main", 0);
+/// f.block("entry");
+/// f.ldi(Reg::T0, 41);
+/// f.add(Width::B, Reg::T0, Reg::T0, imm(1));
+/// f.out(Width::B, Reg::T0);
+/// f.halt();
+/// pb.finish(f);
+/// let program = pb.build().unwrap();
+///
+/// let mut batch = BatchRunner::new();
+/// for _ in 0..4 {
+///     batch.push(Vm::new_verified(&program, RunConfig::default()).unwrap());
+/// }
+/// batch.run();
+/// for (vm, outcome) in batch.into_lanes() {
+///     assert_eq!(outcome.unwrap().steps, 4);
+///     assert_eq!(vm.output(), &[42]);
+/// }
+/// ```
+#[derive(Default)]
+pub struct BatchRunner<'p> {
+    vms: Vec<Vm<'p>>,
+    // Scheduler state, struct-of-arrays: the sweep reads these without
+    // touching the (much larger) VMs of lanes that are already done.
+    resume_pc: Vec<u32>,
+    started: Vec<bool>,
+    done: Vec<Option<Result<RunOutcome, VmError>>>,
+    quantum: u64,
+}
+
+impl<'p> BatchRunner<'p> {
+    /// An empty batch with the [`DEFAULT_QUANTUM`].
+    pub fn new() -> BatchRunner<'p> {
+        BatchRunner::with_quantum(DEFAULT_QUANTUM)
+    }
+
+    /// An empty batch with an explicit round-robin quantum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantum` is zero (a zero quantum would never retire a
+    /// step and the sweep could not make progress).
+    pub fn with_quantum(quantum: u64) -> BatchRunner<'p> {
+        assert!(quantum > 0, "BatchRunner quantum must be non-zero");
+        BatchRunner {
+            vms: Vec::new(),
+            resume_pc: Vec::new(),
+            started: Vec::new(),
+            done: Vec::new(),
+            quantum,
+        }
+    }
+
+    /// Add a lane; returns its index. The VM must be fresh (not yet
+    /// run) and carry a **trusted** flat program ([`Vm::new_verified`]
+    /// or a trusted [`Vm::with_lowered`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lane's flat program is untrusted — batch callers
+    /// are exactly the ones that verified their input, and admitting
+    /// defensive lanes would silently de-optimize the whole sweep.
+    pub fn push(&mut self, vm: Vm<'p>) -> usize {
+        assert!(
+            vm.flat_program().is_trusted(),
+            "BatchRunner lanes must be trusted (use Vm::new_verified)"
+        );
+        let idx = self.vms.len();
+        self.vms.push(vm);
+        self.resume_pc.push(0);
+        self.started.push(false);
+        self.done.push(None);
+        idx
+    }
+
+    /// Number of lanes.
+    pub fn len(&self) -> usize {
+        self.vms.len()
+    }
+
+    /// True when the batch holds no lanes.
+    pub fn is_empty(&self) -> bool {
+        self.vms.is_empty()
+    }
+
+    /// Drive every lane to completion with the **no-stats** engine:
+    /// outputs, digests and step counts are exact; `DynStats` beyond
+    /// the step count is not collected. The throughput mode.
+    pub fn run(&mut self) {
+        self.sweep(false);
+    }
+
+    /// Drive every lane to completion with full statistics bookkeeping,
+    /// bit-identical to running each lane solo via [`Vm::run`].
+    pub fn run_stats(&mut self) {
+        self.sweep(true);
+    }
+
+    fn sweep(&mut self, stats: bool) {
+        let mut live = self.done.iter().filter(|d| d.is_none()).count();
+        while live > 0 {
+            for i in 0..self.vms.len() {
+                if self.done[i].is_some() {
+                    continue;
+                }
+                let resume = if self.started[i] { Some(self.resume_pc[i]) } else { None };
+                let q = if stats {
+                    self.vms[i].run_quantum(resume, self.quantum)
+                } else {
+                    self.vms[i].run_quantum_nostats(resume, self.quantum)
+                };
+                match q {
+                    Quantum::Paused { ip } => {
+                        self.started[i] = true;
+                        self.resume_pc[i] = ip;
+                    }
+                    Quantum::Finished(r) => {
+                        self.done[i] = Some(r);
+                        live -= 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// A finished lane's result. `None` until the lane completes.
+    pub fn result(&self, lane: usize) -> Option<&Result<RunOutcome, VmError>> {
+        self.done[lane].as_ref()
+    }
+
+    /// A lane's VM (for outputs, stats, registers).
+    pub fn vm(&self, lane: usize) -> &Vm<'p> {
+        &self.vms[lane]
+    }
+
+    /// Consume the batch into `(vm, result)` pairs, in push order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any lane has not finished (call [`BatchRunner::run`]
+    /// or [`BatchRunner::run_stats`] first).
+    pub fn into_lanes(self) -> Vec<(Vm<'p>, Result<RunOutcome, VmError>)> {
+        self.vms
+            .into_iter()
+            .zip(self.done)
+            .map(|(vm, done)| (vm, done.expect("BatchRunner lane not finished; call run() first")))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{fnv1a, RunConfig};
+    use og_isa::{CmpKind, Reg, Width};
+    use og_program::{imm, ProgramBuilder};
+
+    /// A loop whose trip count comes from `n`, so different lanes run
+    /// different step counts and finish at different sweeps.
+    fn loop_program(n: i64) -> og_program::Program {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        f.block("entry");
+        f.ldi(Reg::T0, 0);
+        f.ldi(Reg::T1, 0);
+        f.block("loop");
+        f.add(Width::D, Reg::T0, Reg::T0, Reg::T1);
+        f.add(Width::D, Reg::T1, Reg::T1, imm(1));
+        f.cmp(CmpKind::Lt, Width::D, Reg::T2, Reg::T1, imm(n));
+        f.bne(Reg::T2, "loop");
+        f.block("exit");
+        f.out(Width::W, Reg::T0);
+        f.halt();
+        pb.finish(f);
+        pb.build().unwrap()
+    }
+
+    #[test]
+    fn batch_matches_solo_runs_across_quantum_sizes() {
+        let programs: Vec<_> = [3, 17, 100, 1].iter().map(|&n| loop_program(n)).collect();
+        // Solo baselines, full stats.
+        let solo: Vec<_> = programs
+            .iter()
+            .map(|p| {
+                let mut vm = Vm::new_verified(p, RunConfig::default()).unwrap();
+                let outcome = vm.run().unwrap();
+                let (stats, output) = vm.into_parts();
+                (outcome, stats, output)
+            })
+            .collect();
+        for quantum in [1, 2, 7, 8192] {
+            let mut batch = BatchRunner::with_quantum(quantum);
+            for p in &programs {
+                batch.push(Vm::new_verified(p, RunConfig::default()).unwrap());
+            }
+            batch.run_stats();
+            for (lane, (vm, result)) in batch.into_lanes().into_iter().enumerate() {
+                let (outcome, stats, output) = &solo[lane];
+                assert_eq!(&result.unwrap(), outcome, "outcome, quantum={quantum}");
+                let (bstats, boutput) = vm.into_parts();
+                assert_eq!(&bstats, stats, "stats, quantum={quantum} lane={lane}");
+                assert_eq!(&boutput, output, "output, quantum={quantum} lane={lane}");
+            }
+        }
+    }
+
+    #[test]
+    fn nostats_batch_preserves_architectural_results() {
+        let programs: Vec<_> = [5, 40].iter().map(|&n| loop_program(n)).collect();
+        let mut batch = BatchRunner::with_quantum(3);
+        for p in &programs {
+            batch.push(Vm::new_verified(p, RunConfig::default()).unwrap());
+        }
+        batch.run();
+        for (lane, (vm, result)) in batch.into_lanes().into_iter().enumerate() {
+            let mut solo = Vm::new_verified(&programs[lane], RunConfig::default()).unwrap();
+            let expected = solo.run().unwrap();
+            let got = result.unwrap();
+            assert_eq!(got, expected);
+            assert_eq!(vm.output(), solo.output());
+            assert_eq!(got.output_digest, fnv1a(vm.output()));
+        }
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_reported_per_lane() {
+        let p_short = loop_program(2);
+        let p_long = loop_program(1000);
+        let mut batch = BatchRunner::with_quantum(16);
+        batch.push(Vm::new_verified(&p_short, RunConfig::default()).unwrap());
+        batch.push(
+            Vm::new_verified(&p_long, RunConfig { max_steps: 50, ..RunConfig::default() }).unwrap(),
+        );
+        batch.run();
+        assert!(batch.result(0).unwrap().is_ok());
+        match batch.result(1).unwrap() {
+            Err(VmError::OutOfFuel { steps }) => assert_eq!(*steps, 50),
+            other => panic!("expected OutOfFuel, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be trusted")]
+    fn untrusted_lanes_are_rejected() {
+        let p = loop_program(1);
+        let mut batch = BatchRunner::new();
+        batch.push(Vm::new(&p, RunConfig::default()));
+    }
+}

@@ -176,6 +176,56 @@ pub(crate) enum FlatOp {
         /// What is wrong.
         what: &'static str,
     },
+    /// Superinstruction: `cmp` at `ip` followed by the conditional branch
+    /// at `ip + 1` — one dispatch for the classic compare-and-branch
+    /// idiom. The tail's statistics/trace fields are read from the
+    /// (retained, unmodified) slot at `ip + 1`; the branch shape is
+    /// pre-decoded here so execution never re-derives it.
+    FusedCmpBc {
+        /// The comparison of the head `cmp`.
+        kind: CmpKind,
+        /// The tail branch's condition, tested against its `src1`.
+        cond: Cond,
+        /// Flat index when taken.
+        t: u32,
+        /// Flat index when not taken.
+        fall: u32,
+    },
+    /// Superinstruction: the loop-latch triple `add; cmp; bc`
+    /// (increment, compare, branch) at `ip`, `ip + 1`, `ip + 2`.
+    FusedAddCmpBc {
+        /// The comparison of the middle `cmp`.
+        kind: CmpKind,
+        /// The tail branch's condition.
+        cond: Cond,
+        /// Flat index when taken.
+        t: u32,
+        /// Flat index when not taken.
+        fall: u32,
+    },
+    /// Superinstruction: load at `ip` feeding the `add` at `ip + 1`
+    /// (load-and-accumulate / pointer-chase idiom).
+    FusedLdAdd {
+        /// Sign-extend the loaded value (the head load's flavour).
+        signed: bool,
+    },
+    /// Superinstruction: `add` at `ip` followed by the store at `ip + 1`
+    /// (compute-and-store idiom).
+    FusedAddSt,
+}
+
+impl FlatOp {
+    /// Is this a fused superinstruction head (executes 2–3 retained
+    /// constituent slots in one dispatch)?
+    pub(crate) fn is_fused(self) -> bool {
+        matches!(
+            self,
+            FlatOp::FusedCmpBc { .. }
+                | FlatOp::FusedAddCmpBc { .. }
+                | FlatOp::FusedLdAdd { .. }
+                | FlatOp::FusedAddSt
+        )
+    }
 }
 
 /// One pre-decoded instruction of a [`FlatProgram`].
@@ -273,6 +323,19 @@ impl FlatProgram {
     /// it pins the flat-index ↔ address correspondence the hot loop's
     /// arithmetic pc computation relies on.
     pub fn lower(program: &Program, layout: &Layout) -> FlatProgram {
+        Self::lower_impl(program, layout, true)
+    }
+
+    /// [`FlatProgram::lower`] without the superinstruction-fusion pass:
+    /// every slot keeps its single-op [`FlatOp`]. Execution is
+    /// bit-identical to the fused form on every observable — this exists
+    /// for A/B throughput measurement and for the equivalence suite to
+    /// pin exactly that claim.
+    pub fn lower_unfused(program: &Program, layout: &Layout) -> FlatProgram {
+        Self::lower_impl(program, layout, false)
+    }
+
+    fn lower_impl(program: &Program, layout: &Layout, fuse: bool) -> FlatProgram {
         // Pass 1: flat start index of every block, plus the dense block
         // table in the same func-major, block-major order the layout
         // uses.
@@ -447,7 +510,78 @@ impl FlatProgram {
             .get(program.entry.index())
             .map(|f| f.entry.index())
             .and_then(|bi| target_of(program.entry.index(), bi));
+        if fuse {
+            Self::fuse_blocks(&mut insts, program, &block_start);
+        }
         FlatProgram { insts, entry, blocks, trusted: false }
+    }
+
+    /// The superinstruction-fusion pass: greedily rewrite the *head* slot
+    /// of hot 2–3 op sequences into a fused [`FlatOp`] variant. Tails are
+    /// retained unmodified, so jumping into the middle of a fused window
+    /// (a quantum resume point, hypothetically a branch) still executes
+    /// correctly — fusion only changes how many dispatches the common
+    /// fall-through path pays.
+    ///
+    /// Safety invariants, enforced structurally:
+    ///
+    /// * **never across block boundaries** — windows are taken inside one
+    ///   block's contiguous flat range only, so a branch target (always a
+    ///   block entry) can never land on a consumed tail;
+    /// * **never across call-return points** — every head/middle
+    ///   constituent is a straight-line op (`add`/`cmp`/`ld`), never a
+    ///   `Jsr`, so a return address (`jsr_ip + 1`) can never point at a
+    ///   consumed tail;
+    /// * **never over `Malformed` slots** — the patterns match exact
+    ///   executable [`FlatOp`]s, which a `Malformed` slot is not (this is
+    ///   what keeps untrusted lowering of invalid programs lazily
+    ///   reference-identical: a malformed slot still reports its error
+    ///   if and only if it is reached).
+    ///
+    /// The fusion set (`cmp+bc`, `add+cmp+bc`, `ld+add`, `add+st`) comes
+    /// from the fusion-opportunity profile over the workload suite and
+    /// the committed fuzz corpus (see [`crate::fusion`] and
+    /// `BENCH_fusion.json`).
+    fn fuse_blocks(insts: &mut [FlatInst], program: &Program, block_start: &[Vec<u32>]) {
+        for f in &program.funcs {
+            for (bi, b) in f.blocks.iter().enumerate() {
+                let s = block_start[f.id.index()][bi] as usize;
+                let end = s + b.insts.len();
+                let mut j = s;
+                while j < end {
+                    if j + 2 < end {
+                        if let (FlatOp::Add, FlatOp::Cmp(kind), FlatOp::Bc { cond, t, fall }) =
+                            (insts[j].kind, insts[j + 1].kind, insts[j + 2].kind)
+                        {
+                            insts[j].kind = FlatOp::FusedAddCmpBc { kind, cond, t, fall };
+                            j += 3;
+                            continue;
+                        }
+                    }
+                    if j + 1 < end {
+                        match (insts[j].kind, insts[j + 1].kind) {
+                            (FlatOp::Cmp(kind), FlatOp::Bc { cond, t, fall }) => {
+                                insts[j].kind = FlatOp::FusedCmpBc { kind, cond, t, fall };
+                                j += 2;
+                                continue;
+                            }
+                            (FlatOp::Ld { signed }, FlatOp::Add) => {
+                                insts[j].kind = FlatOp::FusedLdAdd { signed };
+                                j += 2;
+                                continue;
+                            }
+                            (FlatOp::Add, FlatOp::St) => {
+                                insts[j].kind = FlatOp::FusedAddSt;
+                                j += 2;
+                                continue;
+                            }
+                            _ => {}
+                        }
+                    }
+                    j += 1;
+                }
+            }
+        }
     }
 
     /// Lower a **verified** program into its flat trusted form.
@@ -528,6 +662,13 @@ impl FlatProgram {
     /// vector the engine maintains).
     pub fn block_count(&self) -> usize {
         self.blocks.len()
+    }
+
+    /// Number of fused superinstruction heads the lowering produced
+    /// (zero for [`FlatProgram::lower_unfused`]). Each head executes its
+    /// 2–3 constituent slots in one dispatch.
+    pub fn fused_count(&self) -> usize {
+        self.insts.iter().filter(|i| i.kind.is_fused()).count()
     }
 
     /// The pc address of flat slot `i` — the affine map the hot loop
@@ -667,5 +808,153 @@ mod tests {
         assert_eq!(flat.insts, plain.insts);
         assert_eq!(flat.entry, plain.entry);
         assert_eq!(flat.blocks, plain.blocks);
+    }
+
+    #[test]
+    fn fusion_rewrites_in_block_idioms_and_retains_tails() {
+        use og_isa::CmpKind;
+        let mut pb = ProgramBuilder::new();
+        pb.data_quads("tbl", &[5, 6, 7]);
+        let mut f = pb.function("main", 0);
+        f.block("entry");
+        f.la(Reg::T1, "tbl");
+        f.ldi(Reg::T0, 0);
+        f.ldi(Reg::T4, 0);
+        f.block("loop");
+        f.ld(Width::D, Reg::T2, Reg::T1, 0); // ld;add → FusedLdAdd
+        f.add(Width::W, Reg::T0, Reg::T0, Reg::T2);
+        f.add(Width::D, Reg::T5, Reg::T0, og_program::imm(1)); // add;st → FusedAddSt
+        f.st(Width::D, Reg::T5, Reg::T1, 0);
+        f.add(Width::W, Reg::T4, Reg::T4, og_program::imm(1)); // add;cmp;bc → triple
+        f.cmp(CmpKind::Lt, Width::D, Reg::T3, Reg::T4, og_program::imm(3));
+        f.bne(Reg::T3, "loop");
+        f.block("exit");
+        f.cmp(CmpKind::Eq, Width::D, Reg::T6, Reg::T4, og_program::imm(3)); // cmp;bc → pair
+        f.bne(Reg::T6, "done");
+        f.block("dead");
+        f.halt();
+        f.block("done");
+        f.out(Width::B, Reg::T0);
+        f.halt();
+        pb.finish(f);
+        let p = pb.build().unwrap();
+        let flat = lowered(&p);
+        let find = |pred: &dyn Fn(FlatOp) -> bool| {
+            flat.insts.iter().position(|i| pred(i.kind)).expect("fused head present")
+        };
+        assert_eq!(flat.fused_count(), 4);
+        // Tails are retained unmodified after each head so mid-window
+        // resume (quantum pause between constituents) executes them
+        // standalone.
+        let ld_add = find(&|k| matches!(k, FlatOp::FusedLdAdd { signed: true }));
+        assert_eq!(flat.insts[ld_add + 1].kind, FlatOp::Add);
+        let add_st = find(&|k| k == FlatOp::FusedAddSt);
+        assert_eq!(flat.insts[add_st + 1].kind, FlatOp::St);
+        let latch = find(&|k| matches!(k, FlatOp::FusedAddCmpBc { kind: CmpKind::Lt, .. }));
+        assert_eq!(flat.insts[latch + 1].kind, FlatOp::Cmp(CmpKind::Lt));
+        assert!(matches!(flat.insts[latch + 2].kind, FlatOp::Bc { .. }));
+        let cmp_bc = find(&|k| matches!(k, FlatOp::FusedCmpBc { kind: CmpKind::Eq, .. }));
+        assert!(matches!(flat.insts[cmp_bc + 1].kind, FlatOp::Bc { .. }));
+        // And the unfused lowering has none, same shape otherwise.
+        let unfused = FlatProgram::lower_unfused(&p, &p.layout());
+        assert_eq!(unfused.fused_count(), 0);
+        assert_eq!(unfused.insts.len(), flat.insts.len());
+    }
+
+    #[test]
+    fn fusion_never_crosses_block_boundaries() {
+        use og_isa::CmpKind;
+        // `cmp` is the last op of "entry"; the conditional branch opens
+        // the next block (a fallthrough boundary). The pair must stay
+        // unfused: the `bne` slot is a block entry and a branch target
+        // could land on it.
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        f.block("entry");
+        f.ldi(Reg::T0, 1);
+        f.cmp(CmpKind::Eq, Width::D, Reg::T1, Reg::T0, og_program::imm(1));
+        f.block("test"); // boundary: `bne` is this block's entry
+        f.bne(Reg::T1, "done");
+        f.block("dead");
+        f.halt();
+        f.block("done");
+        f.halt();
+        pb.finish(f);
+        let p = pb.build().unwrap();
+        let flat = lowered(&p);
+        assert_eq!(flat.fused_count(), 0);
+        assert_eq!(flat.insts[1].kind, FlatOp::Cmp(CmpKind::Eq));
+        // The branch opens its own block (and is therefore a potential
+        // branch target), which is exactly why the pair must not fuse.
+        let bc = flat.insts.iter().position(|i| matches!(i.kind, FlatOp::Bc { .. })).unwrap();
+        assert_ne!(flat.insts[bc].block_idx, NOT_BLOCK_ENTRY);
+    }
+
+    #[test]
+    fn branch_target_on_would_be_tail_blocks_fusion() {
+        // A back-edge targets the block whose first op is the `add` that
+        // would otherwise be the tail of an `ld;add` pair. In this IR a
+        // branch target is always a block entry, so the `ld` ends its
+        // block and the pair never forms.
+        let mut pb = ProgramBuilder::new();
+        pb.data_quads("tbl", &[0]);
+        let mut f = pb.function("main", 0);
+        f.block("entry");
+        f.la(Reg::T1, "tbl");
+        f.ld(Width::D, Reg::T2, Reg::T1, 0); // last op of "entry"
+        f.block("acc"); // branch target: the would-be tail
+        f.add(Width::W, Reg::T0, Reg::T0, Reg::T2);
+        f.beq(Reg::T0, "acc");
+        f.block("exit");
+        f.halt();
+        pb.finish(f);
+        let p = pb.build().unwrap();
+        let flat = lowered(&p);
+        assert_eq!(flat.fused_count(), 0);
+        assert_eq!(flat.insts[1].kind, FlatOp::Ld { signed: true });
+        let add = flat.insts.iter().position(|i| i.kind == FlatOp::Add).unwrap() as u32;
+        assert_ne!(flat.insts[add as usize].block_idx, NOT_BLOCK_ENTRY);
+        // The back-edge really does land on the would-be tail slot.
+        assert!(flat.insts.iter().any(|i| matches!(i.kind, FlatOp::Bc { t, .. } if t == add)));
+    }
+
+    #[test]
+    fn malformed_neighbor_blocks_fusion_in_untrusted_lowering() {
+        use og_isa::CmpKind;
+        // Hand-assemble an unreachable block whose `bc` is missing its
+        // targets: the slot lowers to `Malformed`, and the preceding
+        // `cmp` must NOT fuse with it — the pattern match is on exact
+        // kinds, and a fused head would skip the lazy failure.
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        f.block("entry");
+        f.halt();
+        pb.finish(f);
+        let mut p = pb.build().unwrap();
+        let func = p.func_mut(FuncId(0));
+        let mut bad = og_program::Block::new("bad");
+        bad.insts.push(og_isa::Inst {
+            op: Op::Cmp(CmpKind::Eq),
+            width: Width::D,
+            dst: Some(Reg::T0),
+            src1: Some(Reg::T0),
+            src2: Operand::Imm(1),
+            disp: 0,
+            target: Target::None,
+        });
+        bad.insts.push(og_isa::Inst {
+            op: Op::Bc(og_isa::Cond::Ne),
+            width: Width::D,
+            dst: None,
+            src1: Some(Reg::T0),
+            src2: Operand::None,
+            disp: 0,
+            target: Target::None,
+        });
+        func.blocks.push(bad);
+        let flat = lowered(&p);
+        assert_eq!(flat.fused_count(), 0);
+        assert_eq!(flat.insts[1].kind, FlatOp::Cmp(CmpKind::Eq));
+        assert_eq!(flat.insts[2].kind, FlatOp::Malformed { what: "bc without targets" });
     }
 }

@@ -1,0 +1,177 @@
+//! Fusion-opportunity profiling: which 2–3 op sequences are worth a
+//! superinstruction?
+//!
+//! The lowering's fusion pass (see [`crate::flat`]) only pays off for
+//! sequences that actually dominate dynamic execution, so the fused set
+//! is chosen from data, not intuition. This module measures the data: it
+//! walks a program's blocks, weights every in-block adjacent window by
+//! that block's execution count (every instruction of a block executes
+//! as often as the block — the paper's `InstCount` identity), and
+//! accumulates dynamic frequencies per mnemonic pair/triple. Windows
+//! that could never fuse are excluded up front: nothing across a block
+//! boundary (branch targets are always block entries) and no window
+//! whose head or middle is a control transfer (a `jsr`'s return point
+//! lands mid-block on the slot after it).
+//!
+//! `og-bench` aggregates one [`FusionAccumulator`] over the whole
+//! workload suite plus the committed fuzz corpus and emits the result as
+//! `BENCH_fusion.json`, so future fusion-set changes stay data-driven.
+
+use crate::DynStats;
+use og_isa::{Op, OpClass};
+use og_program::Program;
+use std::collections::HashMap;
+
+/// Profile key for an op: its fusion *family*, collapsing the decorated
+/// mnemonics (`cmplt`/`cmpule` → `cmp`, `beq`/`bne` → `bc`, `ld`/`ldu`
+/// → `ld`) because a superinstruction variant covers the whole family —
+/// the kind/condition rides along as a pre-decoded payload.
+fn family(op: Op) -> &'static str {
+    match op {
+        Op::Cmp(_) => "cmp",
+        Op::Bc(_) => "bc",
+        Op::Cmov(_) => "cmov",
+        Op::Ld { .. } => "ld",
+        other => other.mnemonic(),
+    }
+}
+
+/// Dynamic frequencies of fusable adjacent op sequences, sorted most
+/// frequent first (ties broken by key so the order is deterministic).
+#[derive(Debug, Clone, Default)]
+pub struct FusionProfile {
+    /// `"head;tail"` mnemonic pairs with their dynamic execution counts.
+    pub pairs: Vec<(String, u64)>,
+    /// `"head;mid;tail"` mnemonic triples with their dynamic counts.
+    pub triples: Vec<(String, u64)>,
+    /// Total dynamic instructions profiled (the denominator for shares).
+    pub total_steps: u64,
+}
+
+/// Accumulates fusion opportunities across many `(program, stats)` runs.
+#[derive(Debug, Clone, Default)]
+pub struct FusionAccumulator {
+    pairs: HashMap<String, u64>,
+    triples: HashMap<String, u64>,
+    total_steps: u64,
+}
+
+impl FusionAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> FusionAccumulator {
+        FusionAccumulator::default()
+    }
+
+    /// Fold one run into the profile: `stats` must come from executing
+    /// `program` (its `block_counts` are the weights).
+    pub fn add(&mut self, program: &Program, stats: &DynStats) {
+        self.total_steps += stats.steps;
+        for f in &program.funcs {
+            for (bi, b) in f.blocks.iter().enumerate() {
+                let weight =
+                    stats.block_counts.get(&(f.id, og_program::BlockId(bi as u32))).copied();
+                let Some(weight) = weight.filter(|&w| w > 0) else { continue };
+                let ops: Vec<_> = b.insts.iter().map(|i| i.op).collect();
+                for w in ops.windows(2) {
+                    if w[0].class() != OpClass::Ctrl {
+                        let key = format!("{};{}", family(w[0]), family(w[1]));
+                        *self.pairs.entry(key).or_insert(0) += weight;
+                    }
+                }
+                for w in ops.windows(3) {
+                    if w[0].class() != OpClass::Ctrl && w[1].class() != OpClass::Ctrl {
+                        let key = format!("{};{};{}", family(w[0]), family(w[1]), family(w[2]));
+                        *self.triples.entry(key).or_insert(0) += weight;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Finish: sort both tables by descending dynamic count (key order on
+    /// ties, so the output is reproducible run to run).
+    pub fn finish(self) -> FusionProfile {
+        fn sorted(m: HashMap<String, u64>) -> Vec<(String, u64)> {
+            let mut v: Vec<_> = m.into_iter().collect();
+            v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            v
+        }
+        FusionProfile {
+            pairs: sorted(self.pairs),
+            triples: sorted(self.triples),
+            total_steps: self.total_steps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RunConfig, Vm};
+    use og_isa::{Reg, Width};
+    use og_program::{imm, ProgramBuilder};
+
+    #[test]
+    fn profile_weights_windows_by_block_counts() {
+        let mut pb = ProgramBuilder::new();
+        pb.data_quads("tbl", &[5, 6, 7]);
+        let mut f = pb.function("main", 0);
+        f.block("entry");
+        f.la(Reg::T1, "tbl");
+        f.ldi(Reg::T0, 0);
+        f.ldi(Reg::T4, 0);
+        f.block("loop");
+        f.ld(Width::D, Reg::T2, Reg::T1, 0);
+        f.add(Width::W, Reg::T0, Reg::T0, Reg::T2);
+        f.add(Width::D, Reg::T1, Reg::T1, imm(8));
+        f.add(Width::W, Reg::T4, Reg::T4, imm(1));
+        f.cmp(og_isa::CmpKind::Lt, Width::D, Reg::T3, Reg::T4, imm(3));
+        f.bne(Reg::T3, "loop");
+        f.block("exit");
+        f.out(Width::B, Reg::T0);
+        f.halt();
+        pb.finish(f);
+        let p = pb.build().unwrap();
+        let mut vm = Vm::new(&p, RunConfig::default());
+        vm.run().unwrap();
+        let mut acc = FusionAccumulator::new();
+        acc.add(&p, vm.stats());
+        let profile = acc.finish();
+        let count =
+            |key: &str| profile.pairs.iter().find(|(k, _)| k == key).map(|&(_, c)| c).unwrap_or(0);
+        // The loop block ran 3 times: each of its adjacent pairs counts 3.
+        assert_eq!(count("ld;add"), 3);
+        assert_eq!(count("cmp;bc"), 3);
+        assert_eq!(count("add;cmp"), 3);
+        // Windows never straddle blocks: no pair joins entry to loop.
+        assert_eq!(count("ldi;ld"), 0);
+        // The triple table sees the loop latch.
+        let triple = profile.triples.iter().find(|(k, _)| k == "add;cmp;bc");
+        assert_eq!(triple.map(|&(_, c)| c), Some(3));
+        assert!(profile.total_steps > 0);
+    }
+
+    #[test]
+    fn control_heads_are_excluded() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        f.block("entry");
+        f.ldi(Reg::A0, 1);
+        f.jsr("main"); // self-call just to place a jsr mid-block
+        f.out(Width::B, Reg::A0);
+        f.halt();
+        pb.finish(f);
+        let p = pb.build().unwrap();
+        // Synthesize stats: the entry block "ran" once.
+        let mut stats = DynStats::default();
+        stats.block_counts.insert((p.entry, p.func(p.entry).entry), 1);
+        let mut acc = FusionAccumulator::new();
+        acc.add(&p, &stats);
+        let profile = acc.finish();
+        assert!(
+            !profile.pairs.iter().any(|(k, _)| k.starts_with("jsr;")),
+            "a jsr head would put a return point inside the fused window"
+        );
+        assert!(profile.pairs.iter().any(|(k, _)| k == "ldi;jsr"));
+    }
+}

@@ -48,6 +48,37 @@
 //! failure behaviour on *invalid* programs is itself what you are
 //! testing.
 //!
+//! ## The execution-engine ladder
+//!
+//! Five rungs, each trading generality for throughput; every rung is
+//! pinned bit-identical to the one below it by the workspace
+//! engine-equivalence suite:
+//!
+//! 1. **Reference** ([`Vm::run_reference`]) — the graph-walking
+//!    interpreter; the semantic baseline. Pick it when auditability
+//!    beats speed (the differential oracle's plain side).
+//! 2. **Flat** ([`Vm::run`] and friends) — the pre-decoded engine
+//!    above; the default for everything.
+//! 3. **Trusted** ([`Vm::new_verified`]) — flat with the defensive
+//!    `Malformed` arm compiled out. Pick it whenever the program passed
+//!    the verifier.
+//! 4. **Fused** — lowering rewrites hot in-block 2–3 op sequences
+//!    (compare+branch, the `add;cmp;bc` loop latch, load+add,
+//!    add+store; see [`flat`] and the profile in [`fusion`]) into
+//!    superinstruction slots, cutting dispatches per committed step.
+//!    On by default in every lowering; [`FlatProgram::lower_unfused`]
+//!    opts out for A/B measurement. Callers that only need the
+//!    architectural result (outputs, digest, step count) additionally
+//!    drop all statistics bookkeeping via the monomorphized no-stats
+//!    mode ([`Vm::run_nostats`]) — the service fast path and the
+//!    oracle's cross-check side.
+//! 5. **Batched** ([`BatchRunner`]) — many independent trusted VMs
+//!    stepped round-robin in fuel quanta ([`Vm::run_quantum`]), so hot
+//!    programs share the instruction cache and independent short runs
+//!    amortize scheduling. `og-lab` shards batches across its
+//!    `WorkerPool`; og-serve's `call_many` and the fuzz campaign's
+//!    cross-check ride that path.
+//!
 //! The original graph-walking interpreter is retained, unchanged, as
 //! [`Vm::run_reference`] (and `run_reference_watched` /
 //! `run_reference_streamed` / `run_reference_full`): the semantic
@@ -66,9 +97,7 @@
 //! fused emulate+simulate pipeline **O(1) trace memory** regardless of
 //! run length. Materializing is opt-in via [`VecSink`] — which costs
 //! O(steps) memory (~64 B/record; a 100M-step run would need ~6.4 GB) —
-//! and is reserved for tests and offline analysis. The pre-streaming
-//! `RunConfig::collect_trace` flag survives as a deprecated shim that
-//! routes through the same code path into an internal `VecSink`.
+//! and is reserved for tests and offline analysis.
 //!
 //! ```
 //! use og_program::{ProgramBuilder, imm};
@@ -94,15 +123,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod eval;
 pub mod flat;
+pub mod fusion;
 mod machine;
 mod memory;
 mod stats;
 mod trace;
 
+pub use batch::BatchRunner;
 pub use flat::FlatProgram;
-pub use machine::{HaltReason, RunConfig, RunOutcome, Vm, VmError, Watcher};
+pub use machine::{HaltReason, Quantum, RunConfig, RunOutcome, Vm, VmError, Watcher};
 pub use memory::Memory;
 pub use stats::DynStats;
 pub use trace::{FnSink, NullSink, TraceRecord, TraceSink, VecSink};

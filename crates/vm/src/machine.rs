@@ -26,7 +26,7 @@
 
 use crate::eval::{alu_eval, cmov_eval};
 use crate::flat::{FlatInst, FlatOp, FlatProgram, NOT_BLOCK_ENTRY};
-use crate::{fnv1a, DynStats, Memory, NullSink, TraceRecord, TraceSink, VecSink};
+use crate::{fnv1a, DynStats, Memory, NullSink, TraceRecord, TraceSink};
 use og_isa::{Op, Operand, Reg, Target, Width};
 use og_program::{BlockId, FuncId, InstRef, Layout, Program, STACK_BASE};
 use std::fmt;
@@ -37,49 +37,13 @@ pub struct RunConfig {
     /// Abort with [`VmError::OutOfFuel`] after this many committed
     /// instructions.
     pub max_steps: u64,
-    /// Legacy shim: materialize a [`TraceRecord`] per committed
-    /// instruction into an internal `Vec` readable via [`Vm::trace`] /
-    /// [`Vm::into_parts`]. This costs O(steps) memory; stream the trace
-    /// into a [`TraceSink`] with [`Vm::run_streamed`] instead (use a
-    /// [`VecSink`] where a materialized trace is genuinely needed).
-    /// Ignored by the sink-taking run methods.
-    #[deprecated(
-        since = "0.2.0",
-        note = "stream the trace with `Vm::run_streamed` and a \
-                                          `TraceSink` (e.g. `VecSink`) instead"
-    )]
-    pub collect_trace: bool,
     /// Maximum call depth before [`VmError::CallDepthExceeded`].
     pub max_call_depth: usize,
 }
 
-/// All mentions of the deprecated [`RunConfig::collect_trace`] shim live
-/// in this module, so `-D warnings` needs no allow-escapes anywhere else
-/// in the crate. Delete the module together with the field.
-#[allow(deprecated)]
-mod legacy {
-    use super::{RunConfig, Vm};
-
-    impl Default for RunConfig {
-        fn default() -> Self {
-            RunConfig { max_steps: 100_000_000, collect_trace: false, max_call_depth: 4096 }
-        }
-    }
-
-    impl RunConfig {
-        /// Construct a config with the legacy shim enabled (test helper;
-        /// downstream callers set the deprecated field directly).
-        #[cfg(test)]
-        pub(crate) fn with_collect_trace() -> RunConfig {
-            RunConfig { collect_trace: true, ..RunConfig::default() }
-        }
-    }
-
-    impl Vm<'_> {
-        /// Did the caller request the legacy materialized trace?
-        pub(super) fn legacy_collect_requested(&self) -> bool {
-            self.config.collect_trace
-        }
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig { max_steps: 100_000_000, max_call_depth: 4096 }
     }
 }
 
@@ -101,6 +65,32 @@ pub struct RunOutcome {
     pub reason: HaltReason,
     /// FNV-1a digest of the output stream.
     pub output_digest: u64,
+}
+
+/// Result of one [`Vm::run_quantum`] slice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Quantum {
+    /// The quantum was exhausted mid-run; pass `ip` back as `resume_at`
+    /// to continue.
+    Paused {
+        /// Flat instruction index to resume at.
+        ip: u32,
+    },
+    /// The run completed (successfully or with an error) within the
+    /// quantum; the VM is ready for a fresh run.
+    Finished(Result<RunOutcome, VmError>),
+}
+
+/// How one `flat_loop` invocation ended (internal: the public run
+/// methods map this onto their respective result types).
+enum FlatExit {
+    /// The program finished.
+    Done(HaltReason),
+    /// `stop_at` was reached before the next instruction at `ip` — fuel
+    /// exhaustion for whole runs, a quantum pause for resumable ones.
+    Stopped(usize),
+    /// The program failed.
+    Err(VmError),
 }
 
 /// Emulation errors.
@@ -177,8 +167,6 @@ pub struct Vm<'p> {
     /// back until the next commit patches its `next_pc`, so sinks only
     /// ever observe finalized records.
     pending: Option<TraceRecord>,
-    /// Legacy materialized trace (the `collect_trace` shim).
-    trace: Vec<TraceRecord>,
 }
 
 impl<'p> Vm<'p> {
@@ -266,7 +254,6 @@ impl<'p> Vm<'p> {
             output: Vec::new(),
             stats: DynStats::default(),
             pending: None,
-            trace: Vec::new(),
         }
     }
 
@@ -300,16 +287,9 @@ impl<'p> Vm<'p> {
         &self.stats
     }
 
-    /// The materialized committed-path trace (empty unless the
-    /// deprecated [`RunConfig::collect_trace`] shim is enabled; the
-    /// sink-taking run methods never populate it).
-    pub fn trace(&self) -> &[TraceRecord] {
-        &self.trace
-    }
-
-    /// Consume the emulator, returning its (shim) trace and statistics.
-    pub fn into_parts(self) -> (Vec<TraceRecord>, DynStats, Vec<u8>) {
-        (self.trace, self.stats, self.output)
+    /// Consume the emulator, returning its statistics and output stream.
+    pub fn into_parts(self) -> (DynStats, Vec<u8>) {
+        (self.stats, self.output)
     }
 
     /// Run to completion without a watcher.
@@ -333,14 +313,7 @@ impl<'p> Vm<'p> {
         &mut self,
         watcher: &mut W,
     ) -> Result<RunOutcome, VmError> {
-        if self.legacy_collect_requested() {
-            let mut sink = VecSink::with_records(std::mem::take(&mut self.trace));
-            let outcome = self.run_flat(watcher, Some(&mut sink));
-            self.trace = sink.into_records();
-            outcome
-        } else {
-            self.run_flat::<W, NullSink>(watcher, None)
-        }
+        self.run_flat::<W, NullSink>(watcher, None)
     }
 
     /// Run to completion, streaming each committed instruction's
@@ -374,12 +347,132 @@ impl<'p> Vm<'p> {
         self.run_flat(watcher, Some(sink))
     }
 
+    /// Run to completion on the flat engine with statistics gathering
+    /// **compiled out** (`STATS = false` monomorphization): for callers
+    /// that only need the outputs — the outcome, the output stream and
+    /// the fuel-relevant step count. [`Vm::stats`] reflects only `steps`
+    /// after this; histograms, block counts and event counters are not
+    /// gathered, and no watcher or sink can observe the run. This is the
+    /// service fast path and the throughput side of the oracle's
+    /// cross-checks.
+    ///
+    /// # Errors
+    ///
+    /// See [`VmError`].
+    pub fn run_nostats(&mut self) -> Result<RunOutcome, VmError> {
+        self.pending = None;
+        let flat = std::mem::take(&mut self.flat);
+        let entry = flat.entry.expect("entry block has instructions") as usize;
+        let stop = self.config.max_steps;
+        let mut nw = NoWatcher;
+        let mut sink: Option<&mut NullSink> = None;
+        let exit = if flat.trusted {
+            self.flat_loop::<NoWatcher, NullSink, true, false>(
+                &flat, &mut nw, &mut sink, entry, true, stop,
+            )
+        } else {
+            self.flat_loop::<NoWatcher, NullSink, false, false>(
+                &flat, &mut nw, &mut sink, entry, true, stop,
+            )
+        };
+        self.flat = flat;
+        match exit {
+            FlatExit::Done(reason) => Ok(RunOutcome {
+                steps: self.stats.steps,
+                reason,
+                output_digest: fnv1a(&self.output),
+            }),
+            // `stop_at` was `max_steps`, so a stop is fuel exhaustion.
+            FlatExit::Stopped(_) => Err(VmError::OutOfFuel { steps: self.stats.steps }),
+            FlatExit::Err(e) => Err(e),
+        }
+    }
+
+    /// Step the flat engine for at most `quantum` committed instructions,
+    /// then pause — the resumable entry point [`crate::BatchRunner`]
+    /// round-robins over many VMs.
+    ///
+    /// Pass `resume_at: None` to start a fresh run from the entry (fresh
+    /// call stack, exactly like [`Vm::run`]); pass the `ip` of a previous
+    /// [`Quantum::Paused`] to continue that run where it stopped. The
+    /// split points are invisible to the program: a run finished across
+    /// many quanta produces the identical outcome, output and statistics
+    /// as one uninterrupted [`Vm::run`] — a pause can even land between
+    /// the constituents of a fused superinstruction, because tail slots
+    /// are retained unfused and resuming at one simply executes it
+    /// singly. Statistics are gathered; use [`Vm::run_quantum_nostats`]
+    /// for the throughput-oriented variant. After `Quantum::Finished`,
+    /// resume only with `None` (a fresh run).
+    pub fn run_quantum(&mut self, resume_at: Option<u32>, quantum: u64) -> Quantum {
+        self.quantum_impl::<true>(resume_at, quantum)
+    }
+
+    /// [`Vm::run_quantum`] with statistics gathering compiled out, as in
+    /// [`Vm::run_nostats`].
+    pub fn run_quantum_nostats(&mut self, resume_at: Option<u32>, quantum: u64) -> Quantum {
+        self.quantum_impl::<false>(resume_at, quantum)
+    }
+
+    fn quantum_impl<const STATS: bool>(&mut self, resume_at: Option<u32>, quantum: u64) -> Quantum {
+        let flat = std::mem::take(&mut self.flat);
+        let entry = flat.entry.expect("entry block has instructions") as usize;
+        let (start, fresh) = match resume_at {
+            Some(ip) => (ip as usize, false),
+            None => (entry, true),
+        };
+        if fresh {
+            self.pending = None;
+        }
+        let max_steps = self.config.max_steps;
+        let stop = max_steps.min(self.stats.steps.saturating_add(quantum));
+        let mut nw = NoWatcher;
+        let mut sink: Option<&mut NullSink> = None;
+        let exit = if flat.trusted {
+            self.flat_loop::<NoWatcher, NullSink, true, STATS>(
+                &flat, &mut nw, &mut sink, start, fresh, stop,
+            )
+        } else {
+            self.flat_loop::<NoWatcher, NullSink, false, STATS>(
+                &flat, &mut nw, &mut sink, start, fresh, stop,
+            )
+        };
+        if STATS {
+            self.fold_block_counts(&flat);
+        }
+        self.flat = flat;
+        match exit {
+            FlatExit::Done(reason) => Quantum::Finished(Ok(RunOutcome {
+                steps: self.stats.steps,
+                reason,
+                output_digest: fnv1a(&self.output),
+            })),
+            FlatExit::Stopped(ip) => {
+                if self.stats.steps >= max_steps {
+                    Quantum::Finished(Err(VmError::OutOfFuel { steps: self.stats.steps }))
+                } else {
+                    Quantum::Paused { ip: ip as u32 }
+                }
+            }
+            FlatExit::Err(e) => Quantum::Finished(Err(e)),
+        }
+    }
+
+    /// Fold the dense flat block counts back into the public
+    /// [`DynStats::block_counts`] map and clear them.
+    fn fold_block_counts(&mut self, flat: &FlatProgram) {
+        for (i, count) in self.flat_block_counts.iter_mut().enumerate() {
+            if *count > 0 {
+                *self.stats.block_counts.entry(flat.blocks[i]).or_insert(0) += *count;
+                *count = 0;
+            }
+        }
+    }
+
     /// Run to completion on the **reference engine** — the original
     /// graph-walking interpreter. Bit-identical to [`Vm::run`] on every
     /// observable (outcome, output, statistics, trace); kept as the
     /// baseline the engine-equivalence suite and the fuzz oracle
-    /// differentially test the flat engine against. Ignores the
-    /// deprecated `collect_trace` shim.
+    /// differentially test the flat engine against.
     ///
     /// # Errors
     ///
@@ -472,12 +565,14 @@ impl<'p> Vm<'p> {
         // Detach the flat form so the loop can borrow it while mutating
         // the rest of the machine state.
         let flat = std::mem::take(&mut self.flat);
+        let entry = flat.entry.expect("entry block has instructions") as usize;
+        let stop = self.config.max_steps;
         // Monomorphize on trust: a verified lowering cannot contain
         // `Malformed` slots, so its loop instance compiles the check out.
-        let result = if flat.trusted {
-            self.flat_loop::<W, S, true>(&flat, watcher, &mut sink)
+        let exit = if flat.trusted {
+            self.flat_loop::<W, S, true, true>(&flat, watcher, &mut sink, entry, true, stop)
         } else {
-            self.flat_loop::<W, S, false>(&flat, watcher, &mut sink)
+            self.flat_loop::<W, S, false, true>(&flat, watcher, &mut sink, entry, true, stop)
         };
         // Flush the delay buffer; the final record keeps `next_pc` at
         // `u64::MAX` (also on error paths, where the last committed
@@ -487,14 +582,16 @@ impl<'p> Vm<'p> {
                 s.record(&last);
             }
         }
-        for (i, count) in self.flat_block_counts.iter_mut().enumerate() {
-            if *count > 0 {
-                *self.stats.block_counts.entry(flat.blocks[i]).or_insert(0) += *count;
-                *count = 0;
-            }
-        }
+        self.fold_block_counts(&flat);
         self.flat = flat;
-        let reason = result?;
+        let reason = match exit {
+            FlatExit::Done(reason) => reason,
+            // `stop_at` was `max_steps`, so a stop is fuel exhaustion.
+            FlatExit::Stopped(_) => {
+                return Err(VmError::OutOfFuel { steps: self.stats.steps });
+            }
+            FlatExit::Err(e) => return Err(e),
+        };
         Ok(RunOutcome { steps: self.stats.steps, reason, output_digest: fnv1a(&self.output) })
     }
 
@@ -515,13 +612,34 @@ impl<'p> Vm<'p> {
     /// [`FlatProgram::lower_verified`]: the verifier proved no
     /// `Malformed` slot exists, so that arm reduces to `unreachable!`
     /// and the defensive check vanishes from the compiled loop.
+    ///
+    /// `STATS` gates every piece of statistics, watcher and trace
+    /// bookkeeping: the `false` instance keeps only the step counter
+    /// (fuel) and the architectural effects — registers, memory, output,
+    /// control flow — for callers that need nothing else
+    /// ([`Vm::run_nostats`], the batch runner's fast path).
+    ///
+    /// The loop is resumable: it starts at `start_ip` (the entry for a
+    /// fresh run, a [`Quantum::Paused`] ip otherwise; `fresh` decides
+    /// whether the call stack survives) and exits with
+    /// [`FlatExit::Stopped`] when `steps` reaches `stop_at` — callers
+    /// pass `max_steps` to make that fuel exhaustion, or an earlier
+    /// quantum boundary to pause.
     #[allow(clippy::too_many_lines)]
-    fn flat_loop<W: Watcher + ?Sized, S: TraceSink + ?Sized, const TRUSTED: bool>(
+    fn flat_loop<
+        W: Watcher + ?Sized,
+        S: TraceSink + ?Sized,
+        const TRUSTED: bool,
+        const STATS: bool,
+    >(
         &mut self,
         flat: &FlatProgram,
         watcher: &mut W,
         sink: &mut Option<&mut S>,
-    ) -> Result<HaltReason, VmError> {
+        start_ip: usize,
+        fresh: bool,
+        stop_at: u64,
+    ) -> FlatExit {
         /// Where control goes after the bookkeeping of one instruction.
         enum FlatNext {
             At(usize),
@@ -529,19 +647,21 @@ impl<'p> Vm<'p> {
         }
 
         let insts: &[FlatInst] = &flat.insts;
-        let mut ip = flat.entry.expect("entry block has instructions") as usize;
+        let mut ip = start_ip;
 
         // ---- hoist hot state into locals ----------------------------
         let mut regs = [0i64; 33];
         regs[..32].copy_from_slice(&self.regs);
         let mut steps = self.stats.steps;
-        let max_steps = self.config.max_steps;
         let max_call_depth = self.config.max_call_depth;
         let mut counts = std::mem::take(&mut self.flat_block_counts);
         // Fresh control context per run (see `run_core`): reuse the
-        // allocation but drop any frames a previous run left behind.
+        // allocation but drop any frames a previous run left behind. A
+        // quantum resume, by contrast, must keep its frames.
         let mut call_stack = std::mem::take(&mut self.flat_call_stack);
-        call_stack.clear();
+        if fresh {
+            call_stack.clear();
+        }
         // Scratch histograms with dump slots (`class_width` row
         // `CW_ROWS-1` for control ops, `sig_hist` slot 0 for absent
         // operands) so their per-step updates are branchless; event
@@ -552,11 +672,11 @@ impl<'p> Vm<'p> {
         let mut scratch = DynStats::default();
 
         let result = loop {
-            if steps >= max_steps {
-                break Err(VmError::OutOfFuel { steps });
+            if steps >= stop_at {
+                break FlatExit::Stopped(ip);
             }
             let inst = &insts[ip];
-            if inst.block_idx != NOT_BLOCK_ENTRY {
+            if STATS && inst.block_idx != NOT_BLOCK_ENTRY {
                 counts[inst.block_idx as usize] += 1;
             }
             steps += 1;
@@ -573,6 +693,56 @@ impl<'p> Vm<'p> {
             let mut dst_value: Option<i64> = None;
             let mut mem_addr = 0u64;
             let mut taken = false;
+
+            /// Per-constituent statistics / watcher / trace bookkeeping
+            /// (bit-identical to the reference engine's, see `step`).
+            /// Invoked once per iteration by the shared epilogue below,
+            /// and again by fused superinstruction arms for their second
+            /// and third constituents. Compiles to nothing when `STATS`
+            /// is off.
+            macro_rules! bookkeep {
+                ($i:expr, $idx:expr, $a:expr, $b:expr, $dv:expr, $ma:expr, $tk:expr) => {{
+                    if STATS {
+                        let i_: &FlatInst = $i;
+                        let dv_: Option<i64> = $dv;
+                        class_width[(i_.cw >> 2) as usize][(i_.cw & 3) as usize] += 1;
+                        let m1 = i_.sig1 as u64;
+                        let m2 = i_.sig2 as u64;
+                        let sig_a = Width::sig_bytes($a) * i_.sig1 as u8;
+                        let sig_b = Width::sig_bytes($b) * i_.sig2 as u8;
+                        sig_hist[sig_a as usize] += m1;
+                        sig_hist[sig_b as usize] += m2;
+                        let md = dv_.is_some() as u64;
+                        let dst_sig = Width::sig_bytes(dv_.unwrap_or(0)) * md as u8;
+                        sig_hist[dst_sig as usize] += md;
+                        if let Some(v) = dv_ {
+                            watcher.record(i_.at, v);
+                        }
+                        if let Some(ref mut s) = *sink {
+                            let pc_addr = FlatProgram::pc_of($idx);
+                            // Patch and release the delayed predecessor:
+                            // its `next_pc` is this instruction's address.
+                            if let Some(mut prev) = self.pending.take() {
+                                prev.next_pc = pc_addr;
+                                s.record(&prev);
+                            }
+                            self.pending = Some(TraceRecord {
+                                pc: pc_addr,
+                                next_pc: u64::MAX,
+                                op: i_.op,
+                                width: i_.width,
+                                dst: i_.trace_dst,
+                                srcs: i_.trace_srcs,
+                                mem_addr: $ma,
+                                taken: $tk,
+                                dst_sig,
+                                src_sigs: [sig_a, sig_b],
+                                dst_value: dv_,
+                            });
+                        }
+                    }
+                }};
+            }
 
             /// One ALU arm: evaluate with a *constant* op (so the
             /// `alu_eval` match folds away), write the precomputed
@@ -609,19 +779,25 @@ impl<'p> Vm<'p> {
                     let v = self.mem.read(mem_addr, w, signed);
                     regs[inst.dst_w as usize] = v;
                     dst_value = Some(v);
-                    scratch.loads += 1;
+                    if STATS {
+                        scratch.loads += 1;
+                    }
                     FlatNext::At(ip + 1)
                 }
                 FlatOp::St => {
                     mem_addr = (b + inst.disp as i64) as u64;
                     self.mem.write(mem_addr, w, a);
-                    scratch.stores += 1;
+                    if STATS {
+                        scratch.stores += 1;
+                    }
                     FlatNext::At(ip + 1)
                 }
                 FlatOp::Out => {
                     let bytes = (a as u64).to_le_bytes();
                     self.output.extend_from_slice(&bytes[..w.bytes() as usize]);
-                    scratch.out_bytes += w.bytes() as u64;
+                    if STATS {
+                        scratch.out_bytes += w.bytes() as u64;
+                    }
                     FlatNext::At(ip + 1)
                 }
                 FlatOp::Cmov(cond) => {
@@ -636,10 +812,14 @@ impl<'p> Vm<'p> {
                     FlatNext::At(t as usize)
                 }
                 FlatOp::Bc { cond, t, fall } => {
-                    scratch.cond_branches += 1;
+                    if STATS {
+                        scratch.cond_branches += 1;
+                    }
                     taken = cond.eval(a);
                     if taken {
-                        scratch.taken_branches += 1;
+                        if STATS {
+                            scratch.taken_branches += 1;
+                        }
                         FlatNext::At(t as usize)
                     } else {
                         FlatNext::At(fall as usize)
@@ -647,9 +827,11 @@ impl<'p> Vm<'p> {
                 }
                 FlatOp::Jsr { callee } => {
                     if call_stack.len() >= max_call_depth {
-                        break Err(VmError::CallDepthExceeded { max: max_call_depth });
+                        break FlatExit::Err(VmError::CallDepthExceeded { max: max_call_depth });
                     }
-                    scratch.calls += 1;
+                    if STATS {
+                        scratch.calls += 1;
+                    }
                     taken = true;
                     call_stack.push((ip + 1) as u32);
                     FlatNext::At(callee as usize)
@@ -669,70 +851,142 @@ impl<'p> Vm<'p> {
                         // arm down to this assertion.
                         unreachable!("trusted flat program has a malformed slot at {}", inst.at);
                     }
-                    break Err(VmError::Malformed { at: inst.at, what });
+                    break FlatExit::Err(VmError::Malformed { at: inst.at, what });
+                }
+
+                // ---- fused superinstructions ------------------------
+                // Each arm executes its 2–3 retained constituent slots
+                // sequentially with the *same* observable effects as the
+                // unfused dispatches would produce — per-constituent
+                // register reads (so aliasing through the head's write is
+                // seen), per-constituent bookkeeping, and a fuel/quantum
+                // check between constituents (breaking at the tail's ip,
+                // which resumes correctly because tails stay unfused).
+                FlatOp::FusedCmpBc { kind, cond, t, fall } => {
+                    let v = alu_eval(Op::Cmp(kind), w, a, b).expect("lowered as executable");
+                    regs[inst.dst_w as usize] = v;
+                    bookkeep!(inst, ip, a, b, Some(v), 0u64, false);
+                    if steps >= stop_at {
+                        break FlatExit::Stopped(ip + 1);
+                    }
+                    let tail = &insts[ip + 1];
+                    steps += 1;
+                    let ta = regs[tail.src1_r as usize];
+                    let tb = regs[tail.src2_r as usize].wrapping_add(tail.imm);
+                    if STATS {
+                        scratch.cond_branches += 1;
+                    }
+                    let tk = cond.eval(ta);
+                    if STATS && tk {
+                        scratch.taken_branches += 1;
+                    }
+                    bookkeep!(tail, ip + 1, ta, tb, None, 0u64, tk);
+                    ip = if tk { t as usize } else { fall as usize };
+                    continue;
+                }
+                FlatOp::FusedAddCmpBc { kind, cond, t, fall } => {
+                    let v = alu_eval(Op::Add, w, a, b).expect("lowered as executable");
+                    regs[inst.dst_w as usize] = v;
+                    bookkeep!(inst, ip, a, b, Some(v), 0u64, false);
+                    if steps >= stop_at {
+                        break FlatExit::Stopped(ip + 1);
+                    }
+                    let mid = &insts[ip + 1];
+                    steps += 1;
+                    let ma = regs[mid.src1_r as usize];
+                    let mb = regs[mid.src2_r as usize].wrapping_add(mid.imm);
+                    let mv =
+                        alu_eval(Op::Cmp(kind), mid.width, ma, mb).expect("lowered as executable");
+                    regs[mid.dst_w as usize] = mv;
+                    bookkeep!(mid, ip + 1, ma, mb, Some(mv), 0u64, false);
+                    if steps >= stop_at {
+                        break FlatExit::Stopped(ip + 2);
+                    }
+                    let tail = &insts[ip + 2];
+                    steps += 1;
+                    let ta = regs[tail.src1_r as usize];
+                    let tb = regs[tail.src2_r as usize].wrapping_add(tail.imm);
+                    if STATS {
+                        scratch.cond_branches += 1;
+                    }
+                    let tk = cond.eval(ta);
+                    if STATS && tk {
+                        scratch.taken_branches += 1;
+                    }
+                    bookkeep!(tail, ip + 2, ta, tb, None, 0u64, tk);
+                    ip = if tk { t as usize } else { fall as usize };
+                    continue;
+                }
+                FlatOp::FusedLdAdd { signed } => {
+                    let ma = (a + inst.disp as i64) as u64;
+                    let v = self.mem.read(ma, w, signed);
+                    regs[inst.dst_w as usize] = v;
+                    if STATS {
+                        scratch.loads += 1;
+                    }
+                    bookkeep!(inst, ip, a, b, Some(v), ma, false);
+                    if steps >= stop_at {
+                        break FlatExit::Stopped(ip + 1);
+                    }
+                    let tail = &insts[ip + 1];
+                    steps += 1;
+                    let ta = regs[tail.src1_r as usize];
+                    let tb = regs[tail.src2_r as usize].wrapping_add(tail.imm);
+                    let tv = alu_eval(Op::Add, tail.width, ta, tb).expect("lowered as executable");
+                    regs[tail.dst_w as usize] = tv;
+                    bookkeep!(tail, ip + 1, ta, tb, Some(tv), 0u64, false);
+                    ip += 2;
+                    continue;
+                }
+                FlatOp::FusedAddSt => {
+                    let v = alu_eval(Op::Add, w, a, b).expect("lowered as executable");
+                    regs[inst.dst_w as usize] = v;
+                    bookkeep!(inst, ip, a, b, Some(v), 0u64, false);
+                    if steps >= stop_at {
+                        break FlatExit::Stopped(ip + 1);
+                    }
+                    let tail = &insts[ip + 1];
+                    steps += 1;
+                    let ta = regs[tail.src1_r as usize];
+                    let tb = regs[tail.src2_r as usize].wrapping_add(tail.imm);
+                    let ma = (tb + tail.disp as i64) as u64;
+                    self.mem.write(ma, tail.width, ta);
+                    if STATS {
+                        scratch.stores += 1;
+                    }
+                    bookkeep!(tail, ip + 1, ta, tb, None, ma, false);
+                    ip += 2;
+                    continue;
                 }
             };
 
-            // ---- statistics (same values as the reference engine;
-            // absent operands land in the discarded dump slots) --------
-            class_width[(inst.cw >> 2) as usize][(inst.cw & 3) as usize] += 1;
-            let m1 = inst.sig1 as u64;
-            let m2 = inst.sig2 as u64;
-            let sig_a = Width::sig_bytes(a) * inst.sig1 as u8;
-            let sig_b = Width::sig_bytes(b) * inst.sig2 as u8;
-            sig_hist[sig_a as usize] += m1;
-            sig_hist[sig_b as usize] += m2;
-            let md = dst_value.is_some() as u64;
-            let dst_sig = Width::sig_bytes(dst_value.unwrap_or(0)) * md as u8;
-            sig_hist[dst_sig as usize] += md;
-            if let Some(v) = dst_value {
-                watcher.record(inst.at, v);
-            }
-
-            // ---- trace ----------------------------------------------
-            if let Some(ref mut s) = *sink {
-                let pc_addr = FlatProgram::pc_of(ip);
-                // Patch and release the delayed predecessor: its
-                // `next_pc` is this instruction's address.
-                if let Some(mut prev) = self.pending.take() {
-                    prev.next_pc = pc_addr;
-                    s.record(&prev);
-                }
-                self.pending = Some(TraceRecord {
-                    pc: pc_addr,
-                    next_pc: u64::MAX,
-                    op: inst.op,
-                    width: w,
-                    dst: inst.trace_dst,
-                    srcs: inst.trace_srcs,
-                    mem_addr,
-                    taken,
-                    dst_sig,
-                    src_sigs: [sig_a, sig_b],
-                    dst_value,
-                });
-            }
+            // ---- statistics / trace (same values as the reference
+            // engine; absent operands land in the discarded dump slots;
+            // compiled out entirely when `STATS` is off) ---------------
+            bookkeep!(inst, ip, a, b, dst_value, mem_addr, taken);
 
             match next {
                 FlatNext::At(n) => ip = n,
-                FlatNext::Done(reason) => break Ok(reason),
+                FlatNext::Done(reason) => break FlatExit::Done(reason),
             }
         };
 
         // ---- write hot state back (on success and error alike) ------
         self.regs.copy_from_slice(&regs[..32]);
         self.stats.steps = steps;
-        for (row, srow) in self.stats.class_width.iter_mut().zip(&class_width) {
-            for (c, sc) in row.iter_mut().zip(srow) {
-                *c += sc;
+        if STATS {
+            for (row, srow) in self.stats.class_width.iter_mut().zip(&class_width) {
+                for (c, sc) in row.iter_mut().zip(srow) {
+                    *c += sc;
+                }
             }
+            // Slot 0 is the dump slot for absent operands; the public
+            // histogram keeps it untouched (and unused).
+            for (h, sh) in self.stats.sig_hist.iter_mut().zip(&sig_hist).skip(1) {
+                *h += sh;
+            }
+            self.stats.add_events(&scratch);
         }
-        // Slot 0 is the dump slot for absent operands; the public
-        // histogram keeps it untouched (and unused).
-        for (h, sh) in self.stats.sig_hist.iter_mut().zip(&sig_hist).skip(1) {
-            *h += sh;
-        }
-        self.stats.add_events(&scratch);
         self.flat_block_counts = counts;
         self.flat_call_stack = call_stack;
         result
@@ -910,6 +1164,7 @@ enum Next {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::VecSink;
     use og_program::{imm, ProgramBuilder};
 
     fn run_program(p: &Program) -> (Vec<u8>, RunOutcome, DynStats) {
@@ -1108,7 +1363,6 @@ mod tests {
         let mut vm = Vm::new(&p, RunConfig::default());
         let mut sink = crate::VecSink::new();
         vm.run_streamed(&mut sink).unwrap();
-        assert!(vm.trace().is_empty(), "streaming must not materialize inside the VM");
         let t = sink.into_records();
         assert_eq!(t.len(), 4); // ldi, beq, out, halt
         assert!(t[1].is_cond_branch());
@@ -1120,17 +1374,6 @@ mod tests {
         // defined values ride the stream (the `out` and `halt` define none)
         assert_eq!(t[0].dst_value, Some(1));
         assert_eq!(t[2].dst_value, None);
-    }
-
-    #[test]
-    fn legacy_collect_trace_shim_matches_streaming() {
-        let p = branchy_program();
-        let mut legacy_vm = Vm::new(&p, RunConfig::with_collect_trace());
-        legacy_vm.run().unwrap();
-        let mut vm = Vm::new(&p, RunConfig::default());
-        let mut sink = crate::VecSink::new();
-        vm.run_streamed(&mut sink).unwrap();
-        assert_eq!(legacy_vm.trace(), sink.records());
     }
 
     #[test]
@@ -1199,6 +1442,171 @@ mod tests {
         assert_eq!(c.0.len(), 2);
         assert_eq!(c.0[0].1, 7);
         assert_eq!(c.0[1].1, 8);
+    }
+
+    /// A program whose lowering produces all four fused superinstruction
+    /// variants (ld;add, add;st, the add;cmp;bc latch, and cmp;bc).
+    fn fused_workout_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        pb.data_quads("tbl", &[5, 6, 7]);
+        let mut f = pb.function("main", 0);
+        f.block("entry");
+        f.la(Reg::T1, "tbl");
+        f.ldi(Reg::T0, 0);
+        f.ldi(Reg::T4, 0);
+        f.block("loop");
+        f.ld(Width::D, Reg::T2, Reg::T1, 0);
+        f.add(Width::W, Reg::T0, Reg::T0, Reg::T2);
+        f.add(Width::D, Reg::T5, Reg::T0, imm(1));
+        f.st(Width::D, Reg::T5, Reg::T1, 0);
+        f.add(Width::W, Reg::T4, Reg::T4, imm(1));
+        f.cmp(og_isa::CmpKind::Lt, Width::D, Reg::T3, Reg::T4, imm(3));
+        f.bne(Reg::T3, "loop");
+        f.block("exit");
+        f.cmp(og_isa::CmpKind::Eq, Width::D, Reg::T6, Reg::T4, imm(3));
+        f.bne(Reg::T6, "done");
+        f.block("dead");
+        f.halt();
+        f.block("done");
+        f.out(Width::B, Reg::T0);
+        f.halt();
+        pb.finish(f);
+        pb.build().unwrap()
+    }
+
+    #[test]
+    fn fused_engine_matches_unfused_bit_for_bit() {
+        let p = fused_workout_program();
+        let layout = p.layout();
+        assert!(FlatProgram::lower(&p, &layout).fused_count() > 0);
+        let mut fused = Vm::new(&p, RunConfig::default());
+        let mut unfused =
+            Vm::with_lowered(&p, RunConfig::default(), FlatProgram::lower_unfused(&p, &layout));
+        let mut sink_f = VecSink::new();
+        let mut sink_u = VecSink::new();
+        let out_f = fused.run_streamed(&mut sink_f).unwrap();
+        let out_u = unfused.run_streamed(&mut sink_u).unwrap();
+        assert_eq!(out_f, out_u);
+        assert_eq!(fused.output(), unfused.output());
+        assert_eq!(fused.stats(), unfused.stats());
+        assert_eq!(sink_f.records(), sink_u.records());
+        // And both match the reference interpreter.
+        let mut reference = Vm::new(&p, RunConfig::default());
+        let mut sink_r = VecSink::new();
+        let out_r = reference.run_reference_streamed(&mut sink_r).unwrap();
+        assert_eq!(out_f, out_r);
+        assert_eq!(fused.output(), reference.output());
+        assert_eq!(fused.stats(), reference.stats());
+        assert_eq!(sink_f.records(), sink_r.records());
+    }
+
+    #[test]
+    fn fused_watcher_stream_matches_unfused() {
+        struct Collect(Vec<(InstRef, i64)>);
+        impl Watcher for Collect {
+            fn record(&mut self, at: InstRef, value: i64) {
+                self.0.push((at, value));
+            }
+        }
+        let p = fused_workout_program();
+        let mut fused = Vm::new(&p, RunConfig::default());
+        let mut unfused =
+            Vm::with_lowered(&p, RunConfig::default(), FlatProgram::lower_unfused(&p, &p.layout()));
+        let mut w_f = Collect(Vec::new());
+        let mut w_u = Collect(Vec::new());
+        fused.run_watched(&mut w_f).unwrap();
+        unfused.run_watched(&mut w_u).unwrap();
+        assert_eq!(w_f.0, w_u.0);
+        assert!(!w_f.0.is_empty());
+    }
+
+    #[test]
+    fn fuel_exhaustion_mid_fused_window_matches_unfused() {
+        // Sweep the fuel limit across the whole run so exhaustion lands
+        // between every pair of constituents of every fused window; the
+        // fused engine must stop at exactly the same committed step with
+        // identical stats and trace as the unfused engine.
+        let p = fused_workout_program();
+        let layout = p.layout();
+        let full_steps = {
+            let mut vm = Vm::new(&p, RunConfig::default());
+            vm.run().unwrap().steps
+        };
+        for max_steps in 1..full_steps {
+            let config = RunConfig { max_steps, ..Default::default() };
+            let mut fused = Vm::new(&p, config.clone());
+            let mut unfused = Vm::with_lowered(&p, config, FlatProgram::lower_unfused(&p, &layout));
+            let mut sink_f = VecSink::new();
+            let mut sink_u = VecSink::new();
+            let res_f = fused.run_streamed(&mut sink_f);
+            let res_u = unfused.run_streamed(&mut sink_u);
+            assert_eq!(res_f, res_u, "max_steps={max_steps}");
+            assert_eq!(res_f, Err(VmError::OutOfFuel { steps: max_steps }));
+            assert_eq!(fused.stats(), unfused.stats(), "max_steps={max_steps}");
+            assert_eq!(fused.output(), unfused.output(), "max_steps={max_steps}");
+            assert_eq!(sink_f.records(), sink_u.records(), "max_steps={max_steps}");
+        }
+    }
+
+    #[test]
+    fn run_nostats_matches_full_run_architecturally() {
+        let p = fused_workout_program();
+        let mut full = Vm::new_verified(&p, RunConfig::default()).unwrap();
+        let expected = full.run().unwrap();
+        for trusted in [true, false] {
+            let mut vm = if trusted {
+                Vm::new_verified(&p, RunConfig::default()).unwrap()
+            } else {
+                Vm::new(&p, RunConfig::default())
+            };
+            let got = vm.run_nostats().unwrap();
+            assert_eq!(got, expected, "trusted={trusted}");
+            assert_eq!(vm.output(), full.output(), "trusted={trusted}");
+            // Only the step count is maintained; the rest is skipped.
+            assert_eq!(vm.stats().steps, expected.steps);
+            assert!(vm.stats().block_counts.is_empty(), "no-stats mode keeps no block counts");
+        }
+    }
+
+    #[test]
+    fn quantum_stepping_preserves_call_stack_and_stats() {
+        // A program with calls, paused after every single step: resume
+        // must preserve frames, and per-quantum stat folding must add up
+        // to exactly the solo run's stats.
+        let mut pb = ProgramBuilder::new();
+        let mut callee = pb.function("sq", 1);
+        callee.block("entry");
+        callee.mul(Width::W, Reg::V0, Reg::A0, Reg::A0);
+        callee.ret();
+        pb.finish(callee);
+        let mut main = pb.function("main", 0);
+        main.block("entry");
+        main.ldi(Reg::A0, 9);
+        main.jsr("sq");
+        main.out(Width::B, Reg::V0);
+        main.halt();
+        pb.finish(main);
+        let p = pb.build().unwrap();
+
+        let mut solo = Vm::new_verified(&p, RunConfig::default()).unwrap();
+        let expected = solo.run().unwrap();
+
+        let mut vm = Vm::new_verified(&p, RunConfig::default()).unwrap();
+        let mut resume = None;
+        let mut pauses = 0u32;
+        let got = loop {
+            match vm.run_quantum(resume, 1) {
+                Quantum::Paused { ip } => {
+                    resume = Some(ip);
+                    pauses += 1;
+                }
+                Quantum::Finished(r) => break r.unwrap(),
+            }
+        };
+        assert_eq!(got, expected);
+        assert!(pauses >= expected.steps as u32 - 1);
+        assert_eq!(vm.output(), solo.output());
+        assert_eq!(vm.stats(), solo.stats());
     }
 
     #[test]

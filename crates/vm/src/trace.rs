@@ -110,12 +110,6 @@ impl VecSink {
         VecSink::default()
     }
 
-    /// A sink that appends to `records` (used by the legacy
-    /// `collect_trace` shim).
-    pub fn with_records(records: Vec<TraceRecord>) -> VecSink {
-        VecSink { records }
-    }
-
     /// The records captured so far.
     pub fn records(&self) -> &[TraceRecord] {
         &self.records

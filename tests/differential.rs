@@ -111,9 +111,6 @@ fn assert_fused_matches_materialized(name: &str, mech: &str, p: &Program) {
     let mut vm = Vm::new(p, RunConfig::default());
     let mut sim = Simulator::new(MachineConfig::default());
     let outcome = vm.run_streamed(&mut sim).expect("workload runs");
-    // Trace-memory assertion: nothing materialized inside the VM, and
-    // every committed instruction reached the sink exactly once.
-    assert!(vm.trace().is_empty(), "{name}/{mech}: fused path materialized a trace");
     let fused = sim.finish();
     assert_eq!(fused.stats.insts, outcome.steps, "{name}/{mech}: record count != steps");
 

@@ -13,10 +13,22 @@
 //! ~10× longer, so their traces are compared through an order-sensitive
 //! streaming digest — O(1) memory, still sensitive to any field of any
 //! record.
+//!
+//! The default lowering **fuses superinstructions**, so every flat-vs-
+//! reference comparison above already pins the fused dispatch. On top of
+//! that, the suite pins the fusion A/B directly (fused vs
+//! `lower_unfused`, all observables), the **batched** engine (one
+//! `BatchRunner` interleaving every workload and corpus case at a small
+//! quantum must reproduce each solo run's outcome, output, and
+//! `DynStats` bit-for-bit), and the **no-stats** mode's architectural
+//! results.
 
 use og_fuzz::corpus;
 use og_program::{InstRef, Program};
-use og_vm::{DynStats, FnSink, RunConfig, RunOutcome, TraceRecord, VecSink, Vm, VmError, Watcher};
+use og_vm::{
+    BatchRunner, DynStats, FlatProgram, FnSink, RunConfig, RunOutcome, TraceRecord, VecSink, Vm,
+    VmError, Watcher,
+};
 use og_workloads::{by_name, InputSet, NAMES};
 
 /// Watcher that materializes the defined-value stream.
@@ -149,6 +161,108 @@ fn engines_agree_on_every_committed_corpus_case() {
             config.max_steps = max_steps;
         }
         assert_equivalent(&case.program, &config, &path.display().to_string());
+    }
+}
+
+/// Every `(label, program, config)` the batched/fused sweeps cover: all
+/// 8 workloads (Train — the batched interleaving is the point, not run
+/// length) plus every committed corpus case under its recorded budget.
+fn sweep_programs() -> Vec<(String, Program, RunConfig)> {
+    let mut programs: Vec<(String, Program, RunConfig)> = NAMES
+        .iter()
+        .map(|&name| {
+            (format!("{name}/Train"), by_name(name, InputSet::Train).program, RunConfig::default())
+        })
+        .collect();
+    let cases = corpus::load_dir(&corpus::corpus_dir()).expect("committed corpus loads");
+    assert!(!cases.is_empty(), "committed corpus must not be empty");
+    for (path, case) in cases {
+        let mut config = RunConfig::default();
+        if let Some(max_steps) = case.max_steps {
+            config.max_steps = max_steps;
+        }
+        programs.push((path.display().to_string(), case.program, config));
+    }
+    programs
+}
+
+#[test]
+fn fused_dispatch_is_bit_identical_to_unfused_on_workloads_and_corpus() {
+    for (label, p, config) in &sweep_programs() {
+        let fused = observe(p, config, false);
+        let unfused = {
+            let lowered = FlatProgram::lower_unfused(p, &p.layout());
+            let mut vm = Vm::with_lowered(p, config.clone(), lowered);
+            let mut sink = VecSink::new();
+            let mut watcher = Collect(Vec::new());
+            let result = vm.run_full(&mut watcher, &mut sink);
+            Observed {
+                result,
+                output: vm.output().to_vec(),
+                stats: vm.stats().clone(),
+                trace: sink.into_records(),
+                defined: watcher.0,
+            }
+        };
+        assert_eq!(fused.result, unfused.result, "{label}: RunOutcome/VmError diverged");
+        assert_eq!(fused.output, unfused.output, "{label}: output stream diverged");
+        assert_eq!(fused.stats, unfused.stats, "{label}: DynStats diverged");
+        assert_eq!(fused.defined, unfused.defined, "{label}: watcher value stream diverged");
+        assert_eq!(fused.trace, unfused.trace, "{label}: trace diverged");
+    }
+}
+
+#[test]
+fn batched_execution_matches_solo_on_workloads_and_corpus() {
+    let programs = sweep_programs();
+
+    // Solo runs on the trusted engine, full stats.
+    let solo: Vec<(Result<RunOutcome, VmError>, Vec<u8>, DynStats)> = programs
+        .iter()
+        .map(|(label, p, config)| {
+            let mut vm = Vm::new_verified(p, config.clone())
+                .unwrap_or_else(|e| panic!("{label}: must verify: {e:?}"));
+            let result = vm.run();
+            let output = vm.output().to_vec();
+            let (stats, _) = vm.into_parts();
+            (result, output, stats)
+        })
+        .collect();
+
+    // One BatchRunner interleaving every lane at a deliberately small
+    // quantum, so lanes pause and resume mid-run (including inside
+    // fused windows) many times.
+    let mut runner = BatchRunner::with_quantum(257);
+    for (label, p, config) in &programs {
+        runner.push(
+            Vm::new_verified(p, config.clone())
+                .unwrap_or_else(|e| panic!("{label}: must verify: {e:?}")),
+        );
+    }
+    runner.run_stats();
+    for (lane, (vm, result)) in runner.into_lanes().into_iter().enumerate() {
+        let label = &programs[lane].0;
+        assert_eq!(result, solo[lane].0, "{label}: batched RunOutcome diverged");
+        assert_eq!(vm.output(), &solo[lane].1[..], "{label}: batched output diverged");
+        let (stats, _) = vm.into_parts();
+        assert_eq!(stats, solo[lane].2, "{label}: batched DynStats diverged");
+    }
+}
+
+#[test]
+fn nostats_mode_preserves_architectural_results_on_workloads_and_corpus() {
+    for (label, p, config) in &sweep_programs() {
+        let (full_result, full_output) = {
+            let mut vm = Vm::new_verified(p, config.clone())
+                .unwrap_or_else(|e| panic!("{label}: must verify: {e:?}"));
+            (vm.run(), vm.output().to_vec())
+        };
+        let mut vm = Vm::new_verified(p, config.clone())
+            .unwrap_or_else(|e| panic!("{label}: must verify: {e:?}"));
+        let nostats_result = vm.run_nostats();
+        assert_eq!(nostats_result, full_result, "{label}: nostats RunOutcome diverged");
+        assert_eq!(vm.output(), &full_output[..], "{label}: nostats output diverged");
+        assert!(vm.stats().block_counts.is_empty(), "{label}: nostats must skip bookkeeping");
     }
 }
 
