@@ -54,8 +54,11 @@ pub fn recognize_affine(f: &Function, cfg: &Cfg, lp: &Loop) -> Option<AffineIter
                 (inst.op, inst.dst, inst.src1, inst.src2)
             {
                 if dst == src1 && !dst.is_zero() {
-                    let step = if inst.op == Op::Add { c } else { -c };
-                    updates.push((dst, step, InstRef::new(f.id, b, ii as u32)));
+                    // `sub reg, reg, #i64::MIN` has no negatable step.
+                    let step = if inst.op == Op::Add { Some(c) } else { c.checked_neg() };
+                    if let Some(step) = step {
+                        updates.push((dst, step, InstRef::new(f.id, b, ii as u32)));
+                    }
                 }
             }
         }

@@ -150,7 +150,20 @@ pub fn save_case(path: &Path, case: &CorpusCase) -> Result<(), String> {
 ///
 /// See [`save_case`].
 pub fn save_failure(case: &CorpusCase) -> Result<PathBuf, String> {
-    let path = failure_dir().join(format!("{}.og.json", case.name));
+    save_failure_to(&failure_dir(), case)
+}
+
+/// Save a campaign failure into an explicit directory as
+/// `<name>.og.json`, returning the path. This is what the campaign
+/// engine calls with its configured
+/// [`fail_dir`](crate::CampaignConfig::fail_dir), so tests can redirect
+/// reproducers without mutating the process environment.
+///
+/// # Errors
+///
+/// See [`save_case`].
+pub fn save_failure_to(dir: &Path, case: &CorpusCase) -> Result<PathBuf, String> {
+    let path = dir.join(format!("{}.og.json", case.name));
     save_case(&path, case)?;
     Ok(path)
 }

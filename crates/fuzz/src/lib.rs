@@ -2,7 +2,16 @@
 //!
 //! The hand-written kernels exercise a sliver of the program space VRP
 //! and VRS must be sound over. This crate closes the gap with seeded,
-//! deterministic random campaigns:
+//! deterministic campaigns, driven through one entry point — the
+//! [`Campaign`] builder:
+//!
+//! ```no_run
+//! use og_fuzz::Campaign;
+//! let summary = Campaign::new(0x06_F0_22).cases(500).run();
+//! assert!(summary.failure.is_none());
+//! ```
+//!
+//! Every campaign follows the same spine:
 //!
 //! 1. **generate** — [`og_program::generate`] builds a random but
 //!    provably terminating program (counted loops, fuel-bounded
@@ -35,68 +44,71 @@
 //!    differential for the og-serve fast path;
 //! 4. **shrink** — on failure, [`shrink::shrink`] greedily minimizes the
 //!    program against the same oracle;
-//! 5. **persist** — the shrunk reproducer is written to
-//!    `target/og-fuzz-failures/` as an `*.og.json` corpus case (CI
-//!    uploads it as an artifact), ready to be replayed locally and, once
+//! 5. **persist** — the shrunk reproducer is written to the campaign's
+//!    failure directory ([`CampaignConfig::fail_dir`], default
+//!    `target/og-fuzz-failures/`; CI uploads it as an artifact) as an
+//!    `*.og.json` corpus case, ready to be replayed locally and, once
 //!    fixed, committed to `crates/fuzz/corpus/` where the replay test
 //!    guards it forever.
 //!
-//! Campaigns are configured by [`CampaignConfig`]; the standing test
-//! honours `OG_FUZZ_CASES` and `OG_FUZZ_SEED`. Every case is fully
-//! determined by `(base_seed, index)`, so any CI failure reproduces
-//! locally from the numbers in its report alone.
+//! ## Coverage-guided mode
+//!
+//! `Campaign::new(seed).coverage(true)` swaps the fixed random budget
+//! for a **corpus-evolving loop** sharded across an
+//! [`og_lab::WorkerPool`] (module [`campaign`] documents the mechanics):
+//! each run's per-block coverage ([`og_vm::Coverage`], read straight
+//! from the flat engine's dense block counters) is projected into a
+//! global feature space ([`sched`]) of instruction shapes — including
+//! the operand-significance class of every immediate, the quantity the
+//! paper's gating decisions turn on — and covered-block adjacencies;
+//! inputs that light new features are kept as mutation bases for the
+//! structural mutators in [`mutate`] (immediate perturbation at
+//! significance boundaries, branch retargeting/flipping through the
+//! verifier gate, block splicing, width jitter). The oracle stays the
+//! judge: only oracle-green inputs enter the corpus, every find shrinks
+//! the same way, and the guided run reports a random baseline at equal
+//! budget so `BENCH_fuzz.json` always carries the
+//! `blocks_covered_guided` vs `blocks_covered_random` comparison CI
+//! gates on. The kept corpus is set-cover minimized at end of run;
+//! [`minimized_corpus_cases`] turns one into ready-to-commit
+//! `*.og.json` cases.
+//!
+//! Campaigns are configured by [`CampaignConfig`]; environment
+//! overrides (`OG_FUZZ_CASES`, `OG_FUZZ_SEED`, `OG_FUZZ_COVERAGE`,
+//! `OG_FUZZ_SHARDS`, `OG_FUZZ_FAIL_DIR`) are one explicit builder layer
+//! ([`Campaign::overrides_from_env`]) — nothing else in the crate reads
+//! the process environment. Every random-mode case is fully determined
+//! by `(base_seed, index)`, and every guided shard by
+//! `(base_seed, shard)`, so any CI failure reproduces locally from the
+//! numbers in its report alone.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod corpus;
+pub mod mutate;
+pub mod sched;
 pub mod shrink;
 
-use og_core::oracle::{check_program, OracleConfig, OracleOutcome};
-use og_json::{Json, ToJson};
-use og_lab::{run_batch, BatchJob, WorkerPool};
-use og_program::generate::{generate_with_bound, GenConfig};
+pub use campaign::{
+    minimized_corpus_cases, Campaign, CampaignConfig, CampaignSummary, CaseFailure,
+};
+
+use og_core::oracle::OracleConfig;
+use og_program::generate::GenConfig;
 use og_program::rng::SplitMix64;
 use og_program::Program;
 use og_sim::{MachineConfig, SimResult, Simulator};
 use og_vm::{BatchRunner, FlatProgram, RunConfig, VecSink, Vm};
-use std::sync::Arc;
 
-/// Configuration of one fuzzing campaign.
-#[derive(Debug, Clone)]
-pub struct CampaignConfig {
-    /// Seed of the first case; case `i` uses `base_seed + i`.
-    pub base_seed: u64,
-    /// Number of cases.
-    pub cases: u64,
-    /// Run the fused-vs-materialized simulator cross-check on every Nth
-    /// case (0 disables it).
-    pub sim_check_every: u64,
-    /// Shrink-step budget (oracle invocations) when a case fails.
-    pub shrink_budget: usize,
+/// Run a campaign with the given config.
+#[deprecated(note = "use the Campaign builder: `Campaign::from_config(cfg).run()`")]
+pub fn run_campaign(cfg: &CampaignConfig) -> CampaignSummary {
+    Campaign::from_config(cfg.clone()).run()
 }
 
-impl Default for CampaignConfig {
-    fn default() -> Self {
-        CampaignConfig { base_seed: 0x06_F0_22, cases: 500, sim_check_every: 8, shrink_budget: 800 }
-    }
-}
-
-impl CampaignConfig {
-    /// Read `OG_FUZZ_CASES` / `OG_FUZZ_SEED` over the defaults.
-    pub fn from_env() -> CampaignConfig {
-        let mut cfg = CampaignConfig::default();
-        if let Some(cases) = env_u64("OG_FUZZ_CASES") {
-            cfg.cases = cases;
-        }
-        if let Some(seed) = env_u64("OG_FUZZ_SEED") {
-            cfg.base_seed = seed;
-        }
-        cfg
-    }
-}
-
-fn env_u64(name: &str) -> Option<u64> {
+pub(crate) fn env_u64(name: &str) -> Option<u64> {
     let v = std::env::var(name).ok()?;
     match v.parse() {
         Ok(n) => Some(n),
@@ -204,267 +216,10 @@ pub fn batch_cross_check(p: &Program, max_steps: u64) -> Result<(), String> {
     Ok(())
 }
 
-/// One failing case, after shrinking.
-#[derive(Debug)]
-pub struct CaseFailure {
-    /// The case's generator seed (`base_seed + index`).
-    pub seed: u64,
-    /// Index within the campaign.
-    pub index: u64,
-    /// The oracle's verdict on the *original* program.
-    pub error: String,
-    /// The shrunk reproducer.
-    pub reproducer: Program,
-    /// Static instructions before and after shrinking.
-    pub insts: (usize, usize),
-    /// Where the reproducer was saved (when saving succeeded).
-    pub saved_to: Option<std::path::PathBuf>,
-}
-
-/// Aggregate results of a campaign.
-#[derive(Debug, Default)]
-pub struct CampaignSummary {
-    /// Cases run.
-    pub cases: u64,
-    /// Committed instructions across all baseline runs.
-    pub total_base_steps: u64,
-    /// Static instructions across all generated programs.
-    pub total_insts: u64,
-    /// Instructions narrowed across all VRP transform runs.
-    pub narrowed: u64,
-    /// Specializations applied across all VRS transform runs.
-    pub specializations: u64,
-    /// Simulator cross-checks performed.
-    pub sim_checks: u64,
-    /// Passing cases re-executed through the batched engine at the end
-    /// of the campaign (0 when the campaign failed before that phase).
-    pub batch_checked: u64,
-    /// The failure, if the campaign found one (it stops at the first).
-    pub failure: Option<CaseFailure>,
-}
-
-impl CampaignSummary {
-    /// The campaign summary as JSON (the `BENCH_fuzz` report CI collects).
-    pub fn to_json(&self) -> Json {
-        let mut fields = vec![
-            ("cases".to_string(), self.cases.to_json()),
-            ("total_base_steps".to_string(), self.total_base_steps.to_json()),
-            ("total_static_insts".to_string(), self.total_insts.to_json()),
-            ("vrp_narrowed".to_string(), self.narrowed.to_json()),
-            ("vrs_specializations".to_string(), self.specializations.to_json()),
-            ("sim_cross_checks".to_string(), self.sim_checks.to_json()),
-            ("batch_cross_checked".to_string(), self.batch_checked.to_json()),
-            ("failed".to_string(), Json::Bool(self.failure.is_some())),
-        ];
-        if let Some(f) = &self.failure {
-            fields.push(("failure_seed".into(), f.seed.to_json()));
-            fields.push(("failure_error".into(), f.error.to_json()));
-        }
-        Json::Obj(fields)
-    }
-}
-
-/// Run a campaign. Deterministic: identical configs produce identical
-/// summaries (including any failure and its shrunk reproducer).
-///
-/// The campaign stops at the first failing case, shrinks it against the
-/// same oracle, and saves the reproducer via
-/// [`corpus::save_failure`] so CI can upload it.
-pub fn run_campaign(cfg: &CampaignConfig) -> CampaignSummary {
-    let mut summary = CampaignSummary::default();
-    let mut passing: Vec<PassingCase> = Vec::new();
-    for index in 0..cfg.cases {
-        let gen_cfg = case_gen_config(cfg.base_seed, index);
-        let (program, bound) = generate_with_bound(&gen_cfg);
-        let oracle_cfg = case_oracle_config(bound);
-        summary.cases += 1;
-        summary.total_insts += program.inst_count() as u64;
-
-        let sim_checked = cfg.sim_check_every != 0 && index % cfg.sim_check_every == 0;
-        let verdict: Result<OracleOutcome, CaseError> =
-            check_program(&program, &oracle_cfg).map_err(CaseError::Oracle).and_then(|outcome| {
-                if sim_checked {
-                    summary.sim_checks += 1;
-                    sim_cross_check(&program, bound).map_err(CaseError::Sim)?;
-                }
-                Ok(outcome)
-            });
-
-        match verdict {
-            Ok(outcome) => {
-                summary.total_base_steps += outcome.base_steps;
-                summary.narrowed += outcome.narrowed as u64;
-                summary.specializations += outcome.specializations as u64;
-                passing.push(PassingCase {
-                    index,
-                    seed: gen_cfg.seed,
-                    program: Arc::new(program),
-                    max_steps: oracle_cfg.max_steps,
-                    base_steps: outcome.base_steps,
-                    base_digest: outcome.base_digest,
-                });
-            }
-            Err(error) => {
-                summary.failure =
-                    Some(shrink_failure(cfg, &oracle_cfg, index, gen_cfg.seed, program, error));
-                break;
-            }
-        }
-    }
-
-    // End-of-campaign batch phase: every passing case re-executes through
-    // the fused+batched no-stats engine, sharded across a worker pool,
-    // and must land on the oracle's step count and output digest. This
-    // is the campaign-wide differential for the og-serve fast path.
-    if summary.failure.is_none() && !passing.is_empty() {
-        let pool = WorkerPool::with_default_parallelism();
-        let jobs: Vec<BatchJob> = passing
-            .iter()
-            .map(|c| {
-                let config = RunConfig { max_steps: c.max_steps, ..Default::default() };
-                BatchJob::verified(Arc::clone(&c.program), config)
-                    .expect("oracle-passing cases verify")
-            })
-            .collect();
-        let results = run_batch(&pool, jobs);
-        summary.batch_checked = passing.len() as u64;
-        for (case, slot) in passing.iter().zip(results) {
-            let mismatch = match slot {
-                None => Some("batch shard lost to a worker panic".to_string()),
-                Some(Err(e)) => Some(format!("batched run failed: {e}")),
-                Some(Ok(outcome)) => {
-                    if outcome.steps != case.base_steps {
-                        Some(format!(
-                            "batched steps {} != oracle baseline {}",
-                            outcome.steps, case.base_steps
-                        ))
-                    } else if outcome.output_digest != case.base_digest {
-                        Some(format!(
-                            "batched digest {:#x} != oracle baseline {:#x}",
-                            outcome.output_digest, case.base_digest
-                        ))
-                    } else {
-                        None
-                    }
-                }
-            };
-            if let Some(what) = mismatch {
-                let oracle_cfg = case_oracle_config(case.max_steps);
-                summary.failure = Some(shrink_failure(
-                    cfg,
-                    &oracle_cfg,
-                    case.index,
-                    case.seed,
-                    (*case.program).clone(),
-                    CaseError::Batch(what),
-                ));
-                break;
-            }
-        }
-    }
-    summary
-}
-
-/// A case the oracle passed, retained for the end-of-campaign batch
-/// phase: what the batched engine must reproduce.
-struct PassingCase {
-    index: u64,
-    seed: u64,
-    program: Arc<Program>,
-    max_steps: u64,
-    base_steps: u64,
-    base_digest: u64,
-}
-
-/// How a case failed: the differential oracle, or the simulator
-/// fused-vs-materialized cross-check.
-enum CaseError {
-    Oracle(og_core::oracle::OracleError),
-    Sim(String),
-    Batch(String),
-}
-
-impl CaseError {
-    /// A stable signature of the failure mode (variant + transform, no
-    /// volatile detail). Shrinking only keeps edits under which the
-    /// candidate still fails with this exact signature, so a reproducer
-    /// for a VRP miscompile cannot drift into, say, an unrelated
-    /// fuel-exhaustion failure.
-    fn signature(&self) -> String {
-        match self {
-            CaseError::Oracle(e) => format!("oracle:{}", e.signature()),
-            CaseError::Sim(_) => "sim".to_string(),
-            CaseError::Batch(_) => "batch".to_string(),
-        }
-    }
-
-    fn message(&self) -> String {
-        match self {
-            CaseError::Oracle(e) => e.to_string(),
-            CaseError::Sim(m) | CaseError::Batch(m) => m.clone(),
-        }
-    }
-}
-
-/// The failure signature a candidate program exhibits, if any. The
-/// simulator cross-check only runs when the oracle passes — mirroring
-/// the campaign's own order, so original and candidate signatures are
-/// comparable.
-fn candidate_signature(p: &Program, oracle_cfg: &OracleConfig) -> Option<String> {
-    match check_program(p, oracle_cfg) {
-        Err(e) => Some(CaseError::Oracle(e).signature()),
-        Ok(_) => sim_cross_check(p, oracle_cfg.max_steps)
-            .err()
-            .map(|m| CaseError::Sim(m).signature())
-            .or_else(|| {
-                batch_cross_check(p, oracle_cfg.max_steps)
-                    .err()
-                    .map(|m| CaseError::Batch(m).signature())
-            }),
-    }
-}
-
-/// Shrink a failing case and persist the reproducer.
-fn shrink_failure(
-    cfg: &CampaignConfig,
-    oracle_cfg: &OracleConfig,
-    index: u64,
-    seed: u64,
-    program: Program,
-    error: CaseError,
-) -> CaseFailure {
-    let before = program.inst_count();
-    let signature = error.signature();
-    let error = error.message();
-    // An edit survives only if the candidate still fails in the same way
-    // as the original: failing *differently* (e.g. an introduced infinite
-    // loop hitting the fuel bound) would shrink toward the wrong bug.
-    let mut still_fails = |candidate: &Program| -> bool {
-        candidate_signature(candidate, oracle_cfg).as_deref() == Some(signature.as_str())
-    };
-    let reproducer = shrink::shrink(&program, &mut still_fails, cfg.shrink_budget);
-    let after = reproducer.inst_count();
-    let case = corpus::CorpusCase {
-        name: format!("shrunk-seed-{seed}"),
-        seed: Some(seed),
-        note: format!("campaign failure at index {index}: {error}"),
-        // Bound-sensitive failures only reproduce under the same fuel.
-        max_steps: Some(oracle_cfg.max_steps),
-        program: reproducer.clone(),
-    };
-    let saved_to = match corpus::save_failure(&case) {
-        Ok(path) => Some(path),
-        Err(e) => {
-            eprintln!("could not save reproducer: {e}");
-            None
-        }
-    };
-    CaseFailure { seed, index, error, reproducer, insts: (before, after), saved_to }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use og_program::generate::generate_with_bound;
 
     #[test]
     fn case_configs_are_deterministic_and_diverse() {
@@ -489,8 +244,7 @@ mod tests {
 
     #[test]
     fn a_tiny_campaign_is_green_and_counts_work() {
-        let summary =
-            run_campaign(&CampaignConfig { cases: 8, sim_check_every: 4, ..Default::default() });
+        let summary = Campaign::new(0x06_F0_22).cases(8).sim_check_every(4).run();
         assert!(summary.failure.is_none(), "{:?}", summary.failure);
         assert_eq!(summary.cases, 8);
         assert_eq!(summary.sim_checks, 2);
@@ -500,6 +254,15 @@ mod tests {
         let json = og_json::render(&summary.to_json()).unwrap();
         assert!(json.contains("\"failed\":false"), "{json}");
         assert!(json.contains("\"batch_cross_checked\":8"), "{json}");
+    }
+
+    #[test]
+    fn the_deprecated_free_function_still_runs() {
+        // The one-PR compatibility shim: same behaviour as the builder.
+        #[allow(deprecated)]
+        let summary = run_campaign(&CampaignConfig { cases: 2, ..Default::default() });
+        assert!(summary.failure.is_none());
+        assert_eq!(summary.cases, 2);
     }
 
     #[test]
@@ -534,34 +297,5 @@ mod tests {
             assert!(depth <= budget, "case {index}: depth {depth} exceeds budget {budget}");
             assert!(ctx.recursion_free, "case {index}: generator emitted recursion");
         }
-    }
-
-    #[test]
-    fn shrinking_preserves_the_original_failure_signature() {
-        // Force a deterministic failure: an absurdly small fuel budget
-        // makes the baseline run fail with `base-run`. Shrinking must
-        // keep that signature — every kept edit still exhausts the fuel —
-        // and be reproducible.
-        let dir = std::env::temp_dir().join(format!("og-fuzz-sig-test-{}", std::process::id()));
-        std::env::set_var("OG_FUZZ_FAIL_DIR", &dir);
-        let gen_cfg = case_gen_config(3, 0);
-        let (program, _) = generate_with_bound(&gen_cfg);
-        let oracle_cfg = case_oracle_config(3);
-        let error = match check_program(&program, &oracle_cfg) {
-            Err(e) => CaseError::Oracle(e),
-            Ok(_) => panic!("expected a base-run failure under 3 steps of fuel"),
-        };
-        assert_eq!(error.signature(), "oracle:base-run");
-        let cfg = CampaignConfig { shrink_budget: 300, ..Default::default() };
-        let f = shrink_failure(&cfg, &oracle_cfg, 0, gen_cfg.seed, program.clone(), error);
-        assert_eq!(
-            candidate_signature(&f.reproducer, &oracle_cfg).as_deref(),
-            Some("oracle:base-run"),
-            "the reproducer must fail exactly like the original"
-        );
-        assert!(f.insts.1 <= f.insts.0);
-        assert!(f.saved_to.as_deref().is_some_and(|p| p.exists()));
-        std::env::remove_var("OG_FUZZ_FAIL_DIR");
-        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -4,7 +4,10 @@
 //! * every generated program halts within its own step bound — the
 //!   termination certificate is checked with *exactly* that budget, no
 //!   slack, across a spread of shapes;
-//! * shrinking is deterministic and respects its budget.
+//! * shrinking is deterministic and respects its budget;
+//! * shrinking a failing case never grows it and the reproducer fails
+//!   in the *same oracle class* as the original — a shrink that drifts
+//!   into a different failure mode would pin the wrong bug.
 
 use og_fuzz::{case_gen_config, shrink};
 use og_program::generate::{generate_program, generate_with_bound, GenConfig};
@@ -50,6 +53,39 @@ fn extreme_configs_terminate_too() {
         let mut vm = Vm::new(&p, RunConfig { max_steps: bound, ..Default::default() });
         vm.run().unwrap_or_else(|e| panic!("seed {}: {e} (bound {bound})", cfg.seed));
     }
+}
+
+#[test]
+fn shrinking_keeps_the_oracle_class_and_never_grows() {
+    use og_core::oracle::{check_program, OracleConfig};
+    // Starve the oracle of fuel so every case fails deterministically in
+    // the `base-run` class; shrink against "still fails with exactly the
+    // original signature" — the same predicate the campaign uses.
+    let oracle_cfg = OracleConfig { max_steps: 3, ..Default::default() };
+    let mut shrunk_any = false;
+    for index in [0u64, 4, 11, 23] {
+        let cfg = case_gen_config(0x5_11_12, index);
+        let p = generate_program(&cfg);
+        let original = match check_program(&p, &oracle_cfg) {
+            Err(e) => e.signature(),
+            Ok(_) => panic!("seed {}: expected failure under 3 steps of fuel", cfg.seed),
+        };
+        let same_class = |c: &og_program::Program| -> bool {
+            matches!(check_program(c, &oracle_cfg), Err(e) if e.signature() == original)
+        };
+        let a = shrink::shrink_with(&p, same_class, 400);
+        let b = shrink::shrink_with(&p, same_class, 400);
+        assert_eq!(a, b, "seed {}: shrink must be deterministic", cfg.seed);
+        assert!(a.inst_count() <= p.inst_count(), "seed {}: shrink grew the case", cfg.seed);
+        assert!(a.verify().is_ok(), "seed {}: reproducer must stay well-formed", cfg.seed);
+        let shrunk_sig = match check_program(&a, &oracle_cfg) {
+            Err(e) => e.signature(),
+            Ok(_) => panic!("seed {}: reproducer no longer fails", cfg.seed),
+        };
+        assert_eq!(shrunk_sig, original, "seed {}: oracle class drifted", cfg.seed);
+        shrunk_any |= a.inst_count() < p.inst_count();
+    }
+    assert!(shrunk_any, "shrinking never removed a single instruction across all seeds");
 }
 
 #[test]

@@ -3,9 +3,12 @@
 //! These analyses are the expanded use-def machinery the paper adds to
 //! Alto ("expanding the use-def algorithm to allow for inter-basic-block
 //! and inter-procedural, forward and backward traversals", §4.1): the
-//! def-use web spans basic blocks, and call sites are modelled as defs of
-//! exactly the registers the callee's [`crate::WriteSummaries`] says it may
-//! write.
+//! def-use web spans basic blocks, and call sites are modelled through the
+//! callee's [`crate::WriteSummaries`] — a call *defines* the registers the
+//! callee may write, *uses* the registers the callee may read before
+//! writing plus every may-write that is not a must-write (a conditional
+//! write passes the caller's value through, so that value is observed),
+//! and for liveness *kills* only the must-writes.
 
 use crate::{BitSet, BlockId, Cfg, FuncId, Function, InstRef, Program, WriteSummaries};
 use og_isa::{Op, Reg, Target};
@@ -46,10 +49,12 @@ pub struct DefUse {
 impl DefUse {
     /// Build the def-use web for `f` within `p`.
     ///
-    /// Call sites use `summaries` to determine which registers they define,
-    /// and the callee's argument count to determine which argument
-    /// registers they use.
-    pub fn build(p: &Program, f: &Function, cfg: &Cfg, summaries: &WriteSummaries) -> DefUse {
+    /// Call sites use `summaries` to determine which registers they define
+    /// (the callee's may-writes) and which they use (the callee's
+    /// read-before-write set, arguments included, plus may-writes that are
+    /// not must-writes — those definitions flow *through* the callee on the
+    /// paths that skip the write, so the caller's def is observed).
+    pub fn build(_p: &Program, f: &Function, cfg: &Cfg, summaries: &WriteSummaries) -> DefUse {
         // ---- enumerate definition sites -------------------------------
         let mut sites: Vec<(DefSite, Reg)> = Vec::new();
         let mut entry_defs = [DefId(0); 32];
@@ -148,12 +153,17 @@ impl DefUse {
             }
             for (ii, inst) in f.block(b).insts.iter().enumerate() {
                 let iref = InstRef::new(f.id, b, ii as u32);
-                // Uses: instruction operands plus call arguments.
+                // Uses: instruction operands plus what the call observes —
+                // the callee's reads and any conditionally-written register
+                // (the caller's value survives the paths that skip the
+                // write, so narrowing or killing its def is unsound).
                 let mut used: Vec<Reg> = inst.uses().into_iter().collect();
                 if inst.op == Op::Jsr {
                     if let Target::Func(callee) = inst.target {
-                        let n_args = p.func(FuncId(callee)).n_args;
-                        used.extend(Reg::ARGS.iter().take(n_args as usize).copied());
+                        let callee = FuncId(callee);
+                        let observed = summaries.read_mask(callee)
+                            | (summaries.mask(callee) & !summaries.must_mask(callee));
+                        used.extend(Reg::all().filter(|r| observed & (1 << r.index()) != 0));
                     }
                 }
                 for r in used {
@@ -254,8 +264,8 @@ fn ret_live_mask(returns_value: bool) -> u32 {
 }
 
 impl Liveness {
-    /// Compute liveness for `f` (calls use `p` for callee argument counts
-    /// and `summaries` for clobber masks).
+    /// Compute liveness for `f` (calls kill the callee's must-write mask
+    /// and use its read mask, both from `summaries`).
     pub fn compute(p: &Program, f: &Function, cfg: &Cfg, summaries: &WriteSummaries) -> Liveness {
         let n = f.blocks.len();
         let mut live_in = vec![0u32; n];
@@ -292,20 +302,21 @@ impl Liveness {
 
     /// One backward liveness step across a single instruction.
     pub fn transfer(
-        p: &Program,
+        _p: &Program,
         summaries: &WriteSummaries,
         inst: &og_isa::Inst,
         mut live: u32,
     ) -> u32 {
         if inst.op == Op::Jsr {
             if let Target::Func(callee) = inst.target {
-                let callee = p.func(FuncId(callee));
-                // The call defines whatever it may write...
-                live &= !summaries.mask(callee.id);
-                // ...and uses its arguments.
-                for r in Reg::ARGS.iter().take(callee.n_args as usize) {
-                    live |= 1 << r.index();
-                }
+                let callee = FuncId(callee);
+                // The call overwrites only what the callee writes on
+                // *every* returning path; a may-write can pass the
+                // caller's value through, so it must not kill liveness...
+                live &= !summaries.must_mask(callee);
+                // ...and uses whatever the callee may read before
+                // writing (declared arguments included).
+                live |= summaries.read_mask(callee);
                 return live;
             }
         }
@@ -471,6 +482,83 @@ mod tests {
         let add = InstRef::new(f.id, BlockId(1), 0);
         let defs = du.reaching(add, Reg::T0);
         assert_eq!(defs.len(), 2, "initial def and loop-carried def");
+    }
+
+    /// The interprocedural hole the coverage-guided fuzzer found: a callee
+    /// whose only write of a register is a `cmov` passes the caller's
+    /// value through on the not-taken path, so the call must *use* (not
+    /// just redefine) that register, and liveness must not treat the call
+    /// as a kill. Before the fix, the caller's def had no recorded use →
+    /// width demand stayed minimal → VRP narrowed it → miscompile
+    /// (`shrunk-seed-454690-506`: `or.d t4` narrowed to a byte across a
+    /// `jsr` into `cmovgt.h t4, ...`).
+    #[test]
+    fn conditional_callee_writes_keep_caller_defs_observable() {
+        let mut pb = ProgramBuilder::new();
+        pb.declare("mixer", 0);
+        let mut c = pb.function("mixer", 0);
+        c.block("entry");
+        c.cmov(og_isa::Cond::Gt, Width::H, Reg::T4, Reg::T3, Reg::T0);
+        c.ret();
+        pb.finish(c);
+        let mut m = pb.function("main", 0);
+        m.block("entry");
+        m.ldi(Reg::T4, 0x1234); // the def the callee may pass through
+        m.jsr("mixer");
+        m.out(Width::D, Reg::T4);
+        m.halt();
+        pb.finish(m);
+        let p = pb.build().unwrap();
+        let f = p.func_by_name("main").unwrap();
+        let cfg = Cfg::new(f);
+        let ws = WriteSummaries::compute(&p);
+        let du = DefUse::build(&p, f, &cfg, &ws);
+        let ldi = InstRef::new(f.id, BlockId(0), 0);
+        let jsr = InstRef::new(f.id, BlockId(0), 1);
+        // The jsr records a use of T4 reaching back to the ldi (and to the
+        // cmov sources T3/T0 at function entry).
+        let t4_at_call = du.reaching(jsr, Reg::T4);
+        assert_eq!(t4_at_call.len(), 1, "call must use the conditionally-clobbered reg");
+        assert_eq!(du.site(t4_at_call[0]).0, DefSite::Inst(ldi));
+        assert!(!du.reaching(jsr, Reg::T3).is_empty(), "callee reads T3 through the call");
+        // Liveness: T4 is live across the block entry (the call does not
+        // kill it) — it would have been dead under a may-write kill.
+        let lv = Liveness::compute(&p, f, &cfg, &ws);
+        assert!(lv.is_live_in(BlockId(0), Reg::T3));
+        assert!(!lv.is_live_in(BlockId(0), Reg::T4), "defined before the call in-block");
+        let after_ldi =
+            Liveness::transfer(&p, &ws, &f.block(BlockId(0)).insts[1], 1 << Reg::T4.index());
+        assert!(after_ldi & (1 << Reg::T4.index()) != 0, "jsr must not kill a may-write");
+    }
+
+    /// An unconditional callee write *is* a kill: the old modeling stays
+    /// intact where it was already sound, so precision is not lost.
+    #[test]
+    fn unconditional_callee_writes_still_kill() {
+        let mut pb = ProgramBuilder::new();
+        pb.declare("setter", 0);
+        let mut c = pb.function("setter", 0);
+        c.block("entry");
+        c.ldi(Reg::T3, 7);
+        c.ret();
+        pb.finish(c);
+        let mut m = pb.function("main", 0);
+        m.block("entry");
+        m.ldi(Reg::T3, 1);
+        m.jsr("setter");
+        m.out(Width::D, Reg::T3);
+        m.halt();
+        pb.finish(m);
+        let p = pb.build().unwrap();
+        let f = p.func_by_name("main").unwrap();
+        let cfg = Cfg::new(f);
+        let ws = WriteSummaries::compute(&p);
+        let du = DefUse::build(&p, f, &cfg, &ws);
+        let jsr = InstRef::new(f.id, BlockId(0), 1);
+        assert!(du.reaching(jsr, Reg::T3).is_empty(), "must-write is not a call use");
+        let after =
+            Liveness::transfer(&p, &ws, &f.block(BlockId(0)).insts[1], 1 << Reg::T3.index());
+        assert!(after & (1 << Reg::T3.index()) == 0, "must-write kills liveness");
     }
 
     #[test]

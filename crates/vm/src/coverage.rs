@@ -1,0 +1,150 @@
+//! Block coverage read from the flat engine's dense block counters.
+//!
+//! The flat engine already maintains a dense per-block execution-count
+//! vector for every run (folded into [`crate::DynStats::block_counts`]
+//! when the run returns) — a free coverage signal. [`Coverage`] is the
+//! small public view of it: a dense bitmap over a program's basic
+//! blocks, keyed by the same dense index the lowering assigns
+//! ([`crate::FlatProgram::num_blocks`] slots, functions in id order,
+//! blocks in id order). [`crate::Vm::coverage`] reads one; campaigns
+//! [`Coverage::merge`] many and compare runs by [`Coverage::signature`].
+//!
+//! The type is deliberately minimal: og-fuzz's corpus scheduler projects
+//! these program-local bitmaps into its own cross-program feature space;
+//! og-vm only reports which blocks of *this* program executed.
+
+use crate::fnv1a;
+
+/// A dense basic-block hit bitmap for one lowered program.
+///
+/// Indices are the flat lowering's dense block indices — the order of
+/// [`crate::FlatProgram::block_of`]: functions in id order, blocks in id
+/// order. Two `Coverage` values are only comparable (and mergeable) when
+/// they describe the same program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Coverage {
+    /// One bit per block, packed little-endian into 64-bit words.
+    bits: Vec<u64>,
+    /// Number of meaningful bits.
+    blocks: usize,
+}
+
+impl Coverage {
+    /// An empty (nothing-hit) coverage map for a program with
+    /// `num_blocks` basic blocks.
+    pub fn new(num_blocks: usize) -> Coverage {
+        Coverage { bits: vec![0; num_blocks.div_ceil(64)], blocks: num_blocks }
+    }
+
+    /// Number of blocks the map describes (hit or not).
+    pub fn num_blocks(&self) -> usize {
+        self.blocks
+    }
+
+    /// Mark dense block `idx` as executed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx` is out of range.
+    pub fn hit(&mut self, idx: usize) {
+        assert!(idx < self.blocks, "block {idx} out of range ({} blocks)", self.blocks);
+        self.bits[idx / 64] |= 1 << (idx % 64);
+    }
+
+    /// Was dense block `idx` executed?
+    pub fn is_hit(&self, idx: usize) -> bool {
+        idx < self.blocks && self.bits[idx / 64] & (1 << (idx % 64)) != 0
+    }
+
+    /// Number of blocks executed.
+    pub fn covered(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterate over the executed dense block indices, ascending.
+    pub fn iter_hit(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.blocks).filter(|&i| self.bits[i / 64] & (1 << (i % 64)) != 0)
+    }
+
+    /// Fold another run's coverage of the *same program* into this one
+    /// (bitwise or).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the maps describe different block counts — merging
+    /// coverage across different programs is meaningless.
+    pub fn merge(&mut self, other: &Coverage) {
+        assert_eq!(self.blocks, other.blocks, "coverage maps describe different programs");
+        for (w, o) in self.bits.iter_mut().zip(&other.bits) {
+            *w |= o;
+        }
+    }
+
+    /// Would merging `other` light any block this map has not seen?
+    pub fn would_grow(&self, other: &Coverage) -> bool {
+        assert_eq!(self.blocks, other.blocks, "coverage maps describe different programs");
+        self.bits.iter().zip(&other.bits).any(|(w, o)| o & !w != 0)
+    }
+
+    /// A 64-bit signature of the hit set (FNV-1a over the packed words
+    /// plus the block count). Equal coverage ⇒ equal signature; campaigns
+    /// dedup runs by `(program digest, coverage signature)`.
+    pub fn signature(&self) -> u64 {
+        let mut bytes = Vec::with_capacity(8 + self.bits.len() * 8);
+        bytes.extend_from_slice(&(self.blocks as u64).to_le_bytes());
+        for w in &self.bits {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        fnv1a(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_covered_and_iteration() {
+        let mut c = Coverage::new(70);
+        assert_eq!(c.covered(), 0);
+        c.hit(0);
+        c.hit(69);
+        c.hit(69); // idempotent
+        assert_eq!(c.covered(), 2);
+        assert!(c.is_hit(0) && c.is_hit(69) && !c.is_hit(1));
+        assert!(!c.is_hit(700), "out-of-range queries answer false");
+        assert_eq!(c.iter_hit().collect::<Vec<_>>(), vec![0, 69]);
+    }
+
+    #[test]
+    fn merge_unions_and_signature_tracks_content() {
+        let mut a = Coverage::new(10);
+        a.hit(1);
+        let mut b = Coverage::new(10);
+        b.hit(8);
+        let sig_a = a.signature();
+        assert!(a.would_grow(&b));
+        a.merge(&b);
+        assert!(!a.would_grow(&b));
+        assert_eq!(a.covered(), 2);
+        assert_ne!(a.signature(), sig_a);
+        let mut c = Coverage::new(10);
+        c.hit(1);
+        c.hit(8);
+        assert_eq!(c.signature(), a.signature(), "equal hit sets share a signature");
+    }
+
+    #[test]
+    #[should_panic(expected = "different programs")]
+    fn merging_across_programs_panics() {
+        let mut a = Coverage::new(4);
+        a.merge(&Coverage::new(5));
+    }
+
+    #[test]
+    fn signatures_distinguish_block_counts() {
+        // An empty 64-block map and an empty 65-block map must not
+        // collide just because their packed words look similar.
+        assert_ne!(Coverage::new(64).signature(), Coverage::new(65).signature());
+    }
+}

@@ -664,6 +664,24 @@ impl FlatProgram {
         self.blocks.len()
     }
 
+    /// Number of basic blocks, as the key space of a [`crate::Coverage`]
+    /// bitmap: dense indices `0..num_blocks()` name the program's blocks
+    /// in the lowering order (functions in id order, blocks in id
+    /// order). Same value as [`FlatProgram::block_count`], under the
+    /// name coverage-keyed callers use.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The `(FuncId, BlockId)` a dense coverage/block index names.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx >= num_blocks()`.
+    pub fn block_of(&self, idx: usize) -> (FuncId, BlockId) {
+        self.blocks[idx]
+    }
+
     /// Number of fused superinstruction heads the lowering produced
     /// (zero for [`FlatProgram::lower_unfused`]). Each head executes its
     /// 2–3 constituent slots in one dispatch.

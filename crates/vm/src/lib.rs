@@ -124,6 +124,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod coverage;
 pub mod eval;
 pub mod flat;
 pub mod fusion;
@@ -133,6 +134,7 @@ mod stats;
 mod trace;
 
 pub use batch::BatchRunner;
+pub use coverage::Coverage;
 pub use flat::FlatProgram;
 pub use machine::{HaltReason, Quantum, RunConfig, RunOutcome, Vm, VmError, Watcher};
 pub use memory::Memory;

@@ -27,7 +27,10 @@
 //!   figure of the paper's evaluation;
 //! * [`serve`] — the pipeline as a long-running service: verifier-gated
 //!   program intake, digest-keyed artifact caching, pool execution, and
-//!   an in-process load generator.
+//!   an in-process load generator;
+//! * [`fuzz`] — the differential fuzzing campaign engine: the
+//!   [`fuzz::Campaign`] builder runs seeded random or coverage-guided
+//!   corpus-evolving campaigns against the whole transform battery.
 //!
 //! ## Quickstart
 //!
@@ -44,6 +47,7 @@
 #![forbid(unsafe_code)]
 
 pub use og_core as core;
+pub use og_fuzz as fuzz;
 pub use og_isa as isa;
 pub use og_lab as lab;
 pub use og_power as power;
@@ -57,6 +61,7 @@ pub use og_workloads as workloads;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use og_core::{UsefulPolicy, VrpConfig, VrpPass, VrsConfig, VrsPass};
+    pub use og_fuzz::Campaign;
     pub use og_isa::{CmpKind, Cond, Inst, IsaExtension, Op, OpClass, Operand, Reg, Width};
     pub use og_power::{EnergyModel, GatingScheme};
     pub use og_program::{Function, Program, ProgramBuilder};
