@@ -20,6 +20,12 @@
 //!     every find that lit otherwise-uncovered features, shrunk to the
 //!     set-cover survivors — into <dir> as committable `*.og.json`
 //!     cases. Point it at crates/fuzz/corpus/ to land the finds.
+//!
+//! cargo run -p og-fuzz --example corpus_tool -- faults <file.og.json> <plan.json>
+//!     Replay the case under a saved fault plan (the JSON format
+//!     `og_lab::fault::plan_to_json` writes; see crates/fuzz/plans/):
+//!     run the golden baseline, inject every strike at its step, and
+//!     print the fired strikes and the outcome's taxonomy class.
 //! ```
 
 use og_core::oracle::check_program;
@@ -27,6 +33,8 @@ use og_fuzz::corpus::{corpus_dir, load_case, save_case, CorpusCase};
 use og_fuzz::{sim_cross_check, CampaignConfig};
 use og_program::generate::generate_with_bound;
 use og_program::program_to_asm;
+use og_vm::fault::{classify, hang_budget, run_with_plan, FaultedEnd};
+use og_vm::{RunConfig, Vm};
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -80,6 +88,65 @@ fn replay(path: &Path) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Replay a corpus case under a saved fault plan and print what the
+/// strikes did: which fired, how the run ended, and the taxonomy class
+/// ([`og_vm::fault::FaultOutcome`]) the classifier assigns.
+fn faults(case_path: &Path, plan_path: &Path) -> ExitCode {
+    let case = match load_case(case_path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("load failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let plan = match std::fs::read_to_string(plan_path)
+        .map_err(|e| format!("read {}: {e}", plan_path.display()))
+        .and_then(|text| og_json::parse(&text).map_err(|e| format!("plan is not JSON: {e}")))
+        .and_then(|json| og_lab::fault::plan_from_json(&json))
+    {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("plan load failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("case `{}` (seed {:?}): {}", case.name, case.seed, case.note);
+    let max_steps = case.oracle_config().max_steps;
+    let golden = match Vm::new(&case.program, RunConfig { max_steps, ..RunConfig::default() }).run()
+    {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("golden run failed (the case must pass clean before faulting): {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("golden: {} steps, digest {:#018x}", golden.steps, golden.output_digest);
+    println!("plan: {} strike(s)", plan.faults().len());
+
+    // Replay with a fuel margin past the golden step count so a fault
+    // that derails control flow is classified Hang, not starved.
+    let budget = RunConfig { max_steps: hang_budget(golden.steps), ..RunConfig::default() };
+    let run = run_with_plan(&mut Vm::new(&case.program, budget), &plan);
+    for inj in &run.injected {
+        println!("  fired: step {} {:?} (pre-strike value {:#x})", inj.at_step, inj.site, inj.pre);
+    }
+    if run.injected.len() < plan.faults().len() {
+        println!(
+            "  ({} strike(s) never fired — past the end of the run)",
+            plan.faults().len() - run.injected.len()
+        );
+    }
+    match &run.end {
+        FaultedEnd::Finished(o) => {
+            println!("end: finished after {} steps, digest {:#018x}", o.steps, o.output_digest)
+        }
+        FaultedEnd::Faulted(e) => println!("end: faulted ({e})"),
+        FaultedEnd::WildJump { ip } => println!("end: wild jump to ip {ip}"),
+    }
+    println!("outcome: {}", classify(&golden, &run.end).name());
+    ExitCode::SUCCESS
 }
 
 /// The committed corpus: campaign-shaped programs pinning one feature
@@ -162,6 +229,7 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
+        ["faults", case_path, plan_path] => faults(Path::new(case_path), Path::new(plan_path)),
         ["evolve", seed, cases, dir] => {
             let (Ok(seed), Ok(cases)) = (seed.parse::<u64>(), cases.parse::<u64>()) else {
                 eprintln!("seed and cases must be unsigned integers");
@@ -185,6 +253,7 @@ fn main() -> ExitCode {
             eprintln!("       corpus_tool gen <seed> <file.og.json>");
             eprintln!("       corpus_tool seed-corpus");
             eprintln!("       corpus_tool evolve <seed> <cases> <dir>");
+            eprintln!("       corpus_tool faults <file.og.json> <plan.json>");
             ExitCode::FAILURE
         }
     }

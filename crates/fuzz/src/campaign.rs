@@ -37,7 +37,9 @@
 //! fail the oracle for reasons that are really the system's fault.
 
 use crate::sched::{self, Corpus, CorpusEntry, FeatureMap};
-use crate::{case_gen_config, case_oracle_config, corpus, mutate, shrink, sim_cross_check};
+use crate::{
+    case_gen_config, case_oracle_config, corpus, fault_cross_check, mutate, shrink, sim_cross_check,
+};
 use og_core::oracle::{check_program, OracleConfig, OracleOutcome};
 use og_json::{Json, ToJson};
 use og_lab::{run_batch, BatchJob, WorkerPool};
@@ -62,6 +64,10 @@ pub struct CampaignConfig {
     /// Run the fused-vs-materialized simulator cross-check on every Nth
     /// case (0 disables it).
     pub sim_check_every: u64,
+    /// Replay every Nth passing case under one seeded soft error and
+    /// check the fault classifier's soundness both ways
+    /// ([`crate::fault_cross_check`]; 0 disables it).
+    pub fault_check_every: u64,
     /// Shrink-step budget (oracle invocations) when a case fails.
     pub shrink_budget: usize,
     /// Run the coverage-guided corpus-evolving loop instead of the
@@ -89,6 +95,7 @@ impl Default for CampaignConfig {
             base_seed: 0x06_F0_22,
             cases: 500,
             sim_check_every: 8,
+            fault_check_every: 16,
             shrink_budget: 800,
             coverage: false,
             shards: 0,
@@ -172,6 +179,12 @@ impl Campaign {
         self
     }
 
+    /// Fault-classifier soundness check period (0 disables).
+    pub fn fault_check_every(mut self, n: u64) -> Campaign {
+        self.cfg.fault_check_every = n;
+        self
+    }
+
     /// Shrink budget on failure.
     pub fn shrink_budget(mut self, n: usize) -> Campaign {
         self.cfg.shrink_budget = n;
@@ -198,13 +211,16 @@ impl Campaign {
     }
 
     /// The explicit environment layer: reads `OG_FUZZ_CASES`,
-    /// `OG_FUZZ_SEED`, `OG_FUZZ_COVERAGE` (0/1), `OG_FUZZ_SHARDS` and
-    /// `OG_FUZZ_FAIL_DIR` over the builder's current values. Call it
-    /// last (or not at all — nothing else in the crate touches the
-    /// environment).
+    /// `OG_FUZZ_SEED`, `OG_FUZZ_COVERAGE` (0/1), `OG_FUZZ_SHARDS`,
+    /// `OG_FUZZ_FAULT_EVERY` and `OG_FUZZ_FAIL_DIR` over the builder's
+    /// current values. Call it last (or not at all — nothing else in
+    /// the crate touches the environment).
     pub fn overrides_from_env(mut self) -> Campaign {
         if let Some(cases) = crate::env_u64("OG_FUZZ_CASES") {
             self.cfg.cases = cases;
+        }
+        if let Some(every) = crate::env_u64("OG_FUZZ_FAULT_EVERY") {
+            self.cfg.fault_check_every = every;
         }
         if let Some(seed) = crate::env_u64("OG_FUZZ_SEED") {
             self.cfg.base_seed = seed;
@@ -271,6 +287,9 @@ pub struct CampaignSummary {
     pub specializations: u64,
     /// Simulator cross-checks performed.
     pub sim_checks: u64,
+    /// Fault-classifier soundness replays performed
+    /// ([`crate::fault_cross_check`]).
+    pub fault_checks: u64,
     /// Passing cases re-executed through the batched engine at the end
     /// of the campaign (0 when the campaign failed before that phase).
     pub batch_checked: u64,
@@ -321,6 +340,7 @@ impl CampaignSummary {
             ("vrp_narrowed".to_string(), self.narrowed.to_json()),
             ("vrs_specializations".to_string(), self.specializations.to_json()),
             ("sim_cross_checks".to_string(), self.sim_checks.to_json()),
+            ("fault_cross_checks".to_string(), self.fault_checks.to_json()),
             ("batch_cross_checked".to_string(), self.batch_checked.to_json()),
             ("guided".to_string(), Json::Bool(self.guided)),
             ("failed".to_string(), Json::Bool(self.failure.is_some())),
@@ -355,11 +375,13 @@ impl CampaignSummary {
 }
 
 /// How a case failed: the differential oracle, the simulator
-/// fused-vs-materialized cross-check, or the batched re-execution.
+/// fused-vs-materialized cross-check, the batched re-execution, or the
+/// fault-classifier soundness replay.
 pub(crate) enum CaseError {
     Oracle(og_core::oracle::OracleError),
     Sim(String),
     Batch(String),
+    Fault(String),
 }
 
 impl CaseError {
@@ -373,13 +395,14 @@ impl CaseError {
             CaseError::Oracle(e) => format!("oracle:{}", e.signature()),
             CaseError::Sim(_) => "sim".to_string(),
             CaseError::Batch(_) => "batch".to_string(),
+            CaseError::Fault(_) => "fault".to_string(),
         }
     }
 
     fn message(&self) -> String {
         match self {
             CaseError::Oracle(e) => e.to_string(),
-            CaseError::Sim(m) | CaseError::Batch(m) => m.clone(),
+            CaseError::Sim(m) | CaseError::Batch(m) | CaseError::Fault(m) => m.clone(),
         }
     }
 }
@@ -398,9 +421,22 @@ pub(crate) fn candidate_signature(p: &Program, oracle_cfg: &OracleConfig) -> Opt
                 crate::batch_cross_check(p, oracle_cfg.max_steps)
                     .err()
                     .map(|m| CaseError::Batch(m).signature())
+            })
+            .or_else(|| {
+                // A classifier-soundness bug is a property of the
+                // machinery, not of one specific strike, so a fixed
+                // shrink-time seed keeps the signature comparable
+                // across candidates.
+                crate::fault_cross_check(p, oracle_cfg.max_steps, SHRINK_FAULT_SEED)
+                    .err()
+                    .map(|m| CaseError::Fault(m).signature())
             }),
     }
 }
+
+/// The fixed fault seed [`candidate_signature`] replays candidates
+/// under while shrinking a `fault`-signature failure.
+pub(crate) const SHRINK_FAULT_SEED: u64 = 0xFA_CC;
 
 /// Shrink a failing case and persist the reproducer into the campaign's
 /// failure directory.
@@ -467,11 +503,17 @@ fn run_random(cfg: &CampaignConfig) -> CampaignSummary {
         summary.total_insts += program.inst_count() as u64;
 
         let sim_checked = cfg.sim_check_every != 0 && index % cfg.sim_check_every == 0;
+        let fault_checked = cfg.fault_check_every != 0 && index % cfg.fault_check_every == 0;
         let verdict: Result<OracleOutcome, CaseError> =
             check_program(&program, &oracle_cfg).map_err(CaseError::Oracle).and_then(|outcome| {
                 if sim_checked {
                     summary.sim_checks += 1;
                     sim_cross_check(&program, bound).map_err(CaseError::Sim)?;
+                }
+                if fault_checked {
+                    summary.fault_checks += 1;
+                    fault_cross_check(&program, bound, gen_cfg.seed ^ index)
+                        .map_err(CaseError::Fault)?;
                 }
                 Ok(outcome)
             });
@@ -687,11 +729,17 @@ fn run_guided_shard(
             .unwrap_or_else(|| screen.as_ref().map_or(cfg.mutant_fuel, |s| s.0) * 4 + 1024);
         let oracle_cfg = case_oracle_config(oracle_fuel);
         let sim_checked = cfg.sim_check_every != 0 && index % cfg.sim_check_every == 0;
+        let fault_checked = cfg.fault_check_every != 0 && index % cfg.fault_check_every == 0;
         let verdict: Result<OracleOutcome, CaseError> =
             check_program(&program, &oracle_cfg).map_err(CaseError::Oracle).and_then(|outcome| {
                 if sim_checked {
                     summary.sim_checks += 1;
                     sim_cross_check(&program, oracle_fuel).map_err(CaseError::Sim)?;
+                }
+                if fault_checked {
+                    summary.fault_checks += 1;
+                    fault_cross_check(&program, oracle_fuel, sseed ^ index)
+                        .map_err(CaseError::Fault)?;
                 }
                 Ok(outcome)
             });
@@ -807,6 +855,7 @@ fn run_guided(cfg: &CampaignConfig) -> CampaignSummary {
         summary.narrowed += r.summary.narrowed;
         summary.specializations += r.summary.specializations;
         summary.sim_checks += r.summary.sim_checks;
+        summary.fault_checks += r.summary.fault_checks;
         summary.mutants_tried += r.summary.mutants_tried;
         summary.mutants_kept += r.summary.mutants_kept;
         summary.discarded += r.summary.discarded;

@@ -35,7 +35,11 @@
 //!    committed-path trace also drives the
 //!    cycle simulator both fused (flat engine) and materialized
 //!    (reference engine), and the two [`SimResult`]s must match
-//!    bit-for-bit;
+//!    bit-for-bit; periodically a passing case is also replayed under
+//!    one seeded soft error ([`fault_cross_check`]) and the fault
+//!    classifier must be sound both ways — never `Masked` with a
+//!    changed output digest, never `Sdc` with an unchanged one
+//!    (signature `fault`);
 //! 3. **batch** — at the end of a green campaign every passing case is
 //!    re-executed through the fused+batched no-stats engine
 //!    ([`og_lab::run_batch`] sharding [`og_vm::BatchRunner`] lanes
@@ -75,7 +79,8 @@
 //!
 //! Campaigns are configured by [`CampaignConfig`]; environment
 //! overrides (`OG_FUZZ_CASES`, `OG_FUZZ_SEED`, `OG_FUZZ_COVERAGE`,
-//! `OG_FUZZ_SHARDS`, `OG_FUZZ_FAIL_DIR`) are one explicit builder layer
+//! `OG_FUZZ_SHARDS`, `OG_FUZZ_FAULT_EVERY`, `OG_FUZZ_FAIL_DIR`) are one
+//! explicit builder layer
 //! ([`Campaign::overrides_from_env`]) — nothing else in the crate reads
 //! the process environment. Every random-mode case is fully determined
 //! by `(base_seed, index)`, and every guided shard by
@@ -172,6 +177,55 @@ pub fn sim_cross_check(p: &Program, max_steps: u64) -> Result<(), String> {
             "fused and materialized SimResults diverge: fused {} cycles, materialized {} cycles",
             fused.stats.cycles, materialized.stats.cycles
         ));
+    }
+    Ok(())
+}
+
+/// Replay `p` under one seeded soft error ([`og_vm::fault`]) and check
+/// the fault classifier's soundness **both ways** against the golden
+/// run: a finished faulted run is `Masked` if and only if its output
+/// digest equals the golden digest, a run that did not finish is never
+/// `Masked` or `Sdc`, and — when the strike happened to land past the
+/// end of the run and never fired — the quantum-sliced driver must be
+/// architecturally invisible (same steps, same digest as the golden
+/// run).
+///
+/// # Errors
+///
+/// Returns a description of the first soundness violation.
+pub fn fault_cross_check(p: &Program, max_steps: u64, seed: u64) -> Result<(), String> {
+    use og_vm::fault::{classify, hang_budget, run_with_plan, FaultOutcome, FaultPlan, FaultedEnd};
+    let golden = Vm::new(p, RunConfig { max_steps, ..Default::default() })
+        .run()
+        .map_err(|e| format!("golden run failed: {e}"))?;
+    let plan = FaultPlan::seeded(seed, golden.steps.max(1), 1);
+    let budget = RunConfig { max_steps: hang_budget(golden.steps), ..Default::default() };
+    let run = run_with_plan(&mut Vm::new(p, budget), &plan);
+    let outcome = classify(&golden, &run.end);
+    match &run.end {
+        FaultedEnd::Finished(o) => {
+            let same_digest = o.output_digest == golden.output_digest;
+            if (outcome == FaultOutcome::Masked) != same_digest {
+                return Err(format!(
+                    "classifier says {} but faulted digest {:#x} vs golden {:#x}",
+                    outcome.name(),
+                    o.output_digest,
+                    golden.output_digest
+                ));
+            }
+            if run.injected.is_empty() && (o.steps != golden.steps || !same_digest) {
+                return Err(format!(
+                    "no strike fired yet the sliced run diverged: {} steps / digest {:#x} \
+                     vs golden {} / {:#x}",
+                    o.steps, o.output_digest, golden.steps, golden.output_digest
+                ));
+            }
+        }
+        FaultedEnd::Faulted(_) | FaultedEnd::WildJump { .. } => {
+            if matches!(outcome, FaultOutcome::Masked | FaultOutcome::Sdc) {
+                return Err(format!("run did not finish but was classified {}", outcome.name()));
+            }
+        }
     }
     Ok(())
 }

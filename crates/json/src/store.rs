@@ -26,12 +26,77 @@
 //! overwrite each other's entry, which is why cache layers above (the
 //! `og-serve` LRU) must compare the stored identity before trusting a
 //! hit. A corrupt entry (impossible under this write discipline, but
-//! disks get truncated) is treated as absent and removed on read.
+//! disks get truncated) is removed on read and reported as a typed
+//! [`StoreError::Corrupt`] so the layer above can count it instead of
+//! the store silently swallowing it.
 
 use crate::{parse, render, Json};
+use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, SystemTime};
+
+/// Why a [`KeyedStore`] operation failed.
+///
+/// Typed so layers above can react per class instead of pattern-matching
+/// strings: og-serve retries [`StoreError::Io`] (transient disk trouble),
+/// counts [`StoreError::Corrupt`] in its metrics (the entry is already
+/// removed — retrying would just miss), and treats
+/// [`StoreError::Unrenderable`] as a caller bug.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The underlying file operation failed.
+    Io {
+        /// Which operation (`"read"`, `"write"`).
+        op: &'static str,
+        /// The entry path involved.
+        path: PathBuf,
+        /// The OS error, rendered.
+        err: String,
+    },
+    /// The entry for `key` existed but did not parse. It has been
+    /// removed so it cannot keep shadowing the key; the caller should
+    /// count it (og-serve surfaces the count as a metric) and treat the
+    /// key as absent.
+    Corrupt {
+        /// The shadowed key.
+        key: u128,
+        /// The parse error, rendered.
+        err: String,
+    },
+    /// The value for `key` cannot be rendered (non-finite float) — a
+    /// caller bug, not a disk condition.
+    Unrenderable {
+        /// The key being put.
+        key: u128,
+        /// The render error, rendered.
+        err: String,
+    },
+}
+
+impl StoreError {
+    /// Is this a removed-corrupt-entry error (safe to treat the key as
+    /// absent after counting)?
+    pub fn is_corrupt(&self) -> bool {
+        matches!(self, StoreError::Corrupt { .. })
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { op, path, err } => write!(f, "{op} {}: {err}", path.display()),
+            StoreError::Corrupt { key, err } => {
+                write!(f, "corrupt entry {key:032x} (removed): {err}")
+            }
+            StoreError::Unrenderable { key, err } => {
+                write!(f, "unrenderable value for {key:032x}: {err}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
 
 /// How old a `*.tmp.*` file must be before [`KeyedStore::sweep_debris`]
 /// (called with this value) may treat it as crash debris. A live writer
@@ -118,20 +183,24 @@ impl KeyedStore {
         u128::from_str_radix(hex, 16).ok()
     }
 
-    /// Read and parse the entry for `key`. Absent, unreadable or corrupt
-    /// entries are `None`; a corrupt entry is removed so it cannot keep
-    /// shadowing the key (it also cannot occur under [`atomic_write`]'s
-    /// discipline — this is truncated-disk defense, not a code path
-    /// writers rely on).
-    pub fn get(&self, key: u128) -> Option<Json> {
+    /// Read and parse the entry for `key`. Absent entries are
+    /// `Ok(None)`; an unreadable entry is [`StoreError::Io`]; a corrupt
+    /// entry is removed so it cannot keep shadowing the key (it also
+    /// cannot occur under [`atomic_write`]'s discipline — this is
+    /// truncated-disk defense, not a code path writers rely on) and
+    /// reported as [`StoreError::Corrupt`] so the caller can count it.
+    pub fn get(&self, key: u128) -> Result<Option<Json>, StoreError> {
         let path = self.path_of(key);
-        let text = std::fs::read_to_string(&path).ok()?;
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(StoreError::Io { op: "read", path, err: e.to_string() }),
+        };
         match parse(&text) {
-            Ok(json) => Some(json),
+            Ok(json) => Ok(Some(json)),
             Err(e) => {
-                eprintln!("og-json store: removing corrupt entry {}: {e}", path.display());
                 let _ = std::fs::remove_file(&path);
-                None
+                Err(StoreError::Corrupt { key, err: e.to_string() })
             }
         }
     }
@@ -142,12 +211,15 @@ impl KeyedStore {
     ///
     /// # Errors
     ///
-    /// Fails if the value is unrenderable (non-finite float) or the
-    /// atomic write fails; eviction failures are reported on stderr but
-    /// do not fail the put (the entry itself is durable).
-    pub fn put(&self, key: u128, value: &Json) -> Result<Vec<u128>, String> {
-        let text = render(value).map_err(|e| format!("unrenderable value for {key:032x}: {e}"))?;
-        atomic_write(&self.path_of(key), &text)?;
+    /// [`StoreError::Unrenderable`] if the value cannot be rendered
+    /// (non-finite float), [`StoreError::Io`] if the atomic write fails;
+    /// eviction failures are reported on stderr but do not fail the put
+    /// (the entry itself is durable).
+    pub fn put(&self, key: u128, value: &Json) -> Result<Vec<u128>, StoreError> {
+        let text =
+            render(value).map_err(|e| StoreError::Unrenderable { key, err: e.to_string() })?;
+        let path = self.path_of(key);
+        atomic_write(&path, &text).map_err(|err| StoreError::Io { op: "write", path, err })?;
         Ok(self.evict_over_capacity(key))
     }
 
@@ -258,13 +330,13 @@ mod tests {
     fn put_get_roundtrip_and_overwrite_last_wins() {
         let store = temp_store("roundtrip", 8);
         assert!(store.is_empty());
-        assert!(store.get(7).is_none());
+        assert_eq!(store.get(7), Ok(None));
         store.put(7, &doc(1)).unwrap();
-        assert_eq!(store.get(7), Some(doc(1)));
+        assert_eq!(store.get(7), Ok(Some(doc(1))));
         // Same key again — digest collisions and re-puts alike are
         // last-write-wins on disk, one file per key.
         store.put(7, &doc(2)).unwrap();
-        assert_eq!(store.get(7), Some(doc(2)));
+        assert_eq!(store.get(7), Ok(Some(doc(2))));
         assert_eq!(store.len(), 1);
         std::fs::remove_dir_all(store.dir()).ok();
     }
@@ -282,8 +354,8 @@ mod tests {
         store.put(1, &doc(11)).unwrap();
         let evicted = store.put(4, &doc(4)).unwrap();
         assert_eq!(evicted, vec![2]);
-        assert!(store.get(2).is_none());
-        assert_eq!(store.get(1), Some(doc(11)));
+        assert_eq!(store.get(2), Ok(None));
+        assert_eq!(store.get(1), Ok(Some(doc(11))));
         // Two more inserts evict in age order: 3 then (1 or 4 by age —
         // age them explicitly to pin the order).
         age_entry(&store, 1, 50);
@@ -304,7 +376,7 @@ mod tests {
         // whatever is evicted, the entry just put must survive.
         for k in 1..=20u128 {
             store.put(k, &doc(k as u64)).unwrap();
-            assert_eq!(store.get(k), Some(doc(k as u64)), "key {k} must survive its own put");
+            assert_eq!(store.get(k), Ok(Some(doc(k as u64))), "key {k} must survive its own put");
             assert!(store.len() <= 2);
         }
         std::fs::remove_dir_all(store.dir()).ok();
@@ -323,7 +395,7 @@ mod tests {
                         // Any value read back must be a whole document
                         // some writer put for this key (torn files would
                         // fail the parse inside get).
-                        if let Some(json) = store.get(key) {
+                        if let Ok(Some(json)) = store.get(key) {
                             let n = json.get("n").and_then(Json::as_num).unwrap();
                             assert_eq!((n as u128) % 1000 % 10, key % 1000);
                         }
@@ -333,7 +405,7 @@ mod tests {
         });
         assert!(store.len() <= 40);
         for key in store.keys() {
-            assert!(store.get(key).is_some());
+            assert!(store.get(key).unwrap().is_some());
         }
         std::fs::remove_dir_all(store.dir()).ok();
     }
@@ -346,7 +418,7 @@ mod tests {
         // must be invisible to get/keys/len...
         let tmp = store.dir().join("case-00000000000000000000000000000002.json.tmp.999.0");
         std::fs::write(&tmp, "{\"n\":2}").unwrap();
-        assert!(store.get(2).is_none());
+        assert_eq!(store.get(2), Ok(None));
         assert_eq!(store.len(), 1);
         // ...spared by a production-age sweep while it could still be a
         // live writer...
@@ -356,17 +428,30 @@ mod tests {
         let removed = store.sweep_debris(Duration::ZERO);
         assert_eq!(removed.len(), 1);
         assert!(!tmp.exists());
-        assert_eq!(store.get(1), Some(doc(1)));
+        assert_eq!(store.get(1), Ok(Some(doc(1))));
         std::fs::remove_dir_all(store.dir()).ok();
     }
 
     #[test]
-    fn corrupt_entries_read_as_absent_and_are_removed() {
+    fn corrupt_entries_are_removed_and_reported_typed() {
         let store = temp_store("corrupt", 4);
         store.put(3, &doc(3)).unwrap();
         std::fs::write(store.path_of(3), "{\"n\":3").unwrap(); // truncated
-        assert!(store.get(3).is_none());
-        assert!(!store.path_of(3).exists());
+        let err = store.get(3).unwrap_err();
+        assert!(err.is_corrupt(), "got {err}");
+        assert!(err.to_string().contains("removed"));
+        assert!(!store.path_of(3).exists(), "the corrupt entry must not shadow the key");
+        // The key now reads as plain-absent; the error fired exactly once.
+        assert_eq!(store.get(3), Ok(None));
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn put_of_an_unrenderable_value_is_typed() {
+        let store = temp_store("unrenderable", 4);
+        let err = store.put(9, &Json::Num(f64::NAN)).unwrap_err();
+        assert!(matches!(err, StoreError::Unrenderable { key: 9, .. }), "got {err}");
+        assert_eq!(store.get(9), Ok(None));
         std::fs::remove_dir_all(store.dir()).ok();
     }
 

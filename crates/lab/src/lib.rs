@@ -60,6 +60,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod fault;
 pub mod figures;
 mod pipeline;
 pub mod pool;

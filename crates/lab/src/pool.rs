@@ -53,6 +53,26 @@ struct PoolInner {
     next_submit: AtomicUsize,
     /// Jobs that panicked (and were contained).
     panicked: AtomicU64,
+    /// Payload messages of the first [`MAX_PANIC_MESSAGES`] contained
+    /// panics, so callers can log *which* job died and why instead of
+    /// only observing a bare count.
+    panic_msgs: Mutex<Vec<String>>,
+}
+
+/// Cap on retained panic payload messages — diagnostics, not a log.
+const MAX_PANIC_MESSAGES: usize = 32;
+
+/// Render a `catch_unwind` payload as best we can (`panic!` with a
+/// string literal or a formatted message covers practically all of
+/// them).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// A fixed-size pool of worker threads draining submitted closures, with
@@ -74,6 +94,7 @@ impl WorkerPool {
             available: Condvar::new(),
             next_submit: AtomicUsize::new(0),
             panicked: AtomicU64::new(0),
+            panic_msgs: Mutex::new(Vec::new()),
         });
         let handles = (0..workers)
             .map(|me| {
@@ -102,6 +123,13 @@ impl WorkerPool {
     /// see it come up short; this counter says why.
     pub fn panicked_jobs(&self) -> u64 {
         self.inner.panicked.load(Ordering::Relaxed)
+    }
+
+    /// Payload messages of contained panics, in arrival order (capped
+    /// at the first 32). Pair with [`WorkerPool::panicked_jobs`]: the
+    /// counter says how many, this says why.
+    pub fn panic_messages(&self) -> Vec<String> {
+        self.inner.panic_msgs.lock().unwrap().clone()
     }
 
     /// Submit a job. It lands on one worker's deque round-robin and runs
@@ -153,8 +181,12 @@ fn worker_loop(inner: &PoolInner, me: usize) {
         // beyond the decrement.
         if let Some(job) = take_job(inner, me) {
             inner.state.lock().unwrap().queued -= 1;
-            if catch_unwind(AssertUnwindSafe(job)).is_err() {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
                 inner.panicked.fetch_add(1, Ordering::Relaxed);
+                let mut msgs = inner.panic_msgs.lock().unwrap();
+                if msgs.len() < MAX_PANIC_MESSAGES {
+                    msgs.push(panic_message(payload.as_ref()));
+                }
             }
             continue;
         }
@@ -249,6 +281,25 @@ mod tests {
             std::thread::yield_now();
         }
         assert_eq!(pool.panicked_jobs(), 1);
+        assert_eq!(pool.panic_messages(), vec!["job panic, contained".to_string()]);
+    }
+
+    #[test]
+    fn panic_messages_carry_formatted_payloads_and_are_capped() {
+        let pool = WorkerPool::new(2);
+        for shard in 0..40u32 {
+            pool.submit(move || panic!("shard {shard} died"));
+        }
+        drop(pool.panic_messages()); // concurrent reads are fine mid-run
+                                     // Drain by dropping a clone-less handle: wait for all counters.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while pool.panicked_jobs() < 40 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert_eq!(pool.panicked_jobs(), 40);
+        let msgs = pool.panic_messages();
+        assert_eq!(msgs.len(), 32, "retention is capped");
+        assert!(msgs.iter().all(|m| m.starts_with("shard ") && m.ends_with(" died")));
     }
 
     #[test]

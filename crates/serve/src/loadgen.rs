@@ -143,6 +143,12 @@ pub struct LoadConfig {
     pub invalid_per_mille: u64,
     /// Corpus and mix seed (`OG_SERVE_SEED`, default 0xC604).
     pub seed: u64,
+    /// Chaos mode (`OG_SERVE_DEGRADED_OK=1`): a valid program answered
+    /// with a *degraded* outcome — [`Reject::Overloaded`],
+    /// [`Reject::DeadlineExceeded`] or [`Reject::Internal`] — is not a
+    /// mix violation, just counted in [`LoadReport::degraded`]. Off by
+    /// default: a healthy service degrading is a bug.
+    pub degraded_ok: bool,
 }
 
 impl Default for LoadConfig {
@@ -153,6 +159,7 @@ impl Default for LoadConfig {
             unique_programs: 48,
             invalid_per_mille: 100,
             seed: 0xC604,
+            degraded_ok: false,
         }
     }
 }
@@ -178,6 +185,7 @@ impl LoadConfig {
             unique_programs: env_u64("OG_SERVE_UNIQUE", d.unique_programs),
             invalid_per_mille: env_u64("OG_SERVE_INVALID_PM", d.invalid_per_mille),
             seed: env_u64("OG_SERVE_SEED", d.seed),
+            degraded_ok: env_u64("OG_SERVE_DEGRADED_OK", u64::from(d.degraded_ok)) != 0,
         }
     }
 }
@@ -266,6 +274,10 @@ pub struct LoadReport {
     /// rejected at a gate, an invalid one accepted, an internal error
     /// anywhere (either phase). Zero or the load test fails.
     pub mix_violations: u64,
+    /// Valid requests answered with a degraded outcome (shed, deadline,
+    /// internal) under [`LoadConfig::degraded_ok`]. Always 0 when that
+    /// mode is off — degraded outcomes count as violations there.
+    pub degraded: u64,
 }
 
 impl LoadReport {
@@ -298,6 +310,13 @@ impl LoadReport {
             ("collisions".into(), m.collisions.to_json()),
             ("invariant_violations".into(), m.invariant_violations.to_json()),
             ("mix_violations".into(), self.mix_violations.to_json()),
+            ("degraded".into(), self.degraded.to_json()),
+            ("deadline_exceeded".into(), m.deadline_exceeded.to_json()),
+            ("store_retries".into(), m.store_retries.to_json()),
+            ("store_corrupt".into(), m.store_corrupt.to_json()),
+            ("breaker_open".into(), m.breaker_open.to_json()),
+            ("shed".into(), m.shed.to_json()),
+            ("injected_faults".into(), m.injected_faults.to_json()),
         ])
     }
 
@@ -313,18 +332,39 @@ impl LoadReport {
     }
 }
 
+/// One response judged against its request kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Assessment {
+    /// The outcome is what a healthy service owes this kind.
+    Legal,
+    /// A valid program answered with a degraded outcome — legal only in
+    /// chaos mode ([`LoadConfig::degraded_ok`]).
+    Degraded,
+    /// The outcome contradicts the kind.
+    Violation,
+}
+
 /// Was this response legal for the request kind that produced it?
-fn violates(kind: &Kind, response: &crate::Response) -> bool {
+fn assess(kind: &Kind, response: &crate::Response) -> Assessment {
     match (kind, &response.outcome) {
         // A valid program may still fail at run time (fuel); it must
         // never be gate-rejected or crash the service.
-        (Kind::Valid(_), Ok(_)) => false,
-        (Kind::Valid(_), Err(Reject::Run(_))) => false,
-        (Kind::Valid(_), Err(_)) => true,
-        (Kind::Unparsable(_), Err(Reject::Parse(_))) => false,
-        (Kind::Unparsable(_), _) => true,
-        (Kind::Unverifiable(_), Err(Reject::Verify(errors))) => errors.is_empty(),
-        (Kind::Unverifiable(_), _) => true,
+        (Kind::Valid(_), Ok(_)) => Assessment::Legal,
+        (Kind::Valid(_), Err(Reject::Run(_))) => Assessment::Legal,
+        (
+            Kind::Valid(_),
+            Err(Reject::Overloaded | Reject::DeadlineExceeded | Reject::Internal(_)),
+        ) => Assessment::Degraded,
+        (Kind::Valid(_), Err(_)) => Assessment::Violation,
+        // Invalid requests are gate business: degradation never excuses
+        // a wrong gate verdict (the gates don't touch the store or the
+        // pool, so chaos gives them no alibi).
+        (Kind::Unparsable(_), Err(Reject::Parse(_))) => Assessment::Legal,
+        (Kind::Unparsable(_), _) => Assessment::Violation,
+        (Kind::Unverifiable(_), Err(Reject::Verify(errors))) if !errors.is_empty() => {
+            Assessment::Legal
+        }
+        (Kind::Unverifiable(_), _) => Assessment::Violation,
     }
 }
 
@@ -336,6 +376,7 @@ pub fn run_load(service: &Service, config: &LoadConfig) -> LoadReport {
     let next = AtomicU64::new(0);
     let merged = Mutex::new(Histogram::new());
     let violations = AtomicU64::new(0);
+    let degraded = AtomicU64::new(0);
 
     let start = Instant::now();
     std::thread::scope(|scope| {
@@ -356,10 +397,14 @@ pub fn run_load(service: &Service, config: &LoadConfig) -> LoadReport {
                     let t0 = Instant::now();
                     let response = service.call(text);
                     hist.record(t0.elapsed().as_micros() as u64);
-                    if violates(&kind, &response)
+                    let verdict = assess(&kind, &response);
+                    if verdict == Assessment::Violation
+                        || (verdict == Assessment::Degraded && !config.degraded_ok)
                         || matches!(response.served, Served::Rejected) != response.outcome.is_err()
                     {
                         violations.fetch_add(1, Ordering::Relaxed);
+                    } else if verdict == Assessment::Degraded {
+                        degraded.fetch_add(1, Ordering::Relaxed);
                     }
                 }
                 merged.lock().unwrap().merge(&hist);
@@ -380,6 +425,9 @@ pub fn run_load(service: &Service, config: &LoadConfig) -> LoadReport {
         match &response.outcome {
             Ok(outcome) => batch_steps += outcome.steps,
             Err(Reject::Run(_)) => {}
+            Err(Reject::Internal(_)) if config.degraded_ok => {
+                degraded.fetch_add(1, Ordering::Relaxed);
+            }
             Err(_) => {
                 violations.fetch_add(1, Ordering::Relaxed);
             }
@@ -400,6 +448,7 @@ pub fn run_load(service: &Service, config: &LoadConfig) -> LoadReport {
         batch_steps_per_sec: batch_steps as f64 / batch_wall_secs.max(1e-9),
         metrics: service.metrics(),
         mix_violations: violations.load(Ordering::Relaxed),
+        degraded: degraded.load(Ordering::Relaxed),
     }
 }
 

@@ -1,0 +1,194 @@
+//! The hardening ladder under injected faults: crash-debris recovery at
+//! restart, corrupt-entry containment, deadline enforcement, admission
+//! control, the store circuit breaker, and worker-panic absorption.
+//! Every test drives real service behavior through a deterministic
+//! [`FaultProfile`] — no fault here is an accident.
+
+use og_fuzz::case_gen_config;
+use og_json::store::KeyedStore;
+use og_program::generate::generate_with_bound;
+use og_serve::{FaultProfile, Reject, ServeConfig, Served, Service};
+use std::time::{Duration, Instant, SystemTime};
+
+/// A small deterministic valid program's JSON text.
+fn valid_program(index: u64) -> String {
+    let (program, _bound) = generate_with_bound(&case_gen_config(0xC7A05, index));
+    og_json::to_string(&program).expect("generated program renders")
+}
+
+fn temp_store(name: &str) -> KeyedStore {
+    let dir = std::env::temp_dir().join(format!("og-chaos-test-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    KeyedStore::new(dir, "og-serve", 256)
+}
+
+fn with_store(store: &KeyedStore) -> ServeConfig {
+    ServeConfig { store: Some(store.clone()), ..ServeConfig::default() }
+}
+
+#[test]
+fn restart_sweeps_crash_debris_without_poisoning_hits() {
+    let store = temp_store("debris");
+    let text = valid_program(0);
+
+    // A service computes a result, persists it (write-behind flushed by
+    // the drop), then "crashes", leaving debris in the store directory.
+    let first = Service::new(with_store(&store));
+    assert_eq!(first.call(&text).served, Served::Computed);
+    drop(first);
+    assert_eq!(store.len(), 1, "the computed result reached disk");
+
+    // Crash debris: a half-written tmp from a writer that died 16
+    // minutes ago, a tmp young enough to belong to a live writer, and a
+    // foreign file the sweep has no business touching.
+    let dead_tmp = store.dir().join("og-serve-000000000000000000000000000000ff.json.tmp.999.0");
+    std::fs::write(&dead_tmp, "{\"version\":9,\"summ").unwrap();
+    std::fs::File::options()
+        .append(true)
+        .open(&dead_tmp)
+        .unwrap()
+        .set_modified(SystemTime::now() - Duration::from_secs(16 * 60))
+        .unwrap();
+    let live_tmp = store.dir().join("og-serve-000000000000000000000000000000fe.json.tmp.999.1");
+    std::fs::write(&live_tmp, "{").unwrap();
+    let foreign = store.dir().join("README.txt");
+    std::fs::write(&foreign, "not a store entry").unwrap();
+
+    // Restart: the dead tmp is swept, the live tmp and the foreign file
+    // survive, and the persisted result is served off disk — debris
+    // never poisons a hit.
+    let second = Service::new(with_store(&store));
+    assert!(!dead_tmp.exists(), "a provably dead tmp is swept at startup");
+    assert!(live_tmp.exists(), "a possibly live tmp is spared");
+    assert!(foreign.exists(), "foreign files are not the sweep's business");
+    let restored = second.call(&text);
+    assert_eq!(restored.served, Served::StoreHit);
+    assert!(restored.outcome.is_ok());
+    let m = second.metrics();
+    assert_eq!((m.computed, m.store_hits, m.invariant_violations), (0, 1, 0));
+    std::fs::remove_dir_all(store.dir()).ok();
+}
+
+#[test]
+fn a_corrupt_store_entry_is_counted_removed_and_recomputed() {
+    let store = temp_store("corrupt");
+    let text = valid_program(1);
+
+    let first = Service::new(with_store(&store));
+    assert_eq!(first.call(&text).served, Served::Computed);
+    drop(first);
+    let key = store.keys()[0];
+
+    // The disk truncates the entry behind the service's back.
+    std::fs::write(store.path_of(key), "{\"version\":9,\"summ").unwrap();
+
+    let second = Service::new(with_store(&store));
+    let response = second.call(&text);
+    assert_eq!(response.served, Served::Computed, "a corrupt entry must be recomputed");
+    assert!(response.outcome.is_ok());
+    let m = second.metrics();
+    assert_eq!(m.store_corrupt, 1, "the corruption is surfaced in the metrics");
+    assert_eq!(m.invariant_violations, 0);
+    // The recompute's write-behind put healed the entry.
+    drop(second);
+    assert!(store.get(key).unwrap().is_some(), "the entry is healthy again after recompute");
+    std::fs::remove_dir_all(store.dir()).ok();
+}
+
+#[test]
+fn the_deadline_cuts_off_a_stalled_worker() {
+    let service = Service::new(ServeConfig {
+        deadline: Some(Duration::from_millis(50)),
+        faults: Some(FaultProfile {
+            slow_per_mille: 1000,
+            slow_ms: 500,
+            ..FaultProfile::default()
+        }),
+        ..ServeConfig::default()
+    });
+    let started = Instant::now();
+    let response = service.call(&valid_program(2));
+    assert!(
+        matches!(response.outcome, Err(Reject::DeadlineExceeded)),
+        "expected a deadline reject, got {:?}",
+        response.outcome
+    );
+    assert!(
+        started.elapsed() < Duration::from_millis(400),
+        "the caller must not wait out the 500ms stall"
+    );
+    let m = service.metrics();
+    assert_eq!(m.deadline_exceeded, 1);
+    assert!(m.injected_faults >= 1);
+    assert_eq!(m.invariant_violations, 0);
+}
+
+#[test]
+fn admission_control_sheds_while_the_only_slot_is_stalled() {
+    let service = Service::new(ServeConfig {
+        max_inflight: 1,
+        deadline: Some(Duration::from_millis(50)),
+        faults: Some(FaultProfile {
+            slow_per_mille: 1000,
+            slow_ms: 400,
+            ..FaultProfile::default()
+        }),
+        ..ServeConfig::default()
+    });
+    // The first request's job stalls holding the only slot; the caller
+    // gives up at the deadline but the slot stays occupied.
+    let first = service.call(&valid_program(3));
+    assert!(matches!(first.outcome, Err(Reject::DeadlineExceeded)), "{:?}", first.outcome);
+    // A different program arriving now must be shed, not queued.
+    let second = service.call(&valid_program(4));
+    assert!(matches!(second.outcome, Err(Reject::Overloaded)), "{:?}", second.outcome);
+    assert_eq!(second.served, Served::Rejected);
+    let m = service.metrics();
+    assert_eq!(m.shed, 1);
+    assert_eq!(m.invariant_violations, 0);
+}
+
+#[test]
+fn persistent_store_faults_open_the_breaker_but_requests_still_compute() {
+    let store = temp_store("breaker");
+    let service = Service::new(ServeConfig {
+        store: Some(store.clone()),
+        faults: Some(FaultProfile { store_fault_per_mille: 1000, ..FaultProfile::default() }),
+        ..ServeConfig::default()
+    });
+    // Every store operation fails all its retries. The first two failed
+    // operations trip the breaker; requests degrade to compute-without-
+    // store and keep answering.
+    for i in 5..8 {
+        let response = service.call(&valid_program(i));
+        assert!(
+            response.outcome.is_ok(),
+            "compute must survive a dead store: {:?}",
+            response.outcome
+        );
+        assert_eq!(response.served, Served::Computed);
+    }
+    let m = service.metrics();
+    assert!(m.breaker_open >= 1, "two consecutive failed ops must open the breaker: {m:?}");
+    assert!(m.store_retries >= 4, "each failed op burns its retry budget first: {m:?}");
+    assert!(m.injected_faults >= 2);
+    assert_eq!(m.invariant_violations, 0);
+    std::fs::remove_dir_all(store.dir()).ok();
+}
+
+#[test]
+fn injected_worker_panics_are_absorbed_by_one_clean_retry() {
+    let service = Service::new(ServeConfig {
+        faults: Some(FaultProfile { panic_per_mille: 1000, ..FaultProfile::default() }),
+        ..ServeConfig::default()
+    });
+    for i in 8..11 {
+        let response = service.call(&valid_program(i));
+        assert!(response.outcome.is_ok(), "the retry must recover: {:?}", response.outcome);
+        assert_eq!(response.served, Served::Computed);
+    }
+    let m = service.metrics();
+    assert!(m.injected_faults >= 3);
+    assert_eq!(m.invariant_violations, 0, "an injected panic is never an invariant violation");
+    assert_eq!(service.pool_panics(), 3, "every injected panic was contained by the pool");
+}

@@ -14,6 +14,7 @@ fn duplicate_heavy_mix_hits_the_cache_and_rejects_cleanly() {
         unique_programs: 16,
         invalid_per_mille: 100,
         seed: 0x5E12E,
+        degraded_ok: false,
     };
     let service = Service::new(ServeConfig::default());
     let report = run_load(&service, &config);

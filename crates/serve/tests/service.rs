@@ -113,11 +113,14 @@ fn a_stale_store_version_is_recomputed_not_served() {
     let service = Service::new(ServeConfig { store: Some(store.clone()), ..Default::default() });
     let computed = service.call(&text);
     assert_eq!(computed.served, Served::Computed);
+    // Persistence is write-behind; dropping the service joins the pool
+    // and flushes the pending put.
+    drop(service);
 
     // Corrupt the persisted version stamp, as an old binary would have
     // left behind after a pipeline-semantics bump.
     let key = store.keys()[0];
-    let mut doc = store.get(key).unwrap();
+    let mut doc = store.get(key).unwrap().unwrap();
     let og_json::Json::Obj(fields) = &mut doc else { panic!("store doc is an object") };
     fields.iter_mut().find(|(k, _)| k == "version").unwrap().1 = og_json::Json::Num(1.0);
     store.put(key, &doc).unwrap();

@@ -1,0 +1,449 @@
+//! Deterministic soft-error injection at quantum pause points.
+//!
+//! The paper's gating claim has a robustness corollary: a bit flip that
+//! lands in a *gated* (insignificant, upper) operand slice never reaches
+//! an architectural consumer, so it should be masked — while a flip in a
+//! live low slice corrupts the output (SDC) or derails control flow.
+//! This module measures that, without touching the flat engine at all:
+//!
+//! 1. a [`FaultPlan`] names seeded bit flips — into registers, memory
+//!    bytes, or the program counter — each pinned to a committed-step
+//!    index;
+//! 2. [`run_with_plan`] executes the program in [`Vm::run_quantum`]
+//!    slices sized to pause exactly at each planned step, applies the
+//!    flips through the narrow mutation seam ([`Vm::flip_reg_bit`],
+//!    [`Vm::flip_mem_bit`], and the resume `ip` for pc strikes), and
+//!    resumes;
+//! 3. [`classify`] names the end state against the fault-free golden
+//!    run: [`FaultOutcome::Masked`] (same output digest),
+//!    [`FaultOutcome::Sdc`] (digest mismatch — silent data corruption),
+//!    [`FaultOutcome::Detected`] (a structural error stopped the run),
+//!    or [`FaultOutcome::Hang`] (the fuel bound fired).
+//!
+//! Because injection happens *between* quanta, every engine rung — flat,
+//! trusted, fused — runs unmodified and at full speed; the split points
+//! are architecturally invisible (a pause can land inside a fused
+//! superinstruction, whose tail slots are retained unfused).
+//!
+//! ```
+//! use og_isa::{Reg, Width};
+//! use og_program::{imm, ProgramBuilder};
+//! use og_vm::fault::{classify, run_with_plan, FaultOutcome, FaultPlan, FaultSite};
+//! use og_vm::{RunConfig, Vm};
+//!
+//! let mut pb = ProgramBuilder::new();
+//! let mut f = pb.function("main", 0);
+//! f.block("entry");
+//! f.ldi(Reg::T0, 41);
+//! f.add(Width::B, Reg::T0, Reg::T0, imm(1));
+//! f.out(Width::B, Reg::T0);
+//! f.halt();
+//! pb.finish(f);
+//! let p = pb.build().unwrap();
+//!
+//! let golden = Vm::new(&p, RunConfig::default()).run().unwrap();
+//! // Strike a register the program never reads: architecturally masked.
+//! let plan = FaultPlan::single(1, FaultSite::Reg { reg: Reg::T9, bit: 3 });
+//! let mut vm = Vm::new(&p, RunConfig::default());
+//! let run = run_with_plan(&mut vm, &plan);
+//! assert_eq!(classify(&golden, &run.end), FaultOutcome::Masked);
+//! ```
+
+use crate::machine::{Quantum, RunOutcome, Vm, VmError};
+use og_isa::Reg;
+use og_program::rng::SplitMix64;
+use og_program::GLOBAL_BASE;
+
+/// Where one injected bit flip lands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// Flip `bit` (0–63) of an architectural register. A strike on the
+    /// hardwired zero register is masked by construction (no latch).
+    Reg {
+        /// The struck register.
+        reg: Reg,
+        /// Bit position within the 64-bit register, 0 = LSB.
+        bit: u8,
+    },
+    /// Flip `bit` (0–7) of the memory byte at `addr`.
+    Mem {
+        /// Byte address of the strike.
+        addr: u64,
+        /// Bit position within the byte.
+        bit: u8,
+    },
+    /// Flip `bit` (0–31) of the program counter — modelled on the flat
+    /// instruction index the run would resume at. A flip that lands
+    /// outside the program text is a wild jump, reported as
+    /// [`FaultedEnd::WildJump`] and classified Detected (real hardware
+    /// faults on the fetch).
+    Pc {
+        /// Bit position within the flat instruction index.
+        bit: u8,
+    },
+}
+
+/// One planned strike: a site and the committed-step index it fires at
+/// (the flip is applied after `at_step` instructions have committed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// Committed-step index the strike fires at.
+    pub at_step: u64,
+    /// Where it lands.
+    pub site: FaultSite,
+}
+
+/// A deterministic injection schedule: strikes sorted by step index.
+/// A plan is data — build one by hand, with [`FaultPlan::seeded`], or
+/// decode one saved by `og-lab`'s fault campaign.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// A plan from explicit strikes (sorted by step, order-stable for
+    /// equal steps).
+    pub fn new(mut faults: Vec<Fault>) -> FaultPlan {
+        faults.sort_by_key(|f| f.at_step);
+        FaultPlan { faults }
+    }
+
+    /// The single-strike plan.
+    pub fn single(at_step: u64, site: FaultSite) -> FaultPlan {
+        FaultPlan::new(vec![Fault { at_step, site }])
+    }
+
+    /// The strikes, in firing order.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// A seeded random plan of `n` strikes over the first `max_step`
+    /// committed steps: mostly register strikes (the paper's gated
+    /// operand slices live there), with a minority of memory strikes in
+    /// the global data region and pc strikes. Fully determined by
+    /// `(seed, max_step, n)`.
+    pub fn seeded(seed: u64, max_step: u64, n: usize) -> FaultPlan {
+        let mut rng = SplitMix64::new(seed ^ 0xFA_017);
+        let faults = (0..n)
+            .map(|_| {
+                let at_step = rng.below(max_step.max(1));
+                let site = match rng.below(8) {
+                    0 => FaultSite::Mem {
+                        addr: GLOBAL_BASE + rng.below(4096),
+                        bit: rng.below(8) as u8,
+                    },
+                    1 => FaultSite::Pc { bit: rng.below(32) as u8 },
+                    _ => FaultSite::Reg {
+                        reg: Reg::new(rng.below(31) as u8),
+                        bit: rng.below(64) as u8,
+                    },
+                };
+                Fault { at_step, site }
+            })
+            .collect();
+        FaultPlan::new(faults)
+    }
+}
+
+/// One strike that was actually applied (strikes scheduled past the end
+/// of a short run never fire), with the value it displaced — the
+/// register's or byte's pre-flip contents, or the pre-flip resume `ip`
+/// for pc strikes. The fault campaign reads the pre-value to classify
+/// the strike's operand-significance slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Injection {
+    /// Committed-step index it fired at.
+    pub at_step: u64,
+    /// Where it landed.
+    pub site: FaultSite,
+    /// What the site held before the flip.
+    pub pre: i64,
+}
+
+/// How a faulted run ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultedEnd {
+    /// The run completed; compare its digest against the golden run.
+    Finished(RunOutcome),
+    /// The VM stopped with an error (fuel, call depth, malformed slot).
+    Faulted(VmError),
+    /// A pc strike produced a resume index outside the program text;
+    /// the run was not resumed.
+    WildJump {
+        /// The out-of-text flat instruction index.
+        ip: u32,
+    },
+}
+
+/// The result of [`run_with_plan`]: the end state plus every strike
+/// that actually fired.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultRun {
+    /// How the run ended.
+    pub end: FaultedEnd,
+    /// The strikes that fired, with pre-flip values.
+    pub injected: Vec<Injection>,
+}
+
+/// The outcome taxonomy of one faulted run, relative to its golden run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultOutcome {
+    /// The fault never reached the output: digest unchanged.
+    Masked,
+    /// Silent data corruption: the run finished but the digest differs.
+    Sdc,
+    /// A structural error stopped the run (wild jump, malformed slot,
+    /// call-depth blowup) — the fault was detected, not silent.
+    Detected,
+    /// The fuel bound fired: the fault turned the run non-terminating
+    /// (within the configured hang budget).
+    Hang,
+}
+
+impl FaultOutcome {
+    /// Stable lowercase name (report keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultOutcome::Masked => "masked",
+            FaultOutcome::Sdc => "sdc",
+            FaultOutcome::Detected => "detected",
+            FaultOutcome::Hang => "hang",
+        }
+    }
+}
+
+/// A hang budget for faulted runs: enough fuel that every legitimate
+/// perturbed-but-terminating run finishes, tight enough that a fault
+/// that unbounds a loop is caught quickly.
+pub fn hang_budget(golden_steps: u64) -> u64 {
+    golden_steps.saturating_mul(4).saturating_add(1024)
+}
+
+/// Execute `vm` under `plan`: run in quanta sized to pause exactly at
+/// each planned step, apply the due strikes, resume. Strikes scheduled
+/// at or past the run's end never fire (the program was already done);
+/// [`FaultRun::injected`] records the ones that did.
+///
+/// The VM should be freshly constructed with its `max_steps` set to a
+/// hang budget (see [`hang_budget`]); the fault-free golden run comes
+/// from an ordinary [`Vm::run`] on a separate VM.
+pub fn run_with_plan(vm: &mut Vm<'_>, plan: &FaultPlan) -> FaultRun {
+    let mut injected: Vec<Injection> = Vec::new();
+    let mut resume: Option<u32> = None;
+    let mut next = 0usize;
+    let faults = plan.faults();
+    loop {
+        let now = vm.stats().steps;
+        while next < faults.len() && faults[next].at_step <= now {
+            let fault = faults[next];
+            next += 1;
+            let pre = match fault.site {
+                FaultSite::Reg { reg, bit } => vm.flip_reg_bit(reg, bit),
+                FaultSite::Mem { addr, bit } => vm.flip_mem_bit(addr, bit) as i64,
+                FaultSite::Pc { bit } => {
+                    let entry = vm.flat_program().entry.expect("entry block has instructions");
+                    let cur = resume.unwrap_or(entry);
+                    let flipped = cur ^ (1u32 << (bit & 31));
+                    injected.push(Injection {
+                        at_step: fault.at_step,
+                        site: fault.site,
+                        pre: cur as i64,
+                    });
+                    if (flipped as usize) >= vm.flat_program().inst_count() {
+                        return FaultRun { end: FaultedEnd::WildJump { ip: flipped }, injected };
+                    }
+                    resume = Some(flipped);
+                    continue;
+                }
+            };
+            injected.push(Injection { at_step: fault.at_step, site: fault.site, pre });
+        }
+        let quantum = match faults.get(next) {
+            Some(f) => f.at_step - now,
+            None => u64::MAX,
+        };
+        match vm.run_quantum_nostats(resume, quantum) {
+            Quantum::Paused { ip } => resume = Some(ip),
+            Quantum::Finished(Ok(outcome)) => {
+                return FaultRun { end: FaultedEnd::Finished(outcome), injected };
+            }
+            Quantum::Finished(Err(e)) => {
+                return FaultRun { end: FaultedEnd::Faulted(e), injected };
+            }
+        }
+    }
+}
+
+/// Classify a faulted end state against the golden (fault-free) run.
+pub fn classify(golden: &RunOutcome, end: &FaultedEnd) -> FaultOutcome {
+    match end {
+        FaultedEnd::Finished(o) if o.output_digest == golden.output_digest => FaultOutcome::Masked,
+        FaultedEnd::Finished(_) => FaultOutcome::Sdc,
+        FaultedEnd::Faulted(VmError::OutOfFuel { .. }) => FaultOutcome::Hang,
+        FaultedEnd::Faulted(_) | FaultedEnd::WildJump { .. } => FaultOutcome::Detected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RunConfig;
+    use og_isa::Width;
+    use og_program::{imm, Program, ProgramBuilder};
+
+    /// `out`s the low byte of T0 after a short counted loop, so both a
+    /// data strike (T0) and a control strike (the loop counter T1) have
+    /// visible consequences.
+    fn loopy_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        f.block("entry");
+        f.ldi(Reg::T0, 5);
+        f.ldi(Reg::T1, 4);
+        f.block("loop");
+        f.add(Width::D, Reg::T0, Reg::T0, imm(3));
+        f.add(Width::D, Reg::T1, Reg::T1, imm(-1));
+        f.bne(Reg::T1, "loop");
+        f.block("done");
+        f.out(Width::B, Reg::T0);
+        f.halt();
+        pb.finish(f);
+        pb.build().unwrap()
+    }
+
+    fn golden(p: &Program) -> RunOutcome {
+        Vm::new(p, RunConfig::default()).run().unwrap()
+    }
+
+    #[test]
+    fn strike_on_dead_register_is_masked() {
+        let p = loopy_program();
+        let g = golden(&p);
+        let plan = FaultPlan::single(3, FaultSite::Reg { reg: Reg::T9, bit: 17 });
+        let run = run_with_plan(&mut Vm::new(&p, RunConfig::default()), &plan);
+        assert_eq!(classify(&g, &run.end), FaultOutcome::Masked);
+        assert_eq!(run.injected.len(), 1);
+        assert_eq!(run.injected[0].pre, 0);
+    }
+
+    #[test]
+    fn strike_on_upper_slice_of_narrow_consumer_is_masked() {
+        // T0 feeds only `out.b`: its upper 56 bits are a gated slice, so
+        // a strike there never reaches the output — the paper's claim in
+        // one register.
+        let p = loopy_program();
+        let g = golden(&p);
+        let plan = FaultPlan::single(2, FaultSite::Reg { reg: Reg::T0, bit: 40 });
+        let run = run_with_plan(&mut Vm::new(&p, RunConfig::default()), &plan);
+        assert_eq!(classify(&g, &run.end), FaultOutcome::Masked);
+    }
+
+    #[test]
+    fn strike_on_live_low_bit_is_sdc() {
+        let p = loopy_program();
+        let g = golden(&p);
+        let plan = FaultPlan::single(2, FaultSite::Reg { reg: Reg::T0, bit: 1 });
+        let run = run_with_plan(&mut Vm::new(&p, RunConfig::default()), &plan);
+        assert_eq!(classify(&g, &run.end), FaultOutcome::Sdc);
+        match run.end {
+            FaultedEnd::Finished(o) => assert_eq!(o.steps, g.steps, "data strike, same path"),
+            other => panic!("expected a finished run, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn strike_unbounding_the_loop_counter_is_a_hang() {
+        let p = loopy_program();
+        let g = golden(&p);
+        let budget = hang_budget(g.steps);
+        let plan = FaultPlan::single(3, FaultSite::Reg { reg: Reg::T1, bit: 50 });
+        let cfg = RunConfig { max_steps: budget, ..Default::default() };
+        let run = run_with_plan(&mut Vm::new(&p, cfg), &plan);
+        assert_eq!(classify(&g, &run.end), FaultOutcome::Hang);
+    }
+
+    #[test]
+    fn wild_pc_strike_is_detected() {
+        let p = loopy_program();
+        let g = golden(&p);
+        let plan = FaultPlan::single(4, FaultSite::Pc { bit: 30 });
+        let run = run_with_plan(&mut Vm::new(&p, RunConfig::default()), &plan);
+        assert_eq!(classify(&g, &run.end), FaultOutcome::Detected);
+        assert!(matches!(run.end, FaultedEnd::WildJump { .. }));
+    }
+
+    #[test]
+    fn in_text_pc_strike_runs_on_and_is_classified_by_output() {
+        // Flipping a low pc bit lands inside the text: the run continues
+        // from the wrong instruction and the digest decides the class.
+        let p = loopy_program();
+        let g = golden(&p);
+        let budget = hang_budget(g.steps);
+        let cfg = RunConfig { max_steps: budget, ..Default::default() };
+        let plan = FaultPlan::single(4, FaultSite::Pc { bit: 0 });
+        let run = run_with_plan(&mut Vm::new(&p, cfg.clone()), &plan);
+        let class = classify(&g, &run.end);
+        // Any taxonomy class is legal; what matters is determinism.
+        let again = run_with_plan(&mut Vm::new(&p, cfg), &plan);
+        assert_eq!(run, again, "faulted runs replay bit-identically");
+        assert_eq!(class, classify(&g, &again.end));
+    }
+
+    #[test]
+    fn memory_strike_flips_one_byte_and_replays() {
+        let p = loopy_program();
+        let plan = FaultPlan::single(1, FaultSite::Mem { addr: GLOBAL_BASE + 8, bit: 6 });
+        let mut vm = Vm::new(&p, RunConfig::default());
+        let run = run_with_plan(&mut vm, &plan);
+        assert_eq!(run.injected.len(), 1);
+        assert_eq!(run.injected[0].pre, 0, "untouched global byte reads zero");
+        // The program never loads that byte: masked.
+        assert_eq!(classify(&golden(&p), &run.end), FaultOutcome::Masked);
+    }
+
+    #[test]
+    fn strikes_past_the_end_of_the_run_never_fire() {
+        let p = loopy_program();
+        let g = golden(&p);
+        let plan = FaultPlan::new(vec![
+            Fault { at_step: g.steps + 100, site: FaultSite::Reg { reg: Reg::T0, bit: 0 } },
+            Fault { at_step: 2, site: FaultSite::Reg { reg: Reg::T9, bit: 0 } },
+        ]);
+        let run = run_with_plan(&mut Vm::new(&p, RunConfig::default()), &plan);
+        assert_eq!(run.injected.len(), 1, "only the in-run strike fires");
+        assert_eq!(run.injected[0].at_step, 2);
+    }
+
+    #[test]
+    fn zero_register_strike_is_masked_by_construction() {
+        let p = loopy_program();
+        let g = golden(&p);
+        let plan = FaultPlan::single(1, FaultSite::Reg { reg: Reg::ZERO, bit: 13 });
+        let run = run_with_plan(&mut Vm::new(&p, RunConfig::default()), &plan);
+        assert_eq!(classify(&g, &run.end), FaultOutcome::Masked);
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_sorted() {
+        let a = FaultPlan::seeded(9, 1000, 32);
+        let b = FaultPlan::seeded(9, 1000, 32);
+        assert_eq!(a, b);
+        assert!(a.faults().windows(2).all(|w| w[0].at_step <= w[1].at_step));
+        assert!(a.faults().iter().all(|f| f.at_step < 1000));
+        assert!(a.faults().iter().any(|f| matches!(f.site, FaultSite::Reg { .. })));
+    }
+
+    #[test]
+    fn multi_strike_plan_applies_every_due_flip() {
+        let p = loopy_program();
+        let plan = FaultPlan::new(vec![
+            Fault { at_step: 1, site: FaultSite::Reg { reg: Reg::T9, bit: 0 } },
+            Fault { at_step: 1, site: FaultSite::Reg { reg: Reg::T10, bit: 1 } },
+            Fault { at_step: 5, site: FaultSite::Mem { addr: GLOBAL_BASE, bit: 0 } },
+        ]);
+        let run = run_with_plan(&mut Vm::new(&p, RunConfig::default()), &plan);
+        assert_eq!(run.injected.len(), 3);
+    }
+}

@@ -89,6 +89,23 @@
 //! reference engine so the whole fuzz campaign cross-checks the engines
 //! continuously.
 //!
+//! ## Soft-error injection: the quantum seam
+//!
+//! The batched engine's pause points double as a fault-injection seam.
+//! [`Vm::run_quantum`] can stop a run after any exact number of
+//! committed steps and hand back a resume `ip`; between two quanta the
+//! VM's architectural state is at rest, so a seeded bit flip applied
+//! there ([`Vm::flip_reg_bit`], [`Vm::flip_mem_bit`], or a flip of the
+//! resume `ip` itself) lands exactly as a particle strike between two
+//! committed instructions would — without any instrumentation in the
+//! hot loop, on every engine rung including fused superinstructions.
+//! Module [`fault`] builds the full subsystem on this seam: seeded
+//! [`fault::FaultPlan`]s, the quantum-slicing driver
+//! [`fault::run_with_plan`], and the outcome taxonomy
+//! ([`fault::FaultOutcome`]: Masked / SDC / Detected / Hang) that
+//! `og-lab`'s fault campaign sweeps across workloads to measure the
+//! paper's masking claim for gated upper operand slices.
+//!
 //! ## Streaming dataflow (VM → TraceSink → Simulator/Profiler)
 //!
 //! The VM never materializes the trace. It holds exactly **one** record
@@ -126,6 +143,7 @@
 pub mod batch;
 pub mod coverage;
 pub mod eval;
+pub mod fault;
 pub mod flat;
 pub mod fusion;
 mod machine;

@@ -277,6 +277,34 @@ impl<'p> Vm<'p> {
         }
     }
 
+    /// Flip one bit of an architectural register and return the value
+    /// it held before the flip. This is the soft-error injection seam
+    /// used by [`crate::fault`]: call it while the VM is paused between
+    /// [`Vm::run_quantum`] slices and the flat engine observes the
+    /// flipped value on resume, exactly as a particle strike on the
+    /// register file would land between two committed instructions.
+    ///
+    /// Flipping the hardwired zero register ([`Reg::ZERO`]) is a no-op
+    /// — on real hardware that latch does not exist, so the "fault" is
+    /// masked by construction — keeping the engine invariant that slot
+    /// 31 always reads as zero.
+    pub fn flip_reg_bit(&mut self, r: Reg, bit: u8) -> i64 {
+        let pre = self.reg(r);
+        self.set_reg(r, pre ^ (1i64 << (bit & 63)));
+        pre
+    }
+
+    /// Flip one bit of a memory byte and return the byte it held before
+    /// the flip. Like [`Vm::flip_reg_bit`], this models a strike on the
+    /// data array between two committed instructions: inject it at a
+    /// [`Vm::run_quantum`] pause point. Untouched pages materialize on
+    /// first write, so any address is a valid target.
+    pub fn flip_mem_bit(&mut self, addr: u64, bit: u8) -> u8 {
+        let pre = self.mem.read_u8(addr);
+        self.mem.write_u8(addr, pre ^ (1u8 << (bit & 7)));
+        pre
+    }
+
     /// The output stream produced so far.
     pub fn output(&self) -> &[u8] {
         &self.output
